@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Every ``test_figXX_bench.py`` regenerates one paper exhibit at the
+profile selected by ``REPRO_PROFILE`` (default ``fast``) and prints the
+reproduced table into the benchmark log, so ``pytest benchmarks/
+--benchmark-only`` doubles as the paper-reproduction run.
+
+Figure benchmarks execute exactly once (``pedantic`` with one round):
+they are minutes-long simulations, not microseconds-long functions, and
+their value is the regenerated table rather than timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.profiles import get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The scale profile shared by every figure benchmark."""
+    return get_profile()
+
+
+def run_exhibit(benchmark, module, profile):
+    """Run one experiment module under the benchmark harness and print it."""
+    result = benchmark.pedantic(
+        module.run, args=(profile,), rounds=1, iterations=1
+    )
+    print()
+    print(result.format_table())
+    return result

@@ -1,0 +1,11 @@
+"""Benchmark regenerating the tuner-budget ablation."""
+
+from repro.experiments import ablation_tuners as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_ablation_tuners_reproduction(benchmark, profile):
+    """Sweep the set-top channel budget and print the ablation table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 2: popularity skew series."""
+
+from repro.experiments import fig02_popularity_skew as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig02_reproduction(benchmark, profile):
+    """Regenerate Fig 2: popularity skew series and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 3: session-length CDF of the head program."""
+
+from repro.experiments import fig03_session_lengths as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig03_reproduction(benchmark, profile):
+    """Regenerate Fig 3: session-length CDF of the head program and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 6: program-length inference from ECDF jumps."""
+
+from repro.experiments import fig06_program_length as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig06_reproduction(benchmark, profile):
+    """Regenerate Fig 6: program-length inference from ECDF jumps and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

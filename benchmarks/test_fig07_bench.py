@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 7: diurnal delivered-rate profile."""
+
+from repro.experiments import fig07_hourly_rate as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig07_reproduction(benchmark, profile):
+    """Regenerate Fig 7: diurnal delivered-rate profile and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 8: server load vs total cache size."""
+
+from repro.experiments import fig08_cache_size as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig08_reproduction(benchmark, profile):
+    """Regenerate Fig 8: server load vs total cache size and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 9: cache size via neighborhood growth."""
+
+from repro.experiments import fig09_cache_size_by_neighborhood as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig09_reproduction(benchmark, profile):
+    """Regenerate Fig 9: cache size via neighborhood growth and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 10: strategies at fixed 1 TB cache."""
+
+from repro.experiments import fig10_neighborhood_size as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig10_reproduction(benchmark, profile):
+    """Regenerate Fig 10: strategies at fixed 1 TB cache and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 11: LFU history-length sweep."""
+
+from repro.experiments import fig11_history_length as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig11_reproduction(benchmark, profile):
+    """Regenerate Fig 11: LFU history-length sweep and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

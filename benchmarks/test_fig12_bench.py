@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 12: post-introduction popularity decay."""
+
+from repro.experiments import fig12_popularity_decay as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig12_reproduction(benchmark, profile):
+    """Regenerate Fig 12: post-introduction popularity decay and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

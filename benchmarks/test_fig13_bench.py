@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 13: global vs local popularity feeds."""
+
+from repro.experiments import fig13_global_popularity as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig13_reproduction(benchmark, profile):
+    """Regenerate Fig 13: global vs local popularity feeds and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 14: coax traffic vs neighborhood size."""
+
+from repro.experiments import fig14_coax_traffic as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig14_reproduction(benchmark, profile):
+    """Regenerate Fig 14: coax traffic vs neighborhood size and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 15 / Table 16a: population x catalog grid."""
+
+from repro.experiments import fig15_scalability as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig15_reproduction(benchmark, profile):
+    """Regenerate Fig 15 / Table 16a: population x catalog grid and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 16b: population-only scaling column."""
+
+from repro.experiments import fig16b_population as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig16b_reproduction(benchmark, profile):
+    """Regenerate Fig 16b: population-only scaling column and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Fig 16c: catalog-only scaling row."""
+
+from repro.experiments import fig16c_catalog as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_fig16c_reproduction(benchmark, profile):
+    """Regenerate Fig 16c: catalog-only scaling row and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

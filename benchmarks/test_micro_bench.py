@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the performance-critical substrates.
+
+Unlike the figure benchmarks these measure real throughput numbers:
+the event loop, the LFU admission path, hourly metering, and workload
+generation.  Regressions here translate directly into longer experiment
+runs.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import StrategyContext
+from repro.cache.lfu import LFUStrategy
+from repro.core.meter import HourlyMeter
+from repro.sim.engine import Simulator
+from repro.trace.synthetic import PowerInfoModel, generate_trace
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule and drain 20k chained events."""
+
+    def run():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.after(1.0, chain, remaining - 1)
+
+        for _ in range(20):
+            sim.at(0.0, chain, 1_000)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 20 * 1_001
+
+
+def test_lfu_access_throughput(benchmark):
+    """Drive 10k accesses over 200 programs through windowed LFU."""
+
+    def run():
+        strategy = LFUStrategy(history_hours=1.0)
+        strategy.bind(
+            StrategyContext(
+                neighborhood_id=0,
+                capacity_bytes=5_000.0,
+                footprint_of=lambda pid: 100.0,
+            )
+        )
+        for i in range(10_000):
+            strategy.on_access(float(i), (i * 7919) % 200)
+        return len(strategy.members)
+
+    members = benchmark(run)
+    assert members == 50
+
+
+def test_meter_throughput(benchmark):
+    """Meter 50k hour-spanning intervals."""
+
+    def run():
+        meter = HourlyMeter()
+        for i in range(50_000):
+            meter.add_interval(i * 97.0, 300.0, rate_bps=8.06e6)
+        return meter.total_bits()
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_workload_generation(benchmark):
+    """Generate a 500-user, 3-day synthetic trace."""
+    model = PowerInfoModel(n_users=500, n_programs=100, days=3.0, seed=5)
+    trace = benchmark.pedantic(generate_trace, args=(model,), rounds=1,
+                               iterations=1)
+    assert len(trace) > 100

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Section IV-A: multicast vs cooperative cache."""
+
+from repro.experiments import multicast_comparison as exhibit
+
+from benchmarks.conftest import run_exhibit
+
+
+def test_multicast_reproduction(benchmark, profile):
+    """Regenerate Section IV-A: multicast vs cooperative cache and print the reproduced table."""
+    result = run_exhibit(benchmark, exhibit, profile)
+    assert result.rows

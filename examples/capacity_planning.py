@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Capacity planning: how much set-top disk does a cable operator need?
+
+The question the paper answers for operators: given a neighborhood size
+and a server-bandwidth budget, how much per-peer storage must set-top
+boxes contribute?  This example sweeps per-peer storage, checks coax
+feasibility at every point (paper section VI-B), and reports the
+smallest contribution meeting a target reduction.
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import LFUSpec, PowerInfoModel, SimulationConfig, generate_trace, run_simulation
+from repro.analysis.feasibility import assess_feasibility
+
+#: Operator requirement: cut peak server bandwidth by at least this much.
+TARGET_REDUCTION = 0.80
+
+MODEL = PowerInfoModel(n_users=2_000, n_programs=400, days=10.0, seed=7)
+NEIGHBORHOOD_SIZE = 200
+STORAGE_SWEEP_GB = (1.0, 2.0, 4.0, 6.0, 8.0, 10.0)
+
+
+def main() -> None:
+    trace = generate_trace(MODEL)
+    print(f"workload: {len(trace):,} sessions, {trace.n_users:,} subscribers, "
+          f"{len(trace.catalog):,} programs")
+    print(f"target: >= {TARGET_REDUCTION:.0%} peak server-load reduction\n")
+    print(f"{'GB/peer':>8}  {'cache TB':>8}  {'server Gb/s':>11}  "
+          f"{'reduction':>9}  {'coax p95 Mb/s':>13}  feasible")
+
+    chosen = None
+    for per_peer_gb in STORAGE_SWEEP_GB:
+        config = SimulationConfig(
+            neighborhood_size=NEIGHBORHOOD_SIZE,
+            per_peer_storage_gb=per_peer_gb,
+            strategy=LFUSpec(),
+            warmup_days=4.0,
+        )
+        result = run_simulation(trace, config)
+        feasibility = assess_feasibility(result)
+        print(f"{per_peer_gb:8.1f}  {config.total_cache_tb():8.2f}  "
+              f"{result.peak_server_gbps():11.3f}  "
+              f"{result.peak_reduction():9.0%}  "
+              f"{feasibility.p95_coax_mbps:13.0f}  "
+              f"{'yes' if feasibility.feasible else 'NO'}")
+        if chosen is None and result.peak_reduction() >= TARGET_REDUCTION \
+                and feasibility.feasible:
+            chosen = per_peer_gb
+
+    print()
+    if chosen is None:
+        print(f"no swept contribution reaches {TARGET_REDUCTION:.0%}; "
+              "grow the neighborhood or relax the target")
+    else:
+        print(f"recommendation: {chosen:.0f} GB per set-top box "
+              f"({chosen * NEIGHBORHOOD_SIZE / 1000:.1f} TB per neighborhood)")
+
+
+if __name__ == "__main__":
+    main()

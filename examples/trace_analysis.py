@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Workload characterization: regenerate the paper's trace figures.
+
+Walks a synthetic PowerInfo-like trace through every section-V analysis:
+popularity skew (Fig 2), session-length CDFs (Figs 3/6), program-length
+inference, the diurnal profile (Fig 7), and post-introduction popularity
+decay (Fig 12).  Also shows saving and reloading the trace with
+``repro.trace.io``.
+
+Run with::
+
+    python examples/trace_analysis.py [output.csv]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import PowerInfoModel, generate_trace
+from repro.trace import io as trace_io, stats
+from repro import units
+
+MODEL = PowerInfoModel(n_users=2_000, n_programs=400, days=10.0, seed=3)
+
+
+def main() -> None:
+    trace = generate_trace(MODEL)
+    print(f"trace: {len(trace):,} sessions / {trace.n_users:,} users / "
+          f"{len(trace.catalog):,} programs\n")
+
+    # Fig 2 -- skew.
+    skew = stats.popularity_timeseries(trace)
+    max_peak, q99_peak, q95_peak = skew.peak_counts()
+    print("popularity skew (sessions per 15-minute window):")
+    print(f"  most popular program : peak {max_peak}")
+    print(f"  99%-quantile program : peak {q99_peak}")
+    print(f"  95%-quantile program : peak {q95_peak}\n")
+
+    # Figs 3/6 -- attrition and length inference.
+    head = trace.most_popular_program()
+    attrition = stats.attrition_summary(trace, head)
+    durations = [r.duration_seconds for r in trace if r.program_id == head]
+    inferred = stats.infer_program_length(durations)
+    true_length = trace.catalog[head].length_seconds
+    print(f"head program {head}:")
+    print(f"  median session        : "
+          f"{attrition.median_session_seconds / 60:.1f} min")
+    print(f"  pass halfway          : {attrition.fraction_past_halfway:.0%}")
+    print(f"  watch to the end      : {attrition.fraction_completing:.0%}")
+    print(f"  inferred length       : {inferred / 60:.0f} min "
+          f"(true {true_length / 60:.0f} min)\n")
+
+    # Fig 7 -- diurnal profile.
+    rates = stats.hourly_data_rate(trace)
+    print("diurnal delivered-rate profile (Mb/s):")
+    for hour in range(0, 24, 4):
+        bar = "#" * int(units.to_mbps(rates[hour]) / 4 + 1)
+        print(f"  {hour:02d}:00  {units.to_mbps(rates[hour]):7.1f}  {bar}")
+    print()
+
+    # Fig 12 -- decay.
+    try:
+        curve = stats.popularity_decay(trace, max_days=7,
+                                       min_first_day_sessions=5)
+        print("popularity after introduction (mean sessions/day):")
+        for day, value in enumerate(curve):
+            print(f"  day {day}: {value:6.1f}  ({value / curve[0]:.0%} of day 0)")
+    except Exception as error:  # narrow traces may lack eligible programs
+        print(f"decay analysis skipped: {error}")
+
+    if len(sys.argv) > 1:
+        trace_io.dump_trace(trace, sys.argv[1])
+        print(f"\ntrace written to {sys.argv[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro -- peer-to-peer video-on-demand caching on cable networks.
+
+A full reproduction of *Deploying Video-on-Demand Services on Cable
+Networks* (Allen, Zhao, Wolski -- ICDCS 2007): a cooperative proxy cache
+built from cable subscribers' set-top boxes, orchestrated per coaxial
+neighborhood by a headend index server, evaluated with a trace-driven
+discrete-event simulation.
+
+Quickstart
+----------
+>>> from repro import PowerInfoModel, SimulationConfig, generate_trace, run_simulation
+>>> trace = generate_trace(PowerInfoModel(n_users=500, n_programs=100, days=3.0))
+>>> result = run_simulation(trace, SimulationConfig(neighborhood_size=250,
+...                                                 warmup_days=0.5))
+>>> 0.0 <= result.peak_reduction() <= 1.0
+True
+
+Package map
+-----------
+``repro.sim``         discrete-event engine and seeded random streams
+``repro.trace``       workload model: records, synthesis, scaling, stats
+``repro.topology``    HFC plant: headends, coax neighborhoods, placement
+``repro.peers``       set-top boxes: disk budget, two-channel limit
+``repro.cache``       LRU / LFU / Oracle / Global-LFU strategies, index server
+``repro.core``        the assembled system, config, metering, results
+``repro.baselines``   no-cache and multicast comparison models
+``repro.analysis``    figure-level analyses (skew, attrition, feasibility)
+``repro.experiments`` one module per paper table/figure
+"""
+
+from repro.cache import (
+    GlobalLFUSpec,
+    LFUSpec,
+    LRUSpec,
+    NoCacheSpec,
+    OracleSpec,
+)
+from repro.core import SimulationConfig, SimulationResult, run_simulation
+from repro.trace import (
+    Catalog,
+    PowerInfoModel,
+    Program,
+    SessionRecord,
+    Trace,
+    generate_trace,
+    scale_catalog,
+    scale_population,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PowerInfoModel",
+    "generate_trace",
+    "scale_catalog",
+    "scale_population",
+    "Catalog",
+    "Program",
+    "SessionRecord",
+    "Trace",
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "NoCacheSpec",
+    "LRUSpec",
+    "LFUSpec",
+    "OracleSpec",
+    "GlobalLFUSpec",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Figure-level analyses over traces and simulation results.
+
+Mostly thin, well-named wrappers over :mod:`repro.trace.stats`,
+:mod:`repro.baselines` and :class:`repro.core.results.SimulationResult`,
+grouped here so experiment modules and examples read declaratively.
+"""
+
+from repro.analysis.feasibility import FeasibilityReport, assess_feasibility
+from repro.analysis.multicast import MulticastCaseReport, why_not_multicast
+
+__all__ = [
+    "FeasibilityReport",
+    "assess_feasibility",
+    "MulticastCaseReport",
+    "why_not_multicast",
+]

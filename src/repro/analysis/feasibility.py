@@ -1,0 +1,90 @@
+"""Coax feasibility assessment (paper section VI-B).
+
+The paper's feasibility argument: even in 1,000-subscriber
+neighborhoods, peak VoD traffic on the shared coax averages ~450 Mb/s
+and stays under ~650 Mb/s in poor cases -- "less than 17% of the
+capacity of the coaxial line in extreme cases".  This module turns a
+:class:`~repro.core.results.SimulationResult` into that judgment, and
+additionally checks the upstream budget, which the paper notes is the
+scarcer direction (215 Mb/s shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.core.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Peak coax demands of one simulated deployment vs. plant capacity."""
+
+    mean_coax_mbps: float
+    p95_coax_mbps: float
+    worst_coax_mbps: float
+    coax_vod_capacity_mbps: float
+    upstream_capacity_mbps: float
+    peer_served_fraction: float
+    #: Measured mean peak-hour peer-broadcast traffic (Mb/s); the load
+    #: that exists only because of the bidirectional-amplifier upgrade.
+    mean_peer_broadcast_mbps: float = 0.0
+
+    @property
+    def worst_case_utilization(self) -> float:
+        """Worst peak-hour coax traffic over the VoD-usable capacity."""
+        return self.worst_coax_mbps / self.coax_vod_capacity_mbps
+
+    @property
+    def feasible(self) -> bool:
+        """The paper's bar: worst-case coax demand fits the VoD budget."""
+        return self.worst_coax_mbps <= self.coax_vod_capacity_mbps
+
+    @property
+    def worst_upstream_mbps(self) -> float:
+        """Upper bound on upstream demand: the peer-served share of traffic.
+
+        Only peer-to-peer serves traverse the upstream direction (the
+        headend injects server misses downstream), and with bidirectional
+        amplifiers (section IV-B.4) peers broadcast on the same plant.
+        """
+        return self.worst_coax_mbps * self.peer_served_fraction
+
+    @property
+    def needs_bidirectional_amplifiers(self) -> bool:
+        """Whether peer traffic exceeds the legacy upstream allocation.
+
+        The paper mandates bidirectional amplifiers outright; this check
+        quantifies the mandate -- once peer broadcasts exceed the 215 Mb/s
+        legacy upstream budget, the upgrade is load-bearing, not optional.
+        """
+        return self.mean_peer_broadcast_mbps > self.upstream_capacity_mbps
+
+    def summary(self) -> str:
+        """One-paragraph verdict in the paper's terms."""
+        return (
+            f"peak coax: mean {self.mean_coax_mbps:.0f} Mb/s, "
+            f"p95 {self.p95_coax_mbps:.0f} Mb/s, worst {self.worst_coax_mbps:.0f} Mb/s "
+            f"= {self.worst_case_utilization:.1%} of the "
+            f"{self.coax_vod_capacity_mbps:.0f} Mb/s VoD budget -> "
+            f"{'feasible' if self.feasible else 'INFEASIBLE'}"
+        )
+
+
+def assess_feasibility(result: SimulationResult) -> FeasibilityReport:
+    """Build a :class:`FeasibilityReport` from a simulation result."""
+    samples = result.coax_peak_samples()
+    worst = max(samples) if samples else 0.0
+    counters = result.counters
+    served = counters.peer_hits + counters.server_deliveries
+    peer_fraction = counters.peer_hits / served if served else 0.0
+    return FeasibilityReport(
+        mean_coax_mbps=result.coax_peak_mean_mbps(),
+        p95_coax_mbps=result.coax_peak_quantile_mbps(0.95),
+        worst_coax_mbps=units.to_mbps(worst),
+        coax_vod_capacity_mbps=units.to_mbps(units.COAX_VOD_CAPACITY_BPS),
+        upstream_capacity_mbps=units.to_mbps(units.COAX_UPSTREAM_CAPACITY_BPS),
+        peer_served_fraction=peer_fraction,
+        mean_peer_broadcast_mbps=result.upstream_peak_mean_mbps(),
+    )

@@ -1,0 +1,21 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.no_cache` -- the centralized, cacheless
+  deployment the paper draws as its 17 Gb/s reference line.  Computed
+  analytically from the trace (no simulation needed: every delivered bit
+  comes from the server).
+* :mod:`repro.baselines.multicast` -- a batching-with-patching multicast
+  model, the class of solution the paper argues *against* in section
+  IV-A.  Quantifies how popularity skew and mid-stream attrition erode
+  multicast savings on real VoD workloads.
+"""
+
+from repro.baselines.multicast import MulticastModel, MulticastReport
+from repro.baselines.no_cache import no_cache_hourly_rates, no_cache_peak_gbps
+
+__all__ = [
+    "MulticastModel",
+    "MulticastReport",
+    "no_cache_hourly_rates",
+    "no_cache_peak_gbps",
+]

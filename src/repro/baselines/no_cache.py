@@ -1,0 +1,51 @@
+"""The no-cache centralized baseline.
+
+Without a cooperative cache every session streams straight from the
+central media server, so the server's load *is* the delivered traffic.
+That makes the baseline computable directly from the trace -- no
+discrete-event run required -- and it is how the paper's "17 Gb/s with no
+cache" line is drawn.
+
+(The simulator reproduces the identical numbers when run with
+:class:`~repro.cache.factory.NoCacheSpec`; the analytical form exists so
+experiments can draw the reference line cheaply, and the test suite
+cross-checks the two.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Tuple
+
+from repro import units
+from repro.core.meter import HourlyMeter
+from repro.trace.records import Trace
+
+#: The paper's peak reporting window.
+PEAK_HOURS: Tuple[int, ...] = (19, 20, 21, 22)
+
+
+def no_cache_meter(trace: Trace) -> HourlyMeter:
+    """Hourly server traffic of a cacheless deployment of ``trace``."""
+    meter = HourlyMeter()
+    for record in trace:
+        meter.add_interval(record.start_time, record.duration_seconds)
+    return meter
+
+
+def no_cache_hourly_rates(trace: Trace, warmup_seconds: float = 0.0) -> list:
+    """Average server rate (bits/s) per hour of day, warm-up excluded."""
+    return no_cache_meter(trace).rate_by_hour_of_day(min_time=warmup_seconds)
+
+
+def no_cache_peak_gbps(
+    trace: Trace,
+    peak_hours: Iterable[int] = PEAK_HOURS,
+    warmup_seconds: float = 0.0,
+) -> float:
+    """Mean peak-hour server load (Gb/s) with no cache at all."""
+    meter = no_cache_meter(trace)
+    rate = meter.mean_rate(
+        peak_hours, min_time=warmup_seconds, max_time=math.inf
+    )
+    return units.to_gbps(rate)

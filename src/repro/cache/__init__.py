@@ -1,0 +1,55 @@
+"""Cooperative-cache strategies and the headend index server.
+
+The paper's index server (section IV-B) decides *which programs* live in
+a neighborhood's cooperative cache and *where their segments* sit among
+the set-top peers.  This package separates those concerns:
+
+* :mod:`repro.cache.base` -- the strategy interface (membership decisions
+  at program granularity) and shared context plumbing;
+* :mod:`repro.cache.lru` / :mod:`repro.cache.lfu` /
+  :mod:`repro.cache.oracle` / :mod:`repro.cache.global_lfu` -- the four
+  policies the paper evaluates, plus the no-cache null policy;
+* :mod:`repro.cache.segments` -- 5-minute segmentation and least-loaded
+  placement across peers;
+* :mod:`repro.cache.index_server` -- the per-headend orchestrator that
+  routes requests, fills segments from broadcasts, and applies
+  membership changes to physical placement;
+* :mod:`repro.cache.factory` -- config-level strategy specifications
+  used by :class:`repro.core.config.SimulationConfig`.
+"""
+
+from repro.cache.base import CacheStrategy, MembershipChange, StrategyContext
+from repro.cache.factory import (
+    GlobalLFUSpec,
+    LFUSpec,
+    LRUSpec,
+    NoCacheSpec,
+    OracleSpec,
+    StrategySpec,
+    spec_from_name,
+)
+from repro.cache.index_server import DeliveryOutcome, IndexServer
+from repro.cache.lru import LRUStrategy
+from repro.cache.lfu import LFUStrategy
+from repro.cache.oracle import OracleStrategy
+from repro.cache.global_lfu import GlobalLFUStrategy, GlobalPopularityFeed
+
+__all__ = [
+    "CacheStrategy",
+    "MembershipChange",
+    "StrategyContext",
+    "LRUStrategy",
+    "LFUStrategy",
+    "OracleStrategy",
+    "GlobalLFUStrategy",
+    "GlobalPopularityFeed",
+    "IndexServer",
+    "DeliveryOutcome",
+    "StrategySpec",
+    "NoCacheSpec",
+    "LRUSpec",
+    "LFUSpec",
+    "OracleSpec",
+    "GlobalLFUSpec",
+    "spec_from_name",
+]

@@ -1,0 +1,199 @@
+"""Config-level strategy specifications.
+
+A :class:`StrategySpec` is a small, immutable description of a caching
+policy that a :class:`~repro.core.config.SimulationConfig` can carry
+around, serialize into experiment labels, and instantiate once per
+neighborhood at system-build time.  Specs isolate the simulator from
+policy constructor signatures (the oracle needs future knowledge, the
+global LFU needs a shared feed, ...).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro import units
+from repro.cache.base import CacheStrategy, NullStrategy
+from repro.cache.global_lfu import GlobalLFUStrategy, GlobalPopularityFeed
+from repro.cache.lfu import LFUStrategy
+from repro.cache.lru import LRUStrategy
+from repro.cache.oracle import OracleStrategy
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BuildInputs:
+    """Everything a spec may need to construct per-neighborhood strategies.
+
+    Attributes
+    ----------
+    n_neighborhoods:
+        How many strategy instances to build.
+    future_accesses:
+        Per-neighborhood ``program_id -> sorted session start times``;
+        populated by the runner only when
+        :attr:`StrategySpec.requires_future_knowledge` is set.
+    """
+
+    n_neighborhoods: int
+    future_accesses: Optional[Sequence[Dict[int, List[float]]]] = None
+
+
+@dataclass(frozen=True)
+class BuiltStrategies:
+    """Result of building a spec: one strategy per neighborhood.
+
+    ``feed`` is the shared cross-neighborhood popularity feed, present
+    only for global-LFU builds; the simulator must push *every* session
+    into it.
+    """
+
+    strategies: List[CacheStrategy]
+    feed: Optional[GlobalPopularityFeed] = None
+
+
+class StrategySpec(ABC):
+    """Immutable description of a caching policy."""
+
+    #: Set by specs whose strategies need the full future access schedule.
+    requires_future_knowledge: bool = False
+
+    @property
+    @abstractmethod
+    def label(self) -> str:
+        """Short human-readable identifier for tables and legends."""
+
+    @abstractmethod
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        """Instantiate one strategy per neighborhood."""
+
+
+@dataclass(frozen=True)
+class NoCacheSpec(StrategySpec):
+    """The paper's no-cache reference line."""
+
+    @property
+    def label(self) -> str:
+        return "none"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        return BuiltStrategies([NullStrategy() for _ in range(inputs.n_neighborhoods)])
+
+
+@dataclass(frozen=True)
+class LRUSpec(StrategySpec):
+    """Least-recently-used membership (paper section IV-B.2)."""
+
+    @property
+    def label(self) -> str:
+        return "lru"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        return BuiltStrategies([LRUStrategy() for _ in range(inputs.n_neighborhoods)])
+
+
+@dataclass(frozen=True)
+class LFUSpec(StrategySpec):
+    """Sliding-window LFU (paper section IV-B.2, swept in Fig 11)."""
+
+    history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS
+
+    @property
+    def label(self) -> str:
+        if self.history_hours is None:
+            return "lfu(inf)"
+        return f"lfu({self.history_hours:g}h)"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        return BuiltStrategies(
+            [LFUStrategy(self.history_hours) for _ in range(inputs.n_neighborhoods)]
+        )
+
+
+@dataclass(frozen=True)
+class OracleSpec(StrategySpec):
+    """Future-knowledge benchmark (paper section VI-A)."""
+
+    window_days: float = 3.0
+    recompute_hours: float = 6.0
+    requires_future_knowledge = True
+
+    @property
+    def label(self) -> str:
+        return f"oracle({self.window_days:g}d)"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        if inputs.future_accesses is None:
+            raise ConfigurationError(
+                "OracleSpec.build needs per-neighborhood future access "
+                "schedules; the runner must supply them"
+            )
+        if len(inputs.future_accesses) != inputs.n_neighborhoods:
+            raise ConfigurationError(
+                f"got futures for {len(inputs.future_accesses)} neighborhoods, "
+                f"expected {inputs.n_neighborhoods}"
+            )
+        strategies: List[CacheStrategy] = [
+            OracleStrategy(
+                future_accesses=futures,
+                window_days=self.window_days,
+                recompute_hours=self.recompute_hours,
+            )
+            for futures in inputs.future_accesses
+        ]
+        return BuiltStrategies(strategies)
+
+
+@dataclass(frozen=True)
+class GlobalLFUSpec(StrategySpec):
+    """LFU with system-wide popularity data (paper Fig 13).
+
+    ``lag_seconds=0`` is the "Global" bar; 1,800 and 7,200 are the
+    "30 minute lag" and "2 hour lag" bars.
+    """
+
+    history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS
+    lag_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        history = "inf" if self.history_hours is None else f"{self.history_hours:g}h"
+        if self.lag_seconds:
+            return f"global-lfu({history}, lag={self.lag_seconds / 60:g}m)"
+        return f"global-lfu({history})"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        window = (
+            None
+            if self.history_hours is None
+            else self.history_hours * units.SECONDS_PER_HOUR
+        )
+        feed = GlobalPopularityFeed(window_seconds=window, lag_seconds=self.lag_seconds)
+        strategies: List[CacheStrategy] = [
+            GlobalLFUStrategy(feed, neighborhood_id, self.history_hours)
+            for neighborhood_id in range(inputs.n_neighborhoods)
+        ]
+        return BuiltStrategies(strategies, feed=feed)
+
+
+def spec_from_name(name: str) -> StrategySpec:
+    """Build a default-parameter spec from a short name.
+
+    Accepted names: ``none``, ``lru``, ``lfu``, ``oracle``,
+    ``global-lfu``.  Used by the CLI.
+    """
+    table = {
+        "none": NoCacheSpec,
+        "lru": LRUSpec,
+        "lfu": LFUSpec,
+        "oracle": OracleSpec,
+        "global-lfu": GlobalLFUSpec,
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; choose from {sorted(table)}"
+        ) from None

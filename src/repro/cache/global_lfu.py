@@ -1,0 +1,153 @@
+"""LFU driven by system-wide popularity data, with propagation lag.
+
+Paper section VI-A / Fig 13: "One final way to increase the data
+available to the LFU algorithm is to use access data from peers outside
+the neighborhood ... The bars on the left side show an LFU algorithm
+that uses complete global data to make every caching decision in the
+neighborhood proxy cache.  The middle two bars show the performance if
+the local data is only augmented with global information in batches
+after a certain length of time has passed."
+
+Model: every neighborhood sees its *own* accesses instantly (they pass
+through its index server) and accesses from *other* neighborhoods only
+once the batch containing them is published, ``lag_seconds`` wide
+(``0`` = instantaneous global knowledge).  Both local and remote
+contributions expire out of the same sliding history window as plain
+LFU.
+
+Implementation: a shared :class:`GlobalPopularityFeed` tracks, per
+program, the globally released count and each neighborhood's own released
+contribution.  Neighborhood ``n``'s popularity estimate is::
+
+    count_n(p) = local_window_n(p) + released_global(p) - released_own_n(p)
+
+so its own events are never double counted.  The feed notifies listeners
+on every release/expiry so each strategy's eviction heap stays exact (see
+:mod:`repro.cache.lfu`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.cache.lfu import LFUStrategy
+from repro.errors import ConfigurationError
+
+
+class GlobalPopularityFeed:
+    """Shared cross-neighborhood access history with batched publication.
+
+    Parameters
+    ----------
+    window_seconds:
+        Sliding history window (same semantics as plain LFU); ``None``
+        keeps everything.
+    lag_seconds:
+        Batch width.  An event at time ``t`` becomes visible to *other*
+        neighborhoods at the end of its batch,
+        ``(floor(t / lag) + 1) * lag``; with ``lag_seconds == 0`` it is
+        visible immediately.
+    """
+
+    def __init__(self, window_seconds: Optional[float], lag_seconds: float = 0.0) -> None:
+        if lag_seconds < 0:
+            raise ConfigurationError(f"lag must be non-negative, got {lag_seconds}")
+        if window_seconds is not None and window_seconds < 0:
+            raise ConfigurationError(
+                f"history window must be non-negative, got {window_seconds}"
+            )
+        self._window = window_seconds
+        self._lag = lag_seconds
+        #: Events recorded but not yet published: (release_time, event_time,
+        #: program, neighborhood).
+        self._pending: Deque[Tuple[float, float, int, int]] = deque()
+        #: Published events awaiting window expiry: (event_time, program,
+        #: neighborhood).
+        self._released: Deque[Tuple[float, int, int]] = deque()
+        self._global_counts: Dict[int, int] = {}
+        self._own_counts: Dict[int, Dict[int, int]] = {}
+        self._listeners: List[Callable[[int], None]] = []
+
+    def add_change_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired with the program id on count changes."""
+        self._listeners.append(listener)
+
+    def _notify(self, program_id: int) -> None:
+        for listener in self._listeners:
+            listener(program_id)
+
+    def _release_time(self, event_time: float) -> float:
+        if self._lag <= 0:
+            return event_time
+        return (math.floor(event_time / self._lag) + 1.0) * self._lag
+
+    def record(self, now: float, program_id: int, neighborhood_id: int) -> None:
+        """Record an access observed at ``neighborhood_id``."""
+        self._pending.append((self._release_time(now), now, program_id, neighborhood_id))
+
+    def advance(self, now: float) -> None:
+        """Publish due batches and expire events that left the window."""
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            _, event_time, program_id, neighborhood_id = pending.popleft()
+            self._released.append((event_time, program_id, neighborhood_id))
+            self._global_counts[program_id] = self._global_counts.get(program_id, 0) + 1
+            own = self._own_counts.setdefault(neighborhood_id, {})
+            own[program_id] = own.get(program_id, 0) + 1
+            self._notify(program_id)
+        if self._window is None:
+            return
+        threshold = now - self._window
+        released = self._released
+        while released and released[0][0] <= threshold:
+            _, program_id, neighborhood_id = released.popleft()
+            remaining = self._global_counts[program_id] - 1
+            if remaining:
+                self._global_counts[program_id] = remaining
+            else:
+                del self._global_counts[program_id]
+            own = self._own_counts[neighborhood_id]
+            own_remaining = own[program_id] - 1
+            if own_remaining:
+                own[program_id] = own_remaining
+            else:
+                del own[program_id]
+            self._notify(program_id)
+
+    def remote_count(self, neighborhood_id: int, program_id: int) -> int:
+        """Published accesses to ``program_id`` from *other* neighborhoods."""
+        total = self._global_counts.get(program_id, 0)
+        own = self._own_counts.get(neighborhood_id, {}).get(program_id, 0)
+        return total - own
+
+
+class GlobalLFUStrategy(LFUStrategy):
+    """LFU whose popularity estimate blends local and global history.
+
+    Shares all admission/eviction machinery with :class:`LFUStrategy`;
+    only the count source differs.
+    """
+
+    name = "global-lfu"
+
+    def __init__(
+        self,
+        feed: GlobalPopularityFeed,
+        neighborhood_id: int,
+        history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS,
+    ) -> None:
+        super().__init__(history_hours=history_hours)
+        self._feed = feed
+        self._neighborhood_id = neighborhood_id
+        feed.add_change_listener(self._on_count_change)
+
+    def _advance_counts(self, now: float) -> None:
+        super()._advance_counts(now)
+        self._feed.advance(now)
+
+    def _count(self, program_id: int) -> int:
+        return super()._count(program_id) + self._feed.remote_count(
+            self._neighborhood_id, program_id
+        )

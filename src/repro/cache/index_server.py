@@ -1,0 +1,267 @@
+"""The headend index server: request routing and cache orchestration.
+
+Paper section IV-B.1 describes the two delivery flows this module
+implements:
+
+* **Cache miss** (Fig 4): the requester asks the index server; the index
+  server fetches the segment from the central media server over fiber
+  and broadcasts it on the coax; the requester reads it off the wire; if
+  the program has been admitted to the cache, a designated peer reads
+  the *same broadcast* and stores the segment (no extra traffic).
+* **Cache hit** (Fig 5): the index server instructs the peer holding the
+  segment to broadcast it; the requester reads it off the wire.  The
+  serving peer occupies one of its two channels for the duration.
+
+The index server also fields every session start, feeding the strategy's
+popularity model and applying the resulting membership changes to the
+physical placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.cache.base import CacheStrategy, MembershipChange
+from repro.cache.segments import PlacementMap, segment_play_seconds
+from repro.errors import CacheError, PlacementError
+from repro.peers.settop import SetTopBox
+from repro.topology.hfc import Neighborhood
+from repro.trace.records import Catalog
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """How one segment request was satisfied.
+
+    Attributes
+    ----------
+    source:
+        ``"peer"`` (cooperative-cache hit), ``"local"`` (segment already
+        on the requester's own box -- no coax traffic), or ``"server"``
+        (central media server over fiber).
+    busy_miss:
+        The segment *was* cached but its holder had no free channel, so
+        the server had to serve it (the paper's section V-C miss rule).
+    filled:
+        A peer captured this broadcast, adding the segment to the cache.
+    serving_box:
+        Peer that served a hit (``None`` for server deliveries).
+    """
+
+    source: str
+    busy_miss: bool = False
+    filled: bool = False
+    serving_box: Optional[int] = None
+
+    @property
+    def from_server(self) -> bool:
+        """True when the central server supplied the bits."""
+        return self.source == "server"
+
+    @property
+    def on_coax(self) -> bool:
+        """True when the delivery consumed coax broadcast bandwidth."""
+        return self.source != "local"
+
+
+@dataclass
+class IndexServerStats:
+    """Running totals the index server keeps for reporting."""
+
+    sessions: int = 0
+    segment_requests: int = 0
+    peer_hits: int = 0
+    local_hits: int = 0
+    server_deliveries: int = 0
+    busy_misses: int = 0
+    cold_misses: int = 0
+    fills: int = 0
+    fill_skips: int = 0
+    admissions: int = 0
+    evictions: int = 0
+    placement_failures: int = 0
+
+
+class IndexServer:
+    """Per-neighborhood cache orchestrator.
+
+    Parameters
+    ----------
+    neighborhood:
+        The coax segment this server manages.
+    boxes:
+        ``user_id -> SetTopBox`` for every subscriber in the neighborhood.
+    strategy:
+        The (already bound) membership policy.
+    placement:
+        The physical placement map over the same boxes.
+    catalog:
+        Program metadata (lengths drive segment counts).
+    """
+
+    def __init__(
+        self,
+        neighborhood: Neighborhood,
+        boxes: Dict[int, SetTopBox],
+        strategy: CacheStrategy,
+        placement: PlacementMap,
+        catalog: Catalog,
+    ) -> None:
+        missing = set(neighborhood.user_ids) - set(boxes)
+        if missing:
+            raise CacheError(
+                f"neighborhood {neighborhood.neighborhood_id}: no box for "
+                f"users {sorted(missing)[:5]}..."
+            )
+        self.neighborhood = neighborhood
+        self._boxes = boxes
+        self._strategy = strategy
+        self._placement = placement
+        self._catalog = catalog
+        #: program_id -> set of segment indices physically captured.
+        self._stored: Dict[int, Set[int]] = {}
+        self.stats = IndexServerStats()
+
+    @property
+    def strategy(self) -> CacheStrategy:
+        """The membership policy this server consults."""
+        return self._strategy
+
+    def box_of(self, user_id: int) -> SetTopBox:
+        """The requesting subscriber's own set-top box."""
+        box = self._boxes.get(user_id)
+        if box is None:
+            raise CacheError(
+                f"user {user_id} is not in neighborhood "
+                f"{self.neighborhood.neighborhood_id}"
+            )
+        return box
+
+    # ------------------------------------------------------------------
+    # Session plumbing
+    # ------------------------------------------------------------------
+
+    def on_session_start(self, now: float, user_id: int, program_id: int) -> None:
+        """Feed the popularity model and apply any membership changes."""
+        self.stats.sessions += 1
+        change = self._strategy.on_access(now, program_id)
+        self._apply_change(change)
+
+    def apply_initial_membership(self, change: MembershipChange) -> None:
+        """Apply a strategy's bind-time membership (oracle pre-warm)."""
+        self._apply_change(change)
+
+    def _apply_change(self, change: MembershipChange) -> None:
+        if change.empty:
+            return
+        for program_id in change.evicted:
+            self._placement.remove_program(program_id)
+            self._stored.pop(program_id, None)
+            self.stats.evictions += 1
+        for program_id in change.admitted:
+            try:
+                program = self._catalog[program_id]
+                self._placement.place_program(program)
+                if self._strategy.instant_fill:
+                    self._stored[program_id] = set(range(program.num_segments))
+                else:
+                    self._stored[program_id] = set()
+                self.stats.admissions += 1
+            except PlacementError:
+                # Physical placement refused (can only happen if a caller
+                # mis-sized capacity).  Roll the membership back so the
+                # strategy's accounting matches reality.
+                self.stats.placement_failures += 1
+                self._strategy.force_evict(program_id)
+
+    # ------------------------------------------------------------------
+    # Segment delivery
+    # ------------------------------------------------------------------
+
+    def request_segment(
+        self,
+        now: float,
+        user_id: int,
+        program_id: int,
+        segment_index: int,
+        watch_seconds: float,
+    ) -> DeliveryOutcome:
+        """Serve one segment request, returning how it was delivered.
+
+        ``watch_seconds`` is how long the viewer will actually consume
+        this segment (the final segment of an abandoned session is
+        partial); streams and bandwidth are charged for exactly that
+        long.
+        """
+        self.stats.segment_requests += 1
+        stored = self._stored.get(program_id)
+        cached = (
+            stored is not None
+            and segment_index in stored
+            and self._placement.is_placed(program_id)
+        )
+
+        if cached:
+            holder = self._placement.holder_of(program_id, segment_index)
+            if holder.box_id == user_id:
+                # The viewer's own disk: no broadcast, no channel use.
+                self.stats.local_hits += 1
+                return DeliveryOutcome(source="local", serving_box=holder.box_id)
+            if holder.can_open_stream(now):
+                holder.open_stream(now, watch_seconds)
+                self.stats.peer_hits += 1
+                return DeliveryOutcome(source="peer", serving_box=holder.box_id)
+            # Holder saturated: the paper's rule is that this *is* a miss.
+            self.stats.busy_misses += 1
+            self.stats.server_deliveries += 1
+            return DeliveryOutcome(source="server", busy_miss=True)
+
+        # Not in cache: central server broadcast (Fig 4), with an
+        # opportunistic fill if the program is admitted.
+        self.stats.cold_misses += 1
+        self.stats.server_deliveries += 1
+        filled = self._try_fill(now, program_id, segment_index, watch_seconds)
+        return DeliveryOutcome(source="server", filled=filled)
+
+    def _try_fill(
+        self, now: float, program_id: int, segment_index: int, watch_seconds: float
+    ) -> bool:
+        """Capture an in-flight broadcast onto the assigned peer.
+
+        Succeeds only when the program is an admitted member, the viewer
+        will watch the *whole* segment (a partial broadcast is a partial,
+        unusable copy), and the assigned peer has a free channel to tune
+        to the broadcast.
+        """
+        if program_id not in self._strategy:
+            return False
+        if not self._placement.is_placed(program_id):
+            return False
+        stored = self._stored.setdefault(program_id, set())
+        if segment_index in stored:  # pragma: no cover - guarded by caller
+            return False
+        program = self._catalog[program_id]
+        if watch_seconds + 1e-9 < segment_play_seconds(program, segment_index):
+            self.stats.fill_skips += 1
+            return False
+        box = self._placement.holder_of(program_id, segment_index)
+        if not box.can_open_stream(now):
+            self.stats.fill_skips += 1
+            return False
+        box.open_stream(now, watch_seconds)
+        stored.add(segment_index)
+        self.stats.fills += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stored_segment_count(self, program_id: int) -> int:
+        """Segments of ``program_id`` physically captured so far."""
+        return len(self._stored.get(program_id, ()))
+
+    def cached_programs(self) -> Set[int]:
+        """Programs currently admitted by the strategy."""
+        return set(self._strategy.members)

@@ -1,0 +1,193 @@
+"""Program segmentation and physical placement on set-top peers.
+
+Paper section IV-B.1: "Programs are divided into 5 minute segments and
+distributed among a collection of peers.  When the index server
+determines that a program should be in the cache, it locates a
+collection of peers to store the segments ...  Unlike many structured
+peer-to-peer systems, placement is not probabilistic.  Instead, the
+index server places data to balance load, and keeps track of where each
+program is located."
+
+Placement policy: each segment is assigned to the peer with the most
+free contributed space, which both balances storage *and* spreads a
+program's segments across many peers so concurrent viewers at different
+offsets rarely collide on the two-stream limit.
+
+Capacity is accounted in whole segments: a peer contributing 10 GB holds
+``floor(10 GB / segment_bytes)`` segments.  Deriving the neighborhood's
+cache capacity the same way (:func:`usable_capacity_bytes`) means a
+membership decision that fits in bytes always fits physically -- no
+fragmentation surprises mid-simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from repro import units
+from repro.errors import PlacementError
+from repro.peers.settop import SetTopBox
+from repro.trace.records import Program
+
+
+def segment_bytes(rate_bps: float = units.STREAM_RATE_BPS,
+                  segment_seconds: float = units.SEGMENT_SECONDS) -> float:
+    """Storage footprint of one full segment."""
+    return rate_bps * segment_seconds / units.BITS_PER_BYTE
+
+
+def cache_footprint_bytes(program: Program) -> float:
+    """Bytes the cache charges for a whole program (whole segments).
+
+    The trailing partial segment is rounded up to a full slot, mirroring
+    how the placement map reserves space.
+    """
+    return program.num_segments * segment_bytes()
+
+
+def usable_capacity_bytes(storage_bytes_per_peer: float, n_peers: int) -> float:
+    """Whole-segment cache capacity of ``n_peers`` equal contributions."""
+    if storage_bytes_per_peer < 0 or n_peers < 0:
+        raise PlacementError(
+            f"capacity arguments must be non-negative, got "
+            f"{storage_bytes_per_peer} x {n_peers}"
+        )
+    slots_per_peer = int(storage_bytes_per_peer // segment_bytes())
+    return slots_per_peer * segment_bytes() * n_peers
+
+
+def segment_play_seconds(program: Program, segment_index: int) -> float:
+    """Playback seconds contained in one segment of ``program``.
+
+    Every segment holds :data:`~repro.units.SEGMENT_SECONDS` except the
+    final one, which holds the remainder.
+    """
+    if not 0 <= segment_index < program.num_segments:
+        raise PlacementError(
+            f"segment {segment_index} out of range for program "
+            f"{program.program_id} ({program.num_segments} segments)"
+        )
+    start = segment_index * units.SEGMENT_SECONDS
+    return min(units.SEGMENT_SECONDS, program.length_seconds - start)
+
+
+class PlacementMap:
+    """Tracks which peer holds each segment of each cached program.
+
+    The index server calls :meth:`place_program` when a strategy admits a
+    program (reserving space immediately -- the decision is binding) and
+    :meth:`remove_program` on eviction.  Whether a given segment's bytes
+    have actually been captured off a broadcast yet is tracked separately
+    by the index server; this map is purely *where they belong*.
+    """
+
+    def __init__(self, boxes: Sequence[SetTopBox]) -> None:
+        if not boxes:
+            raise PlacementError("placement requires at least one peer")
+        self._boxes: List[SetTopBox] = list(boxes)
+        # Max-heap by free bytes with a tiebreak counter: (-free, n, box).
+        self._counter = itertools.count()
+        self._heap: List[Tuple[float, int, SetTopBox]] = [
+            (-box.free_bytes, next(self._counter), box) for box in self._boxes
+        ]
+        heapq.heapify(self._heap)
+        #: program_id -> tuple of boxes, one per segment index.
+        self._assignments: Dict[int, Tuple[SetTopBox, ...]] = {}
+
+    @property
+    def placed_programs(self) -> int:
+        """Number of programs currently placed."""
+        return len(self._assignments)
+
+    def holder_of(self, program_id: int, segment_index: int) -> SetTopBox:
+        """The peer assigned segment ``segment_index`` of ``program_id``.
+
+        Raises
+        ------
+        PlacementError
+            If the program is not placed or the index is out of range.
+        """
+        assignment = self._assignments.get(program_id)
+        if assignment is None:
+            raise PlacementError(f"program {program_id} is not placed")
+        if not 0 <= segment_index < len(assignment):
+            raise PlacementError(
+                f"program {program_id} has {len(assignment)} segments, "
+                f"requested index {segment_index}"
+            )
+        return assignment[segment_index]
+
+    def is_placed(self, program_id: int) -> bool:
+        """Whether ``program_id`` currently has a placement."""
+        return program_id in self._assignments
+
+    def place_program(self, program: Program) -> Tuple[SetTopBox, ...]:
+        """Assign every segment of ``program`` to a least-loaded peer.
+
+        All-or-nothing: either every segment is reserved or the placement
+        fails with no side effects.
+
+        Raises
+        ------
+        PlacementError
+            If the program is already placed or no peer can take a
+            segment (only possible when membership capacity accounting
+            disagrees with physical capacity -- a caller bug).
+        """
+        if program.program_id in self._assignments:
+            raise PlacementError(f"program {program.program_id} already placed")
+        per_segment = segment_bytes()
+        chosen: List[SetTopBox] = []
+        try:
+            for _ in range(program.num_segments):
+                box = self._pop_roomiest(per_segment)
+                box.reserve(program.program_id, per_segment)
+                chosen.append(box)
+                heapq.heappush(self._heap, (-box.free_bytes, next(self._counter), box))
+        except PlacementError:
+            for box in chosen:
+                box.release(program.program_id)
+            # Re-heapify lazily: stale entries are verified on pop.
+            raise
+        assignment = tuple(chosen)
+        self._assignments[program.program_id] = assignment
+        return assignment
+
+    def _pop_roomiest(self, needed_bytes: float) -> SetTopBox:
+        """Pop the peer with the most free space, verifying staleness.
+
+        Heap entries carry a free-bytes snapshot; entries whose snapshot
+        disagrees with the live value are re-pushed with current data.
+        """
+        while self._heap:
+            neg_free, _, box = heapq.heappop(self._heap)
+            if -neg_free != box.free_bytes:
+                heapq.heappush(self._heap, (-box.free_bytes, next(self._counter), box))
+                continue
+            if box.free_bytes + 1e-6 < needed_bytes:
+                # Roomiest peer cannot take a segment: physically full.
+                heapq.heappush(self._heap, (neg_free, next(self._counter), box))
+                raise PlacementError(
+                    f"no peer has {needed_bytes:.0f} B free "
+                    f"(roomiest: {box.free_bytes:.0f} B)"
+                )
+            return box
+        raise PlacementError("placement heap exhausted")  # pragma: no cover
+
+    def remove_program(self, program_id: int) -> None:
+        """Release every reservation held for ``program_id``.
+
+        Idempotent: removing an unplaced program is a no-op, because
+        strategies may evict a program whose placement previously failed.
+        """
+        assignment = self._assignments.pop(program_id, None)
+        if assignment is None:
+            return
+        # dict.fromkeys deduplicates while preserving assignment order;
+        # iterating a set here would vary with object identity hashes and
+        # break run-to-run determinism of the placement heap.
+        for box in dict.fromkeys(assignment):
+            box.release(program_id)
+            heapq.heappush(self._heap, (-box.free_bytes, next(self._counter), box))

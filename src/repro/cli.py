@@ -1,0 +1,84 @@
+"""Command-line interface: regenerate any paper exhibit.
+
+Usage::
+
+    repro-vod list
+    repro-vod fig08 [--profile fast|medium|paper]
+    repro-vod all --profile medium
+    python -m repro.cli fig15
+
+Each experiment prints its paper-style table plus the paper's expected
+shape for eyeball comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments import all_experiments, get_experiment, get_profile
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vod",
+        description=(
+            "Regenerate the tables and figures of 'Deploying Video-on-Demand "
+            "Services on Cable Networks' (ICDCS 2007)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig08), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        help="scale profile: fast (default), medium, or paper",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="append an ASCII bar chart under each table",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for experiment_id, module in all_experiments().items():
+            print(f"{experiment_id:10s} {module.TITLE}")
+        return 0
+
+    try:
+        profile = get_profile(args.profile)
+        if args.experiment == "all":
+            targets = list(all_experiments().values())
+        else:
+            targets = [get_experiment(args.experiment)]
+        for module in targets:
+            started = time.perf_counter()
+            result = module.run(profile)
+            print(result.format_table())
+            if args.chart:
+                from repro.report.charts import chart_for_result
+
+                chart = chart_for_result(result)
+                if chart:
+                    print(chart)
+            print(f"({time.perf_counter() - started:.1f}s)")
+            print()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

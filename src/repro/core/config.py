@@ -1,0 +1,107 @@
+"""Simulation configuration.
+
+One immutable object that captures every knob the paper's experiments
+turn: neighborhood size, per-peer storage, caching strategy, and the
+measurement window conventions.  Constructing a config validates all
+parameters eagerly so experiment sweeps fail fast on bad inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro import units
+from repro.cache.factory import LFUSpec, StrategySpec
+from repro.errors import ConfigurationError
+
+#: The paper's reporting window: 19:00-22:59 local time (section V-A).
+DEFAULT_PEAK_HOURS: Tuple[int, ...] = (19, 20, 21, 22)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulator execution.
+
+    Attributes
+    ----------
+    neighborhood_size:
+        Subscribers per coax segment; the paper explores 100-1,000.
+    per_peer_storage_gb:
+        Disk each set-top box contributes (paper ceiling: 10 GB).
+        Total neighborhood cache = ``neighborhood_size x per_peer``
+        rounded down to whole segments.
+    strategy:
+        The caching policy spec (default: 3-day-history LFU).
+    max_streams_per_peer:
+        Concurrent logical channels per box (paper: 2).
+    warmup_days:
+        Leading window excluded from all reported rates so cold caches
+        do not bias short simulations.  The paper simulates seven months,
+        where cold-start is negligible; for 1-2 week windows it is not.
+    peak_hours:
+        Hour-of-day buckets averaged for "peak" loads.
+    placement_seed:
+        Seed of the user->neighborhood shuffle.  Fixed by default per the
+        paper's section V-B determinism requirement.
+    """
+
+    neighborhood_size: int = 1_000
+    per_peer_storage_gb: float = 10.0
+    strategy: StrategySpec = field(default_factory=LFUSpec)
+    max_streams_per_peer: int = units.MAX_STREAMS_PER_PEER
+    warmup_days: float = 2.0
+    peak_hours: Tuple[int, ...] = DEFAULT_PEAK_HOURS
+    placement_seed: int = 60311
+
+    def __post_init__(self) -> None:
+        if self.neighborhood_size <= 0:
+            raise ConfigurationError(
+                f"neighborhood_size must be positive, got {self.neighborhood_size}"
+            )
+        if self.per_peer_storage_gb < 0:
+            raise ConfigurationError(
+                f"per_peer_storage_gb must be non-negative, "
+                f"got {self.per_peer_storage_gb}"
+            )
+        if self.max_streams_per_peer < 1:
+            raise ConfigurationError(
+                f"max_streams_per_peer must be at least 1, "
+                f"got {self.max_streams_per_peer}"
+            )
+        if self.warmup_days < 0:
+            raise ConfigurationError(
+                f"warmup_days must be non-negative, got {self.warmup_days}"
+            )
+        if not self.peak_hours:
+            raise ConfigurationError("peak_hours must not be empty")
+        for hour in self.peak_hours:
+            if not 0 <= hour < units.HOURS_PER_DAY:
+                raise ConfigurationError(f"peak hour {hour} outside 0-23")
+
+    @property
+    def per_peer_storage_bytes(self) -> float:
+        """Per-box contribution in bytes."""
+        return units.gigabytes(self.per_peer_storage_gb)
+
+    @property
+    def warmup_seconds(self) -> float:
+        """Warm-up length in seconds."""
+        return self.warmup_days * units.SECONDS_PER_DAY
+
+    def total_cache_tb(self) -> float:
+        """Nominal neighborhood cache size in TB (the Fig 8/9 x-axis)."""
+        return units.to_terabytes(
+            self.per_peer_storage_bytes * self.neighborhood_size
+        )
+
+    def with_strategy(self, strategy: StrategySpec) -> "SimulationConfig":
+        """Copy of this config with a different caching policy."""
+        return replace(self, strategy=strategy)
+
+    def label(self) -> str:
+        """Compact identifier used in experiment tables."""
+        return (
+            f"{self.strategy.label} n={self.neighborhood_size} "
+            f"{self.per_peer_storage_gb:g}GB/peer"
+        )

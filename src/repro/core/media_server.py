@@ -1,0 +1,33 @@
+"""The cable operator's central media server.
+
+In the paper's architecture the central server is the miss path: it
+holds the entire catalog and streams any segment the neighborhood caches
+cannot supply, over the fiber network to the headend, which rebroadcasts
+it on the coax (Fig 4).  The whole point of the system is to shrink this
+server's peak bandwidth, so the model is deliberately thin: a bandwidth
+meter plus delivery counters.  Disk I/O limits are outside the paper's
+evaluation (it reports Gb/s, not IOPS) and are not modelled.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.core.meter import HourlyMeter
+
+
+class MediaServer:
+    """Central catalog server: meters every byte it is asked to stream."""
+
+    def __init__(self) -> None:
+        self.meter = HourlyMeter()
+        self.deliveries = 0
+
+    def serve(self, now: float, watch_seconds: float,
+              rate_bps: float = units.STREAM_RATE_BPS) -> None:
+        """Stream one segment (or partial segment) starting at ``now``."""
+        self.meter.add_interval(now, watch_seconds, rate_bps)
+        self.deliveries += 1
+
+    def total_bits(self) -> float:
+        """All bits this server has streamed."""
+        return self.meter.total_bits()

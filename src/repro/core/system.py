@@ -1,0 +1,232 @@
+"""The assembled cable VoD system and its event processes.
+
+:class:`CableVoDSystem` builds the full stack for one simulator
+execution -- topology, set-top peers, per-headend index servers bound to
+their caching strategies, and the central media server -- then replays a
+trace through it:
+
+* each trace record becomes a *session start* event;
+* a session issues one *segment request* every 5 simulated minutes until
+  the viewer walks away (matching section IV-B.1's segment flows);
+* every delivery is metered on the coax segment it crossed and, for
+  misses, on the central server (section V-B: "the download consumes
+  neighborhood bandwidth, and in the latter case, it also consumes
+  server bandwidth").
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List
+
+from repro import units
+from repro.cache.factory import BuildInputs
+from repro.cache.index_server import IndexServer
+from repro.cache.segments import PlacementMap, cache_footprint_bytes, usable_capacity_bytes
+from repro.core.config import SimulationConfig
+from repro.core.media_server import MediaServer
+from repro.core.meter import HourlyMeter
+from repro.core.results import SimulationCounters, SimulationResult
+from repro.peers.settop import SetTopBox
+from repro.sim.engine import Simulator
+from repro.topology.placement import place_users
+from repro.trace.records import SessionRecord, Trace
+
+
+class CableVoDSystem:
+    """One fully wired deployment ready to replay a trace.
+
+    Build once, :meth:`run` once.  For parameter sweeps construct a new
+    system per configuration; construction is cheap relative to the run.
+    """
+
+    def __init__(self, trace: Trace, config: SimulationConfig) -> None:
+        self._trace = trace
+        self._config = config
+        self._plant = place_users(
+            trace.n_users, config.neighborhood_size, config.placement_seed
+        )
+
+        catalog = trace.catalog
+        footprints = [cache_footprint_bytes(p) for p in catalog]
+
+        #: user id -> neighborhood index, flattened for the hot path.
+        self._user_neighborhood: List[int] = [0] * trace.n_users
+        for neighborhood in self._plant:
+            for user_id in neighborhood.user_ids:
+                self._user_neighborhood[user_id] = neighborhood.neighborhood_id
+
+        built = config.strategy.build(
+            BuildInputs(
+                n_neighborhoods=len(self._plant),
+                future_accesses=(
+                    self._neighborhood_futures()
+                    if config.strategy.requires_future_knowledge
+                    else None
+                ),
+            )
+        )
+        self._feed = built.feed
+
+        from repro.cache.base import StrategyContext  # local to avoid cycle
+
+        self._boxes: List[Dict[int, SetTopBox]] = []
+        self._servers: List[IndexServer] = []
+        for neighborhood, strategy in zip(self._plant, built.strategies):
+            boxes = {
+                user_id: SetTopBox(
+                    box_id=user_id,
+                    storage_bytes=config.per_peer_storage_bytes,
+                    max_streams=config.max_streams_per_peer,
+                )
+                for user_id in neighborhood.user_ids
+            }
+            placement = PlacementMap(list(boxes.values()))
+            context = StrategyContext(
+                neighborhood_id=neighborhood.neighborhood_id,
+                capacity_bytes=usable_capacity_bytes(
+                    config.per_peer_storage_bytes, neighborhood.size
+                ),
+                footprint_of=lambda pid, _f=footprints: _f[pid],
+            )
+            initial = strategy.bind(context)
+            server = IndexServer(neighborhood, boxes, strategy, placement, catalog)
+            server.apply_initial_membership(initial)
+            self._boxes.append(boxes)
+            self._servers.append(server)
+
+        self._media_server = MediaServer()
+        self._total_meter = HourlyMeter()
+        self._coax_meters: Dict[int, HourlyMeter] = {
+            n.neighborhood_id: HourlyMeter() for n in self._plant
+        }
+        # Peer-originated broadcasts only: the traffic that rides the
+        # bidirectional amplifiers the paper requires in section IV-B.4.
+        self._upstream_meters: Dict[int, HourlyMeter] = {
+            n.neighborhood_id: HourlyMeter() for n in self._plant
+        }
+        self._sim = Simulator()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _neighborhood_futures(self) -> List[Dict[int, List[float]]]:
+        """Per-neighborhood future access schedules (oracle knowledge).
+
+        The trace is already time-sorted, so each program's list comes
+        out sorted for free.
+        """
+        futures: List[Dict[int, List[float]]] = [dict() for _ in range(len(self._plant))]
+        for record in self._trace:
+            bucket = futures[self._user_neighborhood[record.user_id]]
+            bucket.setdefault(record.program_id, []).append(record.start_time)
+        return futures
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def plant(self):
+        """The HFC topology this system was built on."""
+        return self._plant
+
+    @property
+    def index_servers(self) -> List[IndexServer]:
+        """Per-neighborhood index servers (in neighborhood order)."""
+        return list(self._servers)
+
+    @property
+    def media_server(self) -> MediaServer:
+        """The central catalog server."""
+        return self._media_server
+
+    # ------------------------------------------------------------------
+    # Event processes
+    # ------------------------------------------------------------------
+
+    def _start_session(self, record: SessionRecord) -> None:
+        now = self._sim.now
+        neighborhood_id = self._user_neighborhood[record.user_id]
+        server = self._servers[neighborhood_id]
+        if self._feed is not None:
+            self._feed.record(now, record.program_id, neighborhood_id)
+        server.on_session_start(now, record.user_id, record.program_id)
+        # The viewer's own box holds one channel for the playback stream;
+        # the index server never denies a subscriber their own session.
+        server.box_of(record.user_id).open_stream(
+            now, record.duration_seconds, enforce_limit=False
+        )
+        self._request_segment(record, neighborhood_id, 0)
+
+    def _request_segment(self, record: SessionRecord, neighborhood_id: int,
+                         segment_index: int) -> None:
+        now = self._sim.now
+        end = record.end_time
+        watch = min(units.SEGMENT_SECONDS, end - now)
+        # Sub-millisecond trailing slivers are float accumulation noise
+        # from stepping in SEGMENT_SECONDS increments, not real requests.
+        if watch <= 1e-6:
+            return
+        server = self._servers[neighborhood_id]
+        outcome = server.request_segment(
+            now, record.user_id, record.program_id, segment_index, watch
+        )
+        self._total_meter.add_interval(now, watch)
+        if outcome.on_coax:
+            self._coax_meters[neighborhood_id].add_interval(now, watch)
+            if outcome.source == "peer":
+                self._upstream_meters[neighborhood_id].add_interval(now, watch)
+        if outcome.from_server:
+            self._media_server.serve(now, watch)
+        last_segment = self._trace.catalog[record.program_id].num_segments - 1
+        if segment_index < last_segment and end > now + units.SEGMENT_SECONDS + 1e-6:
+            self._sim.at(
+                now + units.SEGMENT_SECONDS,
+                self._request_segment,
+                record,
+                neighborhood_id,
+                segment_index + 1,
+            )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Replay the whole trace and collect the results."""
+        started = _time.perf_counter()
+        for record in self._trace:
+            self._sim.at(record.start_time, self._start_session, record)
+        self._sim.run()
+
+        counters = SimulationCounters()
+        for server in self._servers:
+            stats = server.stats
+            counters.sessions += stats.sessions
+            counters.segment_requests += stats.segment_requests
+            counters.peer_hits += stats.peer_hits
+            counters.local_hits += stats.local_hits
+            counters.server_deliveries += stats.server_deliveries
+            counters.busy_misses += stats.busy_misses
+            counters.cold_misses += stats.cold_misses
+            counters.fills += stats.fills
+            counters.fill_skips += stats.fill_skips
+            counters.admissions += stats.admissions
+            counters.evictions += stats.evictions
+            counters.placement_failures += stats.placement_failures
+
+        return SimulationResult(
+            config=self._config,
+            n_users=self._trace.n_users,
+            n_neighborhoods=len(self._plant),
+            trace_end_time=self._trace.end_time,
+            server_meter=self._media_server.meter,
+            total_meter=self._total_meter,
+            coax_meters=self._coax_meters,
+            upstream_meters=self._upstream_meters,
+            counters=counters,
+            events_processed=self._sim.events_processed,
+            wall_seconds=_time.perf_counter() - started,
+        )

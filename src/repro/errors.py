@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  More specific
+subclasses communicate *which* subsystem rejected the operation; messages
+always include the offending values because simulation bugs are far easier
+to chase with concrete numbers in the traceback.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or generator configuration is invalid.
+
+    Raised eagerly at construction time (never mid-simulation) so that a
+    bad parameter fails fast instead of producing silently wrong results.
+    """
+
+
+class TraceError(ReproError):
+    """A trace record or trace file is malformed."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace could not be parsed."""
+
+
+class TopologyError(ReproError):
+    """The cable topology is inconsistent (unknown neighborhood, bad size...)."""
+
+
+class CacheError(ReproError):
+    """An index-server cache operation violated an invariant."""
+
+
+class PlacementError(CacheError):
+    """Segments of a program could not be placed on neighborhood peers."""
+
+
+class CapacityError(ReproError):
+    """A peer or link was asked to exceed its configured capacity."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency (time travel...)."""

@@ -1,0 +1,38 @@
+"""One module per paper exhibit.
+
+Every ``figXX_*`` module exposes:
+
+* ``EXPERIMENT_ID`` / ``TITLE`` -- which paper exhibit it regenerates;
+* ``PAPER_EXPECTATION`` -- the shape the paper reports, as prose;
+* ``run(profile=None) -> ExperimentResult`` -- regenerate the exhibit's
+  rows at the given :class:`~repro.experiments.profiles.ExperimentProfile`
+  (default: the ``REPRO_PROFILE`` environment variable, else ``fast``).
+
+Profiles scale the PowerInfo population, catalog, and neighborhood sizes
+by a common factor so cache-vs-catalog geometry and per-program demand
+density match the paper at any scale; measured rates are extrapolated
+back to full scale (see :mod:`repro.experiments.profiles`).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import (
+    FAST,
+    MEDIUM,
+    PAPER,
+    ExperimentProfile,
+    base_trace,
+    get_profile,
+)
+from repro.experiments.registry import all_experiments, get_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentProfile",
+    "FAST",
+    "MEDIUM",
+    "PAPER",
+    "base_trace",
+    "get_profile",
+    "all_experiments",
+    "get_experiment",
+]

@@ -1,0 +1,78 @@
+"""Ablation -- how much does the two-channel set-top limit cost?
+
+The paper's section V-C imposes the constraint that a set-top box "can
+only be active on two streams", and makes busy peers a miss source.  The
+paper asserts the limit matters but never quantifies it.  This ablation
+sweeps the per-box channel budget: 1 (a box can either serve or view,
+not both), the paper's 2, and a hypothetical 4-tuner box, measuring how
+busy-miss traffic and peak server load respond.
+
+Expected shape: the jump from 1 to 2 channels removes most busy misses
+(with one channel a viewing box can never serve); 2 to 4 buys little,
+because segment placement already spreads a program's segments across
+many peers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.factory import LFUSpec
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+
+EXPERIMENT_ID = "ablation-tuners"
+TITLE = "Ablation: set-top channel budget (paper fixes this at 2)"
+PAPER_EXPECTATION = (
+    "not evaluated in the paper; the V-C design discussion predicts the "
+    "two-channel limit is workable, i.e. busy misses stay a small share"
+)
+
+NOMINAL_NEIGHBORHOOD = 1_000
+PER_PEER_GB = 10.0
+CHANNEL_SWEEP = (1, 2, 4)
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+    """Sweep the per-box stream budget and report busy-miss pressure."""
+    profile = profile or get_profile()
+    trace = base_trace(profile)
+    size = profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
+
+    rows: List[dict] = []
+    for channels in CHANNEL_SWEEP:
+        config = SimulationConfig(
+            neighborhood_size=size,
+            per_peer_storage_gb=PER_PEER_GB,
+            strategy=LFUSpec(),
+            max_streams_per_peer=channels,
+            warmup_days=profile.warmup_days,
+        )
+        result = run_simulation(trace, config)
+        counters = result.counters
+        busy_share = (
+            counters.busy_misses / counters.segment_requests
+            if counters.segment_requests
+            else 0.0
+        )
+        rows.append(
+            {
+                "channels": channels,
+                "server_gbps": profile.extrapolate(result.peak_server_gbps()),
+                "reduction_pct": 100.0 * result.peak_reduction(),
+                "busy_miss_pct": 100.0 * busy_share,
+                "fill_skips": counters.fill_skips,
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        profile_name=profile.name,
+        columns=["channels", "server_gbps", "reduction_pct", "busy_miss_pct",
+                 "fill_skips"],
+        rows=rows,
+        paper_expectation=PAPER_EXPECTATION,
+        notes="channels=1 forbids serve-while-view; 2 is the paper's set-top",
+    )

@@ -1,0 +1,106 @@
+"""Shared experiment result container and helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.runner import run_simulation
+from repro.errors import ConfigurationError
+from repro.experiments.profiles import ExperimentProfile
+from repro.trace.records import Trace
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one paper exhibit, plus provenance.
+
+    ``rows`` are dictionaries keyed by ``columns`` so callers can consume
+    them programmatically; :meth:`format_table` renders the paper-style
+    text table.
+    """
+
+    experiment_id: str
+    title: str
+    profile_name: str
+    columns: List[str]
+    rows: List[Dict[str, Any]]
+    paper_expectation: str = ""
+    notes: str = ""
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ConfigurationError(
+                f"{self.experiment_id}: unknown column {name!r} "
+                f"(have {self.columns})"
+            )
+        return [row.get(name) for row in self.rows]
+
+    def format_table(self) -> str:
+        """Render the rows as an aligned text table."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        widths = {
+            name: max(len(name), *(len(fmt(row.get(name, ""))) for row in self.rows))
+            if self.rows
+            else len(name)
+            for name in self.columns
+        }
+        header = "  ".join(name.ljust(widths[name]) for name in self.columns)
+        divider = "  ".join("-" * widths[name] for name in self.columns)
+        lines = [
+            f"{self.experiment_id}: {self.title}  [profile={self.profile_name}]",
+            header,
+            divider,
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(fmt(row.get(name, "")).ljust(widths[name]) for name in self.columns)
+            )
+        if self.paper_expectation:
+            lines.append(f"paper: {self.paper_expectation}")
+        if self.notes:
+            lines.append(f"note : {self.notes}")
+        return "\n".join(lines)
+
+
+def run_config(trace: Trace, config: SimulationConfig) -> SimulationResult:
+    """Alias of :func:`~repro.core.runner.run_simulation` for experiments."""
+    return run_simulation(trace, config)
+
+
+def strategy_rows(
+    trace: Trace,
+    configs: Sequence[SimulationConfig],
+    profile: ExperimentProfile,
+) -> List[Dict[str, Any]]:
+    """Run a list of configs, returning standard per-run result rows.
+
+    Each row carries the extrapolated peak server load with its 5%/95%
+    quantile band, the reduction vs. no cache, and the hit ratio --
+    the quantities the paper's bar charts encode.
+    """
+    rows: List[Dict[str, Any]] = []
+    for config in configs:
+        result = run_simulation(trace, config)
+        low, high = result.peak_server_quantiles_gbps()
+        rows.append(
+            {
+                "strategy": config.strategy.label,
+                "neighborhood": config.neighborhood_size,
+                "per_peer_gb": config.per_peer_storage_gb,
+                "server_gbps": profile.extrapolate(result.peak_server_gbps()),
+                "server_gbps_p5": profile.extrapolate(low),
+                "server_gbps_p95": profile.extrapolate(high),
+                "reduction_pct": 100.0 * result.peak_reduction(),
+                "hit_pct": 100.0 * result.counters.hit_ratio,
+            }
+        )
+    return rows

@@ -1,0 +1,57 @@
+"""Fig 3 -- CDF of session lengths for the most popular program.
+
+Paper: "For this 100 minute program, we see that 50% of the sessions
+last less than 8 minutes.  Only 13% of all sessions surpass the half way
+mark."  Short attention spans are the paper's second strike against
+multicast trees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+from repro.trace.stats import attrition_summary, session_length_cdf
+
+EXPERIMENT_ID = "fig03"
+TITLE = "Session-length CDF of the most popular program"
+PAPER_EXPECTATION = (
+    "median session < ~8 min; only ~13% of sessions pass the halfway mark "
+    "of a ~100-minute program"
+)
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+    """Regenerate the Fig 3 CDF checkpoints for the head program."""
+    profile = profile or get_profile()
+    trace = base_trace(profile)
+    program_id = trace.most_popular_program()
+    cdf = session_length_cdf(trace, program_id)
+    attrition = attrition_summary(trace, program_id)
+
+    checkpoint_minutes = (2, 4, 8, 15, 30, 50, 75, 100)
+    rows = [
+        {
+            "minutes": minutes,
+            "cdf": cdf.probability_at(minutes * units.SECONDS_PER_MINUTE),
+        }
+        for minutes in checkpoint_minutes
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        profile_name=profile.name,
+        columns=["minutes", "cdf"],
+        rows=rows,
+        paper_expectation=PAPER_EXPECTATION,
+        notes=(
+            f"program {program_id}: length "
+            f"{attrition.program_length_seconds / units.SECONDS_PER_MINUTE:.0f} min, "
+            f"median session {attrition.median_session_seconds / units.SECONDS_PER_MINUTE:.1f} min, "
+            f"{attrition.fraction_past_halfway:.0%} pass halfway, "
+            f"{attrition.fraction_completing:.0%} complete"
+        ),
+        extras={"cdf": cdf, "attrition": attrition},
+    )

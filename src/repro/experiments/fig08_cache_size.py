@@ -1,0 +1,72 @@
+"""Fig 8 -- server load vs. total cache size (neighborhood fixed at 1,000).
+
+The paper fixes neighborhoods at 1,000 peers and sweeps per-peer storage
+so the total neighborhood cache is 1, 3, 5 and 10 TB, comparing Oracle,
+LFU and LRU.  Expected shape: monotone decreasing load; ~35% reduction
+at 1 TB rising to ~88% at 10 TB; Oracle <= LFU <= LRU with the gap
+collapsing as the cache grows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.factory import LFUSpec, LRUSpec, OracleSpec
+from repro.core.config import SimulationConfig
+from repro.experiments.base import ExperimentResult, strategy_rows
+from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+from repro.baselines.no_cache import no_cache_peak_gbps
+
+EXPERIMENT_ID = "fig08"
+TITLE = "Server load vs. total cache size (1,000-peer neighborhoods)"
+PAPER_EXPECTATION = (
+    "17 Gb/s no-cache; ~35% reduction at 1 TB, ~88% at 10 TB; "
+    "Oracle <= LFU <= LRU, differences largest at small caches"
+)
+
+#: Paper sweep: per-peer GB -> total TB in 1,000-peer neighborhoods.
+PER_PEER_GB_SWEEP = (1.0, 3.0, 5.0, 10.0)
+NOMINAL_NEIGHBORHOOD = 1_000
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+    """Regenerate the Fig 8 bars."""
+    profile = profile or get_profile()
+    trace = base_trace(profile)
+    size = profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
+
+    configs: List[SimulationConfig] = []
+    for per_peer_gb in PER_PEER_GB_SWEEP:
+        for spec in (OracleSpec(), LFUSpec(), LRUSpec()):
+            configs.append(
+                SimulationConfig(
+                    neighborhood_size=size,
+                    per_peer_storage_gb=per_peer_gb,
+                    strategy=spec,
+                    warmup_days=profile.warmup_days,
+                )
+            )
+    rows = strategy_rows(trace, configs, profile)
+    for row in rows:
+        row["total_cache_tb"] = row["per_peer_gb"] * NOMINAL_NEIGHBORHOOD / 1_000.0
+    baseline = profile.extrapolate(
+        no_cache_peak_gbps(trace, warmup_seconds=profile.warmup_days * 86_400.0)
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        profile_name=profile.name,
+        columns=[
+            "total_cache_tb",
+            "strategy",
+            "server_gbps",
+            "server_gbps_p5",
+            "server_gbps_p95",
+            "reduction_pct",
+            "hit_pct",
+        ],
+        rows=rows,
+        paper_expectation=PAPER_EXPECTATION,
+        notes=f"no-cache baseline (extrapolated): {baseline:.1f} Gb/s",
+        extras={"no_cache_gbps": baseline},
+    )

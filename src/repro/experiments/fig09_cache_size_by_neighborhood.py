@@ -1,0 +1,69 @@
+"""Fig 9 -- server load vs. total cache size (per-peer storage fixed).
+
+The companion of Fig 8: per-peer storage is pinned to the paper's 10 GB
+ceiling and the total cache grows with the neighborhood instead
+(100 peers = 1 TB ... 1,000 peers = 10 TB).  The paper finds the same
+load curve as Fig 8, showing total cache size is what matters, however
+it is assembled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.factory import LFUSpec, LRUSpec, OracleSpec
+from repro.core.config import SimulationConfig
+from repro.experiments.base import ExperimentResult, strategy_rows
+from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+
+EXPERIMENT_ID = "fig09"
+TITLE = "Server load vs. total cache size (10 GB per peer, growing neighborhoods)"
+PAPER_EXPECTATION = (
+    "same curve as Fig 8: the total cache size drives the saving, whether "
+    "built from more peers or bigger disks"
+)
+
+PER_PEER_GB = 10.0
+#: Nominal neighborhood sizes giving 1/3/5/10 TB totals at 10 GB per peer.
+NOMINAL_NEIGHBORHOODS = (100, 300, 500, 1_000)
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+    """Regenerate the Fig 9 bars."""
+    profile = profile or get_profile()
+    trace = base_trace(profile)
+
+    configs: List[SimulationConfig] = []
+    for nominal in NOMINAL_NEIGHBORHOODS:
+        for spec in (OracleSpec(), LFUSpec(), LRUSpec()):
+            configs.append(
+                SimulationConfig(
+                    neighborhood_size=profile.neighborhood_size(nominal),
+                    per_peer_storage_gb=PER_PEER_GB,
+                    strategy=spec,
+                    warmup_days=profile.warmup_days,
+                )
+            )
+    rows = strategy_rows(trace, configs, profile)
+    index = 0
+    for nominal in NOMINAL_NEIGHBORHOODS:
+        for _ in range(3):
+            rows[index]["nominal_neighborhood"] = nominal
+            rows[index]["total_cache_tb"] = nominal * PER_PEER_GB / 1_000.0
+            index += 1
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        profile_name=profile.name,
+        columns=[
+            "total_cache_tb",
+            "nominal_neighborhood",
+            "strategy",
+            "server_gbps",
+            "server_gbps_p5",
+            "server_gbps_p95",
+            "reduction_pct",
+        ],
+        rows=rows,
+        paper_expectation=PAPER_EXPECTATION,
+    )

@@ -1,0 +1,70 @@
+"""Fig 11 -- effect of history length on the LFU strategy.
+
+Paper (500-peer, 2 TB configuration): "With a history size of 0, the LFU
+is simply an LRU strategy.  As the history size increases up to 24
+hours, we see little improvement over the LRU method, but after the 24
+hour mark we begin to see significant savings with longer histories.
+However, this improvement tapers off with history sizes over one week"
+-- because week-old data mis-predicts current popularity (Fig 12).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.factory import LFUSpec
+from repro.core.config import SimulationConfig
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+from repro.core.runner import run_simulation
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Effect of LFU history length (500-peer neighborhoods, 2 TB)"
+PAPER_EXPECTATION = (
+    "flat (LRU-equivalent) below ~24 h of history, improving to ~1 week, "
+    "tapering beyond as stale data pollutes the popularity estimate"
+)
+
+NOMINAL_NEIGHBORHOOD = 500
+PER_PEER_GB = 4.0  # 500 peers x 4 GB = the paper's 2 TB configuration
+
+#: History sweep in hours (the paper's x-axis runs 0-12 days).
+HISTORY_HOURS = (0.0, 12.0, 24.0, 48.0, 72.0, 120.0, 168.0, 240.0, 288.0)
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+    """Regenerate the Fig 11 curve."""
+    profile = profile or get_profile()
+    trace = base_trace(profile)
+    size = profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
+
+    rows: List[dict] = []
+    for history_hours in HISTORY_HOURS:
+        config = SimulationConfig(
+            neighborhood_size=size,
+            per_peer_storage_gb=PER_PEER_GB,
+            strategy=LFUSpec(history_hours=history_hours),
+            warmup_days=profile.warmup_days,
+        )
+        result = run_simulation(trace, config)
+        rows.append(
+            {
+                "history_days": history_hours / 24.0,
+                "history_hours": history_hours,
+                "server_gbps": profile.extrapolate(result.peak_server_gbps()),
+                "reduction_pct": 100.0 * result.peak_reduction(),
+                "hit_pct": 100.0 * result.counters.hit_ratio,
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        profile_name=profile.name,
+        columns=["history_days", "server_gbps", "reduction_pct", "hit_pct"],
+        rows=rows,
+        paper_expectation=PAPER_EXPECTATION,
+        notes=(
+            "history 0 should match an LRU run exactly; the window length "
+            "bounds how much of the sweep a short profile can resolve"
+        ),
+    )

@@ -1,0 +1,47 @@
+"""Fig 16(b) -- server load under population increase alone.
+
+The first column of Table 16(a): with the catalog fixed, doubling the
+population doubles the cached server load while the *percentage* saving
+stays pinned at ~88% -- the paper's demonstration that peer-to-peer
+capacity grows with the subscriber base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig15_scalability import FACTORS, scalability_grid
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+EXPERIMENT_ID = "fig16b"
+TITLE = "Server load vs. population increase (catalog fixed)"
+PAPER_EXPECTATION = (
+    "linear: load at xN is ~N times the x1 load; reduction stays ~constant"
+)
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+    """Extract the population column from the scalability grid."""
+    profile = profile or get_profile()
+    grid = scalability_grid(profile)
+    base = grid[(1, 1)]["server_gbps"]
+    rows = []
+    for factor in FACTORS:
+        metrics = grid[(factor, 1)]
+        rows.append(
+            {
+                "population_x": factor,
+                "server_gbps": metrics["server_gbps"],
+                "ratio_vs_x1": metrics["server_gbps"] / base if base else 0.0,
+                "reduction_pct": metrics["reduction_pct"],
+            }
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        profile_name=profile.name,
+        columns=["population_x", "server_gbps", "ratio_vs_x1", "reduction_pct"],
+        rows=rows,
+        paper_expectation=PAPER_EXPECTATION,
+    )

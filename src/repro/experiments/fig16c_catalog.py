@@ -1,0 +1,52 @@
+"""Fig 16(c) -- server load under catalog increase alone.
+
+The first row of Table 16(a): growing the catalog dilutes per-program
+popularity and so erodes the cache's coverage of the head, but the most
+popular files still dominate, so the penalty *diminishes* with each
+additional factor -- unlike the linear population column.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig15_scalability import FACTORS, scalability_grid
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+EXPERIMENT_ID = "fig16c"
+TITLE = "Server load vs. catalog increase (population fixed)"
+PAPER_EXPECTATION = (
+    "sub-linear, diminishing increments (paper row: 2.14, 5.07, 6.98, "
+    "8.23, 9.16 Gb/s); stays below the 17 Gb/s no-cache threshold"
+)
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+    """Extract the catalog row from the scalability grid."""
+    profile = profile or get_profile()
+    grid = scalability_grid(profile)
+    rows = []
+    previous = None
+    for factor in FACTORS:
+        metrics = grid[(1, factor)]
+        increment = (
+            metrics["server_gbps"] - previous if previous is not None else 0.0
+        )
+        rows.append(
+            {
+                "catalog_x": factor,
+                "server_gbps": metrics["server_gbps"],
+                "increment_gbps": increment,
+                "reduction_pct": metrics["reduction_pct"],
+            }
+        )
+        previous = metrics["server_gbps"]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        profile_name=profile.name,
+        columns=["catalog_x", "server_gbps", "increment_gbps", "reduction_pct"],
+        rows=rows,
+        paper_expectation=PAPER_EXPECTATION,
+    )

@@ -1,0 +1,156 @@
+"""Experiment scale profiles.
+
+The paper simulates 41,698 users against an 8,278-program catalog for
+seven months.  A pure-Python event simulator cannot sweep dozens of
+configurations at that scale in CI, so experiments run at a *scaled*
+operating point chosen to preserve every ratio the results depend on:
+
+* **population, catalog, and neighborhood sizes all scale by the same
+  factor ``f``** -- so each (scaled) neighborhood still sees the paper's
+  per-program demand density, and the cache-to-catalog size ratio at
+  every sweep point is unchanged (per-peer storage stays nominal);
+* **rates extrapolate linearly** -- the paper itself demonstrates server
+  load is linear in population (Fig 16b), so full-scale load is the
+  measured load divided by ``f``.  Per-neighborhood coax traffic
+  likewise scales with neighborhood size and is extrapolated the same
+  way when quoted for nominal sizes.
+
+``REPRO_PROFILE`` selects the profile for benchmarks and the CLI:
+``fast`` (default), ``medium``, or ``paper`` (full scale -- hours).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.trace.records import Trace
+from repro.trace.synthetic import (
+    POWERINFO_PROGRAMS,
+    POWERINFO_USERS,
+    PowerInfoModel,
+    generate_trace,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """A scale point for running the paper's experiments.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports and the ``REPRO_PROFILE`` variable.
+    scale:
+        The common factor ``f`` applied to population, catalog, and
+        neighborhood sizes.
+    days / warmup_days:
+        Simulated window and the cold-cache prefix excluded from rates.
+    seed:
+        Workload seed (same across profiles so traces nest predictably).
+    """
+
+    name: str
+    scale: float
+    days: float
+    warmup_days: float
+    seed: int = 2007
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigurationError(f"scale must be in (0, 1], got {self.scale}")
+        if self.days <= self.warmup_days:
+            raise ConfigurationError(
+                f"days ({self.days}) must exceed warmup_days ({self.warmup_days})"
+            )
+
+    # ------------------------------------------------------------------
+    # Scaled dimensions
+    # ------------------------------------------------------------------
+
+    @property
+    def n_users(self) -> int:
+        """Scaled subscriber population."""
+        return max(50, round(POWERINFO_USERS * self.scale))
+
+    @property
+    def n_programs(self) -> int:
+        """Scaled catalog size."""
+        return max(20, round(POWERINFO_PROGRAMS * self.scale))
+
+    def neighborhood_size(self, nominal: int) -> int:
+        """Scaled peer count for a paper-nominal neighborhood size."""
+        if nominal <= 0:
+            raise ConfigurationError(
+                f"nominal neighborhood size must be positive, got {nominal}"
+            )
+        return max(5, round(nominal * self.scale))
+
+    # ------------------------------------------------------------------
+    # Extrapolation back to paper scale
+    # ------------------------------------------------------------------
+
+    def extrapolate(self, measured: float) -> float:
+        """Full-scale equivalent of a measured, population-linear rate."""
+        return measured / self.scale
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+
+    def model(self) -> PowerInfoModel:
+        """The workload model at this profile's operating point."""
+        return PowerInfoModel(
+            n_users=self.n_users,
+            n_programs=self.n_programs,
+            days=self.days,
+            seed=self.seed,
+        )
+
+    def with_days(self, days: float, warmup_days: Optional[float] = None
+                  ) -> "ExperimentProfile":
+        """Copy with a different window (used by heavyweight sweeps)."""
+        return replace(
+            self,
+            days=days,
+            warmup_days=self.warmup_days if warmup_days is None else warmup_days,
+        )
+
+
+#: Default profile: ~3,300 users, ~660 programs, 80-peer scaled
+#: neighborhoods; 20 simulated days with a 12-day warm-up so metering
+#: sees a steady-state cache.  Each simulator run takes seconds.
+FAST = ExperimentProfile(name="fast", scale=0.08, days=20.0, warmup_days=12.0)
+
+#: Higher-fidelity profile for reported numbers (~12,500 users).
+MEDIUM = ExperimentProfile(name="medium", scale=0.20, days=24.0, warmup_days=14.0)
+
+#: Full paper scale over a two-week window.  Hours of wall time.
+PAPER = ExperimentProfile(name="paper", scale=1.0, days=28.0, warmup_days=16.0)
+
+_BY_NAME = {p.name: p for p in (FAST, MEDIUM, PAPER)}
+
+
+def get_profile(name: Optional[str] = None) -> ExperimentProfile:
+    """Resolve a profile by name, falling back to ``REPRO_PROFILE``."""
+    if name is None:
+        name = os.environ.get("REPRO_PROFILE", "fast")
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown profile {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+
+
+@lru_cache(maxsize=4)
+def base_trace(profile: ExperimentProfile) -> Trace:
+    """The (memoized) base workload trace for a profile.
+
+    Every experiment at a given profile shares this trace, mirroring how
+    the paper drives every configuration from the same PowerInfo data.
+    """
+    return generate_trace(profile.model())

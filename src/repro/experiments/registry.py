@@ -1,0 +1,68 @@
+"""Experiment registry: look up paper exhibits by id."""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablation_tuners,
+    fig02_popularity_skew,
+    fig03_session_lengths,
+    fig06_program_length,
+    fig07_hourly_rate,
+    fig08_cache_size,
+    fig09_cache_size_by_neighborhood,
+    fig10_neighborhood_size,
+    fig11_history_length,
+    fig12_popularity_decay,
+    fig13_global_popularity,
+    fig14_coax_traffic,
+    fig15_scalability,
+    fig16b_population,
+    fig16c_catalog,
+    multicast_comparison,
+)
+
+_MODULES: List[ModuleType] = [
+    fig02_popularity_skew,
+    fig03_session_lengths,
+    fig06_program_length,
+    fig07_hourly_rate,
+    fig08_cache_size,
+    fig09_cache_size_by_neighborhood,
+    fig10_neighborhood_size,
+    fig11_history_length,
+    fig12_popularity_decay,
+    fig13_global_popularity,
+    fig14_coax_traffic,
+    fig15_scalability,
+    fig16b_population,
+    fig16c_catalog,
+    multicast_comparison,
+    ablation_tuners,
+]
+
+
+def all_experiments() -> Dict[str, ModuleType]:
+    """Experiment id -> implementing module, in paper order."""
+    return {module.EXPERIMENT_ID: module for module in _MODULES}
+
+
+def get_experiment(experiment_id: str) -> ModuleType:
+    """The module regenerating one exhibit.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown ids (with the list of valid ones).
+    """
+    table = all_experiments()
+    try:
+        return table[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(table)}"
+        ) from None

@@ -1,0 +1,12 @@
+"""Set-top box peers.
+
+Each cable subscriber's set-top box contributes disk space and two
+coaxial channels to the neighborhood's cooperative cache (paper sections
+IV-B.3 and V-C).  :mod:`repro.peers.settop` models those two scarce
+resources -- storage bytes and concurrent streams -- with strict
+accounting.
+"""
+
+from repro.peers.settop import SetTopBox, StreamLease
+
+__all__ = ["SetTopBox", "StreamLease"]

@@ -1,0 +1,169 @@
+"""Set-top box resource model: disk budget and the two-channel limit.
+
+Paper constraints (section V-C):
+
+* "Set-top boxes have limited disk space ... we assume that set-top boxes
+  will not be able to contribute more than 10 GB."
+* "Typical set top boxes cannot receive data on more than two logical
+  channels of the coaxial line ... we limit each set top box so that it
+  can only be active on two streams.  The cache will trigger a miss if a
+  segment is requested from a peer that has more than two active streams
+  in either direction."
+
+Stream occupancy is tracked as a list of lease end-times purged lazily
+against the querying clock -- cheaper than scheduling a release event per
+segment, and exact, because occupancy only matters at the instant a new
+request arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro import units
+from repro.errors import CapacityError
+
+
+@dataclass(frozen=True)
+class StreamLease:
+    """A claim on one of the box's logical channels until ``end_time``."""
+
+    end_time: float
+
+
+class SetTopBox:
+    """One subscriber's set-top box acting as a cooperative-cache peer.
+
+    Parameters
+    ----------
+    box_id:
+        The owning subscriber's user id.
+    storage_bytes:
+        Disk space contributed to the neighborhood cache (default: the
+        paper's 10 GB ceiling).
+    max_streams:
+        Concurrent logical channels (default 2, per the paper).
+    """
+
+    __slots__ = ("box_id", "storage_bytes", "max_streams", "_used_bytes",
+                 "_stored", "_lease_ends")
+
+    def __init__(
+        self,
+        box_id: int,
+        storage_bytes: float = units.DEFAULT_PEER_STORAGE_BYTES,
+        max_streams: int = units.MAX_STREAMS_PER_PEER,
+    ) -> None:
+        if storage_bytes < 0:
+            raise CapacityError(
+                f"box {box_id}: storage_bytes must be non-negative, got {storage_bytes}"
+            )
+        if max_streams < 1:
+            raise CapacityError(
+                f"box {box_id}: max_streams must be at least 1, got {max_streams}"
+            )
+        self.box_id = box_id
+        self.storage_bytes = float(storage_bytes)
+        self.max_streams = int(max_streams)
+        self._used_bytes = 0.0
+        #: program_id -> bytes reserved on this box for that program.
+        self._stored: Dict[int, float] = {}
+        self._lease_ends: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes currently reserved on this box."""
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        """Remaining contributable disk space."""
+        return self.storage_bytes - self._used_bytes
+
+    def stored_bytes_for(self, program_id: int) -> float:
+        """Bytes this box holds for ``program_id`` (0.0 if none)."""
+        return self._stored.get(program_id, 0.0)
+
+    def reserve(self, program_id: int, n_bytes: float) -> None:
+        """Reserve ``n_bytes`` for segments of ``program_id``.
+
+        Raises
+        ------
+        CapacityError
+            If the reservation would exceed the contributed disk space.
+            The index server must never over-commit a peer; treating it
+            as an error (rather than clamping) surfaces placement bugs.
+        """
+        if n_bytes <= 0:
+            raise CapacityError(
+                f"box {self.box_id}: reservation must be positive, got {n_bytes}"
+            )
+        if n_bytes > self.free_bytes + 1e-6:
+            raise CapacityError(
+                f"box {self.box_id}: cannot reserve {n_bytes:.0f} B with only "
+                f"{self.free_bytes:.0f} B free of {self.storage_bytes:.0f} B"
+            )
+        self._used_bytes += n_bytes
+        self._stored[program_id] = self._stored.get(program_id, 0.0) + n_bytes
+
+    def release(self, program_id: int) -> float:
+        """Free everything stored for ``program_id``; returns bytes freed."""
+        freed = self._stored.pop(program_id, 0.0)
+        self._used_bytes -= freed
+        if self._used_bytes < 0:  # pragma: no cover - accounting invariant
+            raise CapacityError(
+                f"box {self.box_id}: negative used bytes after releasing "
+                f"program {program_id}"
+            )
+        return freed
+
+    # ------------------------------------------------------------------
+    # Stream (channel) accounting
+    # ------------------------------------------------------------------
+
+    def active_streams(self, now: float) -> int:
+        """Streams still active at time ``now`` (expired leases purged)."""
+        if self._lease_ends:
+            self._lease_ends = [end for end in self._lease_ends if end > now]
+        return len(self._lease_ends)
+
+    def can_open_stream(self, now: float) -> bool:
+        """Whether a new stream may be opened without exceeding the limit."""
+        return self.active_streams(now) < self.max_streams
+
+    def open_stream(self, now: float, duration_seconds: float,
+                    enforce_limit: bool = True) -> StreamLease:
+        """Occupy one channel for ``duration_seconds`` starting at ``now``.
+
+        Parameters
+        ----------
+        enforce_limit:
+            When ``True`` (serving and cache-fill reads), exceeding the
+            channel budget raises :class:`~repro.errors.CapacityError`.
+            When ``False`` (the subscriber's own playback -- the index
+            server never denies a viewer their stream), the lease is
+            granted regardless and simply counted.
+        """
+        if duration_seconds <= 0:
+            raise CapacityError(
+                f"box {self.box_id}: stream duration must be positive, "
+                f"got {duration_seconds}"
+            )
+        if enforce_limit and not self.can_open_stream(now):
+            raise CapacityError(
+                f"box {self.box_id}: all {self.max_streams} channels busy at t={now:.1f}"
+            )
+        lease = StreamLease(end_time=now + duration_seconds)
+        self._lease_ends.append(lease.end_time)
+        return lease
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SetTopBox(id={self.box_id}, used={self._used_bytes / 1e9:.2f}GB"
+            f"/{self.storage_bytes / 1e9:.0f}GB, leases={len(self._lease_ends)})"
+        )

@@ -1,0 +1,10 @@
+"""Terminal-friendly presentation of experiment results.
+
+:mod:`repro.report.charts` renders experiment rows as ASCII bar charts
+so the CLI can show the *shape* of each exhibit (the thing the paper's
+figures communicate) without a plotting dependency.
+"""
+
+from repro.report.charts import bar_chart, chart_for_result
+
+__all__ = ["bar_chart", "chart_for_result"]

@@ -1,0 +1,112 @@
+"""ASCII bar charts for experiment results.
+
+The paper communicates its results as bar charts (Figs 8-11, 13-16); a
+table of numbers hides the shape.  :func:`bar_chart` renders labeled
+horizontal bars scaled to the terminal, and :func:`chart_for_result`
+picks sensible label/value columns from an
+:class:`~repro.experiments.base.ExperimentResult` automatically so the
+CLI can append a figure under every table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+
+#: Value columns preferred by :func:`chart_for_result`, best first.
+PREFERRED_VALUE_COLUMNS = (
+    "server_gbps",
+    "coax_mean_mbps",
+    "gbps_full_scale",
+    "mean_sessions_per_day",
+    "server_saving_pct",
+    "cdf",
+    "peak_per_window",
+)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Render labeled horizontal bars, scaled to the largest value.
+
+    Negative values are clamped to zero (they cannot occur in any of the
+    metrics this library charts; clamping beats a confusing inverted
+    bar).
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"labels ({len(labels)}) and values ({len(values)}) differ in length"
+        )
+    if not labels:
+        raise ConfigurationError("cannot chart zero rows")
+    if width < 8:
+        raise ConfigurationError(f"chart width must be at least 8, got {width}")
+    clamped = [max(0.0, float(v)) for v in values]
+    peak = max(clamped)
+    scale = (width / peak) if peak > 0 else 0.0
+    label_width = max(len(str(label)) for label in labels)
+    lines: List[str] = []
+    for label, value in zip(labels, clamped):
+        bar = "#" * max(1 if value > 0 else 0, round(value * scale))
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar.ljust(width)} "
+            f"{value:,.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def _label_for_row(row: dict, columns: Sequence[str], value_column: str) -> str:
+    """Compose a row label from every non-value, non-noise column."""
+    skip = {value_column, "server_gbps_p5", "server_gbps_p95", "detail",
+            "notes", "peak_window", "correct", "feasible"}
+    # Prefer identity-like columns (strings/ints) over other metrics.
+    identity = [
+        f"{row[name]:g}" if isinstance(row.get(name), float) else str(row[name])
+        for name in columns
+        if name in row and name not in skip
+        and not isinstance(row.get(name), float)
+    ]
+    if identity:
+        return " ".join(identity[:3])
+    numeric = [
+        f"{name}={row[name]:g}"
+        for name in columns
+        if name in row and name not in skip
+    ]
+    return " ".join(numeric[:2]) if numeric else "row"
+
+
+def chart_for_result(result: ExperimentResult, width: int = 48) -> Optional[str]:
+    """Best-effort bar chart for an experiment's rows.
+
+    Returns ``None`` when no suitable numeric column exists (the caller
+    simply omits the chart).  Charts are capped at 30 rows so the grid
+    experiments stay readable.
+    """
+    value_column = next(
+        (name for name in PREFERRED_VALUE_COLUMNS if name in result.columns),
+        None,
+    )
+    if value_column is None:
+        for name in result.columns:
+            if all(isinstance(row.get(name), (int, float)) for row in result.rows):
+                value_column = name
+                break
+    if value_column is None or not result.rows:
+        return None
+
+    rows = result.rows[:30]
+    labels = [_label_for_row(row, result.columns, value_column) for row in rows]
+    values = [float(row.get(value_column) or 0.0) for row in rows]
+    header = f"[{value_column}]"
+    try:
+        body = bar_chart(labels, values, width=width)
+    except ConfigurationError:
+        return None
+    return f"{header}\n{body}"

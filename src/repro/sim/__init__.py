@@ -1,0 +1,20 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic discrete-event core in the style of SimPy's event
+loop but purpose-built for trace-driven network simulations:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop: schedule
+  callbacks at absolute or relative simulated times and run until the
+  queue drains (or until a horizon).
+* :class:`~repro.sim.events.Event` -- a scheduled callback with stable
+  FIFO tie-breaking so runs are reproducible.
+* :class:`~repro.sim.random_streams.RandomStreams` -- named, independently
+  seeded random generators so that changing how much randomness one
+  subsystem consumes does not perturb any other subsystem.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.random_streams import RandomStreams
+
+__all__ = ["Simulator", "Event", "EventQueue", "RandomStreams"]

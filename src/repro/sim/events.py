@@ -1,0 +1,117 @@
+"""Event and event-queue primitives for the discrete-event engine.
+
+The queue is a binary heap ordered by ``(time, sequence)``.  The sequence
+number gives events scheduled for the same instant a stable first-in
+first-out order, which is essential for reproducibility: Python's ``heapq``
+alone offers no tie-breaking guarantee, and comparing callbacks is
+meaningless.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+#: Signature of an event callback: receives the simulator-visible payload.
+EventCallback = Callable[..., None]
+
+
+@dataclass(order=False)
+class Event:
+    """A callback scheduled to fire at a simulated time.
+
+    Events compare by ``(time, seq)`` so that the heap pops them in
+    chronological order with FIFO tie-breaking.  ``cancelled`` implements
+    lazy deletion: cancelling an event leaves it in the heap but the engine
+    skips it when popped, which is O(1) instead of an O(n) heap repair.
+    """
+
+    time: float
+    seq: int
+    callback: EventCallback
+    args: tuple = field(default_factory=tuple)
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine will skip it when it surfaces."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback with its stored arguments."""
+        self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.seq) <= (other.time, other.seq)
+
+
+class EventQueue:
+    """A chronological priority queue of :class:`Event` objects.
+
+    Heap entries are ``(time, seq, event)`` tuples so ordering is decided
+    by fast C-level tuple comparison on ``(time, seq)`` -- the simulator
+    spends most of its time here, and comparing :class:`Event` objects
+    through Python ``__lt__`` costs several times more.  A monotonic
+    sequence counter gives same-instant events FIFO order, and the live
+    counter keeps emptiness checks exact under lazy deletion.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: EventCallback, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``.
+
+        Returns the :class:`Event`, whose :meth:`Event.cancel` can be used
+        to retract it before it fires.
+        """
+        seq = next(self._counter)
+        event = Event(time=time, seq=seq, callback=callback, args=args)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Retract a previously scheduled event (idempotent)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next live event in chronological order.
+
+        Returns ``None`` when no live events remain.  Cancelled events are
+        discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)[2]
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        if self._live != 0:  # pragma: no cover - internal invariant
+            raise SimulationError(
+                f"event queue accounting corrupt: {self._live} live events "
+                "recorded but heap is empty"
+            )
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,16 @@
+"""HFC cable plant topology model.
+
+The paper's section II describes a three-level hierarchy -- cable
+operator, headends, coaxial neighborhoods of subscribers -- connected by
+a switched fiber network (operator <-> headends) and legacy broadcast
+coax (headend <-> subscribers).  This package models that hierarchy:
+
+* :mod:`repro.topology.hfc` -- the topology objects and capacity facts;
+* :mod:`repro.topology.placement` -- the deterministic uniform-random
+  assignment of trace users to neighborhoods required by section V-B.
+"""
+
+from repro.topology.hfc import CablePlant, Headend, Neighborhood
+from repro.topology.placement import place_users
+
+__all__ = ["CablePlant", "Headend", "Neighborhood", "place_users"]

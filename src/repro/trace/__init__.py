@@ -1,0 +1,34 @@
+"""Workload traces: data model, statistics, synthesis, and scaling.
+
+The paper's evaluation is driven by the *PowerInfo* trace of a deployed
+VoD system (China Telecom, 2004).  That trace is proprietary, so this
+package provides:
+
+* :mod:`repro.trace.records` -- the trace data model (`Program`,
+  `Catalog`, `SessionRecord`, `Trace`);
+* :mod:`repro.trace.synthetic` -- a statistical workload generator
+  calibrated to every property of the trace the paper publishes
+  (popularity skew, session-length mixture, diurnal profile,
+  post-introduction popularity decay, 17 Gb/s no-cache peak);
+* :mod:`repro.trace.scaling` -- the paper's §V-A population/catalog
+  scaling transforms;
+* :mod:`repro.trace.stats` -- the analyses behind Figures 2, 3, 6, 7
+  and 12;
+* :mod:`repro.trace.io` -- CSV serialization so generated workloads can
+  be saved and replayed.
+"""
+
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+from repro.trace.synthetic import PowerInfoModel, generate_trace
+from repro.trace.scaling import scale_catalog, scale_population
+
+__all__ = [
+    "Catalog",
+    "Program",
+    "SessionRecord",
+    "Trace",
+    "PowerInfoModel",
+    "generate_trace",
+    "scale_catalog",
+    "scale_population",
+]

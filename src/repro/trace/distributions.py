@@ -1,0 +1,226 @@
+"""Probability distributions used by the synthetic workload generator.
+
+Implemented from scratch (no scipy dependency in the core library) so the
+generator is self-contained:
+
+* Zipf weights over a finite support -- program popularity skew;
+* the standard normal CDF and its inverse (Acklam's rational
+  approximation) -- building blocks for lognormal sampling;
+* truncated lognormal sampling via inverse-CDF -- session lengths are
+  heavy-tailed but can never exceed the program length, and rejection
+  sampling would be unboundedly slow for short programs;
+* the closed-form mean of ``min(X, L)`` for lognormal ``X`` -- used by
+  the analytic calibration that pins the no-cache peak load to the
+  paper's 17 Gb/s anchor.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+# --------------------------------------------------------------------------
+# Zipf
+# --------------------------------------------------------------------------
+
+
+def zipf_weights(n: int, exponent: float, shift: float = 0.0) -> List[float]:
+    """Normalized Zipf-Mandelbrot weights over ranks ``1..n``.
+
+    ``weights[k]`` is proportional to ``(k + 1 + shift) ** -exponent``;
+    the list sums to 1.0.  ``shift = 0`` is classic Zipf; positive shifts
+    flatten the head, the form Yu et al. (EuroSys 2006) report for real
+    VoD popularity: the very top titles are closer to each other than a
+    pure power law predicts, while the tail still decays fast.  Exponent
+    0 degenerates to a uniform distribution.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"zipf support size must be positive, got {n}")
+    if exponent < 0:
+        raise ConfigurationError(f"zipf exponent must be non-negative, got {exponent}")
+    if shift < 0:
+        raise ConfigurationError(f"zipf shift must be non-negative, got {shift}")
+    raw = [(rank + 1 + shift) ** -exponent for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def cumulative(weights: Sequence[float]) -> List[float]:
+    """Running sum of ``weights`` with the final entry forced to 1.0.
+
+    Forcing the last entry removes float-accumulation slop so that a
+    uniform draw in [0, 1) can never bisect past the end.
+    """
+    out: List[float] = []
+    acc = 0.0
+    for w in weights:
+        if w < 0:
+            raise ConfigurationError(f"negative weight {w} in distribution")
+        acc += w
+        out.append(acc)
+    if not out or acc <= 0:
+        raise ConfigurationError("cannot build cumulative of empty/zero weights")
+    scale = 1.0 / acc
+    out = [v * scale for v in out]
+    out[-1] = 1.0
+    return out
+
+
+# --------------------------------------------------------------------------
+# Normal CDF and inverse CDF
+# --------------------------------------------------------------------------
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def normal_cdf(x: float) -> float:
+    """Standard normal cumulative distribution function."""
+    return 0.5 * (1.0 + math.erf(x / _SQRT2))
+
+
+# Coefficients for Acklam's inverse normal CDF approximation
+# (relative error < 1.15e-9 over the full open interval).
+_A = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+      1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+_B = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+      6.680131188771972e+01, -1.328068155288572e+01)
+_C = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+      -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+_D = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+      3.754408661907416e+00)
+
+_P_LOW = 0.02425
+_P_HIGH = 1.0 - _P_LOW
+
+
+def normal_ppf(p: float) -> float:
+    """Inverse of the standard normal CDF (percent-point function).
+
+    Raises
+    ------
+    ConfigurationError
+        If ``p`` is outside the open interval (0, 1).
+    """
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"normal_ppf requires 0 < p < 1, got {p}")
+    if p < _P_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q + _C[5]) / (
+            (((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0
+        )
+    if p > _P_HIGH:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q + _C[5]) / (
+            (((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4]) * r + _A[5]) * q / (
+        ((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r + _B[4]) * r + 1.0
+    )
+
+
+# --------------------------------------------------------------------------
+# Truncated lognormal
+# --------------------------------------------------------------------------
+
+
+class TruncatedLogNormal:
+    """LogNormal(``mu``, ``sigma``) truncated to ``[lower, upper]``.
+
+    Sampling uses the inverse-CDF method restricted to the truncated
+    probability band, so every draw costs exactly one uniform variate
+    regardless of how aggressive the truncation is.
+    """
+
+    def __init__(self, mu: float, sigma: float, lower: float, upper: float) -> None:
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {sigma}")
+        if lower <= 0:
+            raise ConfigurationError(f"lower bound must be positive, got {lower}")
+        if upper <= lower:
+            raise ConfigurationError(
+                f"upper bound {upper} must exceed lower bound {lower}"
+            )
+        self.mu = mu
+        self.sigma = sigma
+        self.lower = lower
+        self.upper = upper
+        self._cdf_lower = self._cdf(lower)
+        self._cdf_upper = self._cdf(upper)
+        if self._cdf_upper - self._cdf_lower <= 1e-12:
+            raise ConfigurationError(
+                f"truncation window [{lower}, {upper}] carries no probability "
+                f"mass for LogNormal(mu={mu}, sigma={sigma})"
+            )
+
+    def _cdf(self, x: float) -> float:
+        return normal_cdf((math.log(x) - self.mu) / self.sigma)
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one variate from the truncated distribution."""
+        u = self._cdf_lower + rng.random() * (self._cdf_upper - self._cdf_lower)
+        # Clamp away from {0, 1}: u can touch the boundary through float
+        # rounding, and normal_ppf requires the open interval.
+        u = min(max(u, 1e-12), 1.0 - 1e-12)
+        value = math.exp(self.mu + self.sigma * normal_ppf(u))
+        return min(max(value, self.lower), self.upper)
+
+
+def lognormal_capped_mean(mu: float, sigma: float, cap: float) -> float:
+    """Closed-form ``E[min(X, cap)]`` for ``X ~ LogNormal(mu, sigma)``.
+
+    Standard result::
+
+        E[min(X, L)] = exp(mu + sigma^2/2) * Phi((ln L - mu - sigma^2)/sigma)
+                       + L * (1 - Phi((ln L - mu)/sigma))
+
+    Used by the workload calibrator, which needs the expected session
+    length for each program length without Monte Carlo noise.
+    """
+    if cap <= 0:
+        raise ConfigurationError(f"cap must be positive, got {cap}")
+    if sigma <= 0:
+        raise ConfigurationError(f"sigma must be positive, got {sigma}")
+    ln_cap = math.log(cap)
+    mean_full = math.exp(mu + sigma * sigma / 2.0)
+    below = normal_cdf((ln_cap - mu - sigma * sigma) / sigma)
+    above = 1.0 - normal_cdf((ln_cap - mu) / sigma)
+    return mean_full * below + cap * above
+
+
+def lognormal_truncated_mean(mu: float, sigma: float, lower: float, upper: float) -> float:
+    """Mean of ``X ~ LogNormal(mu, sigma)`` conditioned on ``lower <= X <= upper``.
+
+    Distinct from :func:`lognormal_capped_mean`: truncation *renormalizes*
+    the retained probability mass instead of piling the excess onto the
+    bound, so the truncated mean is strictly smaller than the capped mean
+    for heavy upper tails.  This is the exact expectation of
+    :class:`TruncatedLogNormal` samples and therefore what workload
+    calibration must use.
+    """
+    if sigma <= 0:
+        raise ConfigurationError(f"sigma must be positive, got {sigma}")
+    if lower <= 0 or upper <= lower:
+        raise ConfigurationError(
+            f"need 0 < lower < upper, got [{lower}, {upper}]"
+        )
+
+    def partial_expectation(bound: float) -> float:
+        """E[X ; X <= bound] = exp(mu + s^2/2) * Phi((ln b - mu - s^2)/s)."""
+        return math.exp(mu + sigma * sigma / 2.0) * normal_cdf(
+            (math.log(bound) - mu - sigma * sigma) / sigma
+        )
+
+    mass = normal_cdf((math.log(upper) - mu) / sigma) - normal_cdf(
+        (math.log(lower) - mu) / sigma
+    )
+    if mass <= 1e-12:
+        raise ConfigurationError(
+            f"truncation window [{lower}, {upper}] carries no probability "
+            f"mass for LogNormal(mu={mu}, sigma={sigma})"
+        )
+    return (partial_expectation(upper) - partial_expectation(lower)) / mass

@@ -1,0 +1,143 @@
+"""Trace serialization.
+
+Generated workloads can be expensive to synthesize at scale, and
+downstream users may want to run the simulator against their own session
+logs.  This module defines a simple two-section CSV container:
+
+* a catalog section -- one row per program (id, length, introduction);
+* a records section -- one row per session (start, user, program,
+  duration).
+
+The format is line-oriented, diff-friendly, and loads with no third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from repro.errors import TraceFormatError
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+_CATALOG_HEADER = ["program_id", "length_seconds", "introduced_at"]
+_RECORD_HEADER = ["start_time", "user_id", "program_id", "duration_seconds"]
+_CATALOG_MARK = "#catalog"
+_RECORDS_MARK = "#records"
+_META_MARK = "#meta"
+
+
+def dump_trace(trace: Trace, destination: Union[str, Path, TextIO]) -> None:
+    """Write ``trace`` to a path or text file object."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            _write(trace, handle)
+    else:
+        _write(trace, destination)
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize ``trace`` to a string."""
+    buffer = _io.StringIO()
+    _write(trace, buffer)
+    return buffer.getvalue()
+
+
+def load_trace(source: Union[str, Path, TextIO]) -> Trace:
+    """Read a trace previously written by :func:`dump_trace`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", newline="") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse a trace from a string."""
+    return _read(_io.StringIO(text))
+
+
+def _write(trace: Trace, handle: TextIO) -> None:
+    writer = csv.writer(handle)
+    handle.write(f"{_META_MARK}\n")
+    writer.writerow(["n_users", trace.n_users])
+    handle.write(f"{_CATALOG_MARK}\n")
+    writer.writerow(_CATALOG_HEADER)
+    for program in trace.catalog:
+        writer.writerow(
+            [program.program_id, repr(program.length_seconds), repr(program.introduced_at)]
+        )
+    handle.write(f"{_RECORDS_MARK}\n")
+    writer.writerow(_RECORD_HEADER)
+    for record in trace:
+        writer.writerow(
+            [
+                repr(record.start_time),
+                record.user_id,
+                record.program_id,
+                repr(record.duration_seconds),
+            ]
+        )
+
+
+def _read(handle: TextIO) -> Trace:
+    section = None
+    n_users = None
+    programs: List[Program] = []
+    records: List[SessionRecord] = []
+    expect_header = False
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.rstrip("\n").rstrip("\r")
+        if not line:
+            continue
+        if line in (_META_MARK, _CATALOG_MARK, _RECORDS_MARK):
+            section = line
+            expect_header = section != _META_MARK
+            continue
+        if section is None:
+            raise TraceFormatError(
+                f"line {line_number}: content before any section marker"
+            )
+        fields = next(csv.reader([line]))
+        if expect_header:
+            expected = _CATALOG_HEADER if section == _CATALOG_MARK else _RECORD_HEADER
+            if fields != expected:
+                raise TraceFormatError(
+                    f"line {line_number}: bad {section} header {fields!r}, "
+                    f"expected {expected!r}"
+                )
+            expect_header = False
+            continue
+        try:
+            if section == _META_MARK:
+                if fields[0] == "n_users":
+                    n_users = int(fields[1])
+                else:
+                    raise TraceFormatError(
+                        f"line {line_number}: unknown meta key {fields[0]!r}"
+                    )
+            elif section == _CATALOG_MARK:
+                programs.append(
+                    Program(
+                        program_id=int(fields[0]),
+                        length_seconds=float(fields[1]),
+                        introduced_at=float(fields[2]),
+                    )
+                )
+            else:
+                records.append(
+                    SessionRecord(
+                        start_time=float(fields[0]),
+                        user_id=int(fields[1]),
+                        program_id=int(fields[2]),
+                        duration_seconds=float(fields[3]),
+                    )
+                )
+        except (ValueError, IndexError) as exc:
+            raise TraceFormatError(
+                f"line {line_number}: cannot parse {section} row {line!r}: {exc}"
+            ) from exc
+    if section is None:
+        raise TraceFormatError("input contains no trace sections")
+    return Trace(records, Catalog(programs), n_users=n_users)

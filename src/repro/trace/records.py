@@ -1,0 +1,262 @@
+"""Trace data model: programs, catalogs, session records and traces.
+
+The PowerInfo trace the paper uses records, for every viewing session,
+*which user* watched *which program* for *how long* and when the session
+started (paper §V-A: "Each of these records identifies the user, the
+program, and the length of the session").  This module defines the exact
+same schema plus the program catalog metadata (length, introduction time)
+that the paper derives from access patterns.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """A catalog item.
+
+    Attributes
+    ----------
+    program_id:
+        Dense integer identifier, unique within a catalog.
+    length_seconds:
+        Full playback length.  The paper infers these from the jump in
+        each program's session-length ECDF (§V-A, Fig 6).
+    introduced_at:
+        Time (seconds, trace clock) the program entered the catalog.
+        Negative values mean the program pre-dates the trace window
+        (back-catalog content).
+    """
+
+    program_id: int
+    length_seconds: float
+    introduced_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.program_id < 0:
+            raise TraceError(f"program_id must be non-negative, got {self.program_id}")
+        if self.length_seconds <= 0:
+            raise TraceError(
+                f"program {self.program_id}: length must be positive, "
+                f"got {self.length_seconds}"
+            )
+
+    @property
+    def size_bytes(self) -> float:
+        """Storage footprint at the paper's 8.06 Mb/s encoding."""
+        return units.program_size_bytes(self.length_seconds)
+
+    @property
+    def num_segments(self) -> int:
+        """Number of 5-minute segments the program spans."""
+        return units.segments_in_program(self.length_seconds)
+
+
+class Catalog:
+    """An immutable collection of :class:`Program` indexed by id.
+
+    Program ids must be dense (``0..n-1``) so that popularity arrays can
+    be plain lists; the synthetic generator and the scaling transforms
+    both guarantee this.
+    """
+
+    def __init__(self, programs: Sequence[Program]) -> None:
+        self._programs: List[Program] = list(programs)
+        for index, program in enumerate(self._programs):
+            if program.program_id != index:
+                raise TraceError(
+                    f"catalog requires dense ids: position {index} holds "
+                    f"program_id {program.program_id}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def __iter__(self) -> Iterator[Program]:
+        return iter(self._programs)
+
+    def __getitem__(self, program_id: int) -> Program:
+        try:
+            return self._programs[program_id]
+        except IndexError:
+            raise TraceError(
+                f"unknown program_id {program_id} (catalog has {len(self)} programs)"
+            ) from None
+
+    def __contains__(self, program_id: int) -> bool:
+        return 0 <= program_id < len(self._programs)
+
+    @property
+    def programs(self) -> Tuple[Program, ...]:
+        """All programs in id order (defensive tuple copy)."""
+        return tuple(self._programs)
+
+    def total_size_bytes(self) -> float:
+        """Combined storage footprint of the whole catalog."""
+        return sum(p.size_bytes for p in self._programs)
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class SessionRecord:
+    """One viewing session: user, program, start time and watched length.
+
+    Ordering is by ``(start_time, user_id, program_id)`` so sorted record
+    lists are deterministic.
+    """
+
+    start_time: float
+    user_id: int
+    program_id: int
+    duration_seconds: float = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise TraceError(f"start_time must be non-negative, got {self.start_time}")
+        if self.user_id < 0:
+            raise TraceError(f"user_id must be non-negative, got {self.user_id}")
+        if self.program_id < 0:
+            raise TraceError(f"program_id must be non-negative, got {self.program_id}")
+        if self.duration_seconds <= 0:
+            raise TraceError(
+                f"duration must be positive, got {self.duration_seconds} "
+                f"(user {self.user_id}, program {self.program_id})"
+            )
+
+    @property
+    def end_time(self) -> float:
+        """Time the session terminates."""
+        return self.start_time + self.duration_seconds
+
+    @property
+    def bits_delivered(self) -> float:
+        """Total bits streamed to the viewer over the session."""
+        return self.duration_seconds * units.STREAM_RATE_BPS
+
+
+class Trace:
+    """A chronologically sorted sequence of sessions plus its catalog.
+
+    The trace owns enough metadata (user count, time span) that consumers
+    never need to rescan the records for basic facts.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[SessionRecord],
+        catalog: Catalog,
+        n_users: Optional[int] = None,
+    ) -> None:
+        self._records: List[SessionRecord] = sorted(records)
+        self._catalog = catalog
+        max_user = -1
+        for record in self._records:
+            if record.program_id not in catalog:
+                raise TraceError(
+                    f"record references program {record.program_id} missing "
+                    f"from the {len(catalog)}-program catalog"
+                )
+            if record.duration_seconds > catalog[record.program_id].length_seconds + 1.0:
+                raise TraceError(
+                    f"session duration {record.duration_seconds:.1f}s exceeds "
+                    f"program {record.program_id} length "
+                    f"{catalog[record.program_id].length_seconds:.1f}s"
+                )
+            if record.user_id > max_user:
+                max_user = record.user_id
+        if n_users is None:
+            n_users = max_user + 1
+        elif max_user >= n_users:
+            raise TraceError(
+                f"declared n_users={n_users} but a record references user {max_user}"
+            )
+        self._n_users = n_users
+        self._start_times = [r.start_time for r in self._records]
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SessionRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> SessionRecord:
+        return self._records[index]
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        """The program catalog the records reference."""
+        return self._catalog
+
+    @property
+    def n_users(self) -> int:
+        """Number of distinct user slots (ids are ``0..n_users-1``)."""
+        return self._n_users
+
+    @property
+    def start_time(self) -> float:
+        """Start time of the earliest session (0.0 for an empty trace)."""
+        return self._records[0].start_time if self._records else 0.0
+
+    @property
+    def end_time(self) -> float:
+        """Latest session *end* across the trace (0.0 for an empty trace)."""
+        return max((r.end_time for r in self._records), default=0.0)
+
+    @property
+    def span_days(self) -> float:
+        """Days between trace start and the last session end."""
+        if not self._records:
+            return 0.0
+        return (self.end_time - self.start_time) / units.SECONDS_PER_DAY
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def records_between(self, start: float, end: float) -> List[SessionRecord]:
+        """Records whose *start* time falls in ``[start, end)``."""
+        lo = bisect.bisect_left(self._start_times, start)
+        hi = bisect.bisect_left(self._start_times, end)
+        return self._records[lo:hi]
+
+    def sessions_per_program(self) -> Dict[int, int]:
+        """Total session count per program id (absent ids omitted)."""
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            counts[record.program_id] = counts.get(record.program_id, 0) + 1
+        return counts
+
+    def most_popular_program(self) -> int:
+        """Program id with the most sessions.
+
+        Raises
+        ------
+        TraceError
+            If the trace is empty.
+        """
+        counts = self.sessions_per_program()
+        if not counts:
+            raise TraceError("cannot rank programs of an empty trace")
+        return max(counts.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+    def total_bits_delivered(self) -> float:
+        """Sum of bits streamed across every session."""
+        return sum(r.bits_delivered for r in self._records)
+
+    def restricted_to_window(self, start: float, end: float) -> "Trace":
+        """A new trace containing only sessions starting in ``[start, end)``."""
+        return Trace(self.records_between(start, end), self._catalog, self._n_users)

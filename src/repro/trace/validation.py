@@ -1,0 +1,140 @@
+"""Sanity checks and a summary report for imported traces.
+
+Downstream users will run the simulator against their own session logs
+(via :mod:`repro.trace.io`).  A trace that parses can still be
+statistically degenerate -- one user, one hour of data, no repeats --
+and will then produce meaningless caching results.  :func:`validate`
+checks the properties the simulator's results actually depend on and
+returns machine-readable findings instead of failing late and obscurely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro import units
+from repro.trace.records import Trace
+from repro.trace.stats import hourly_data_rate
+
+#: Severity levels, in increasing order of concern.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation observation."""
+
+    severity: str
+    code: str
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """All findings plus the summary statistics they were derived from."""
+
+    n_sessions: int
+    n_users: int
+    n_programs: int
+    span_days: float
+    repeat_fraction: float
+    peak_to_trough: float
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity findings exist."""
+        return all(f.severity != ERROR for f in self.findings)
+
+    def errors(self) -> List[Finding]:
+        """Only the error-severity findings."""
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def summary(self) -> str:
+        """Human-readable digest."""
+        lines = [
+            f"sessions={self.n_sessions}  users={self.n_users}  "
+            f"programs={self.n_programs}  span={self.span_days:.1f}d  "
+            f"repeats={self.repeat_fraction:.0%}  "
+            f"peak/trough={self.peak_to_trough:.1f}x",
+        ]
+        for finding in self.findings:
+            lines.append(f"[{finding.severity}] {finding.code}: {finding.message}")
+        if not self.findings:
+            lines.append("no findings: trace looks healthy")
+        return "\n".join(lines)
+
+
+def validate(
+    trace: Trace,
+    min_sessions: int = 100,
+    min_span_days: float = 2.0,
+    min_repeat_fraction: float = 0.2,
+) -> ValidationReport:
+    """Check that ``trace`` can support meaningful caching experiments.
+
+    Parameters are the thresholds below which findings escalate; the
+    defaults reflect what the reproduction experiments need (multi-day
+    span for warm-up, enough repeats for any cache to matter).
+    """
+    n_sessions = len(trace)
+    counts = trace.sessions_per_program() if n_sessions else {}
+    accessed_programs = len(counts)
+    repeats = sum(c - 1 for c in counts.values())
+    repeat_fraction = repeats / n_sessions if n_sessions else 0.0
+
+    if n_sessions:
+        rates = hourly_data_rate(trace)
+        positive = [r for r in rates if r > 0]
+        peak_to_trough = (max(rates) / min(positive)) if positive else 0.0
+    else:
+        peak_to_trough = 0.0
+
+    report = ValidationReport(
+        n_sessions=n_sessions,
+        n_users=trace.n_users,
+        n_programs=len(trace.catalog),
+        span_days=trace.span_days,
+        repeat_fraction=repeat_fraction,
+        peak_to_trough=peak_to_trough,
+    )
+    add = report.findings.append
+
+    if n_sessions == 0:
+        add(Finding(ERROR, "empty", "trace contains no sessions"))
+        return report
+    if n_sessions < min_sessions:
+        add(Finding(ERROR, "too-few-sessions",
+                    f"{n_sessions} sessions < required {min_sessions}"))
+    if trace.span_days < min_span_days:
+        add(Finding(ERROR, "short-span",
+                    f"trace spans {trace.span_days:.2f} days; experiments "
+                    f"need at least {min_span_days} for warm-up"))
+    if repeat_fraction < min_repeat_fraction:
+        add(Finding(WARNING, "few-repeats",
+                    f"only {repeat_fraction:.0%} of sessions are repeat "
+                    "accesses; caching results will be miss-dominated"))
+    if trace.n_users < 10:
+        add(Finding(WARNING, "tiny-population",
+                    f"{trace.n_users} users cannot form realistic "
+                    "neighborhoods"))
+    if accessed_programs < len(trace.catalog) * 0.05:
+        add(Finding(INFO, "sparse-catalog",
+                    f"only {accessed_programs}/{len(trace.catalog)} catalog "
+                    "programs are ever accessed"))
+    if peak_to_trough < 1.5:
+        add(Finding(INFO, "flat-diurnal",
+                    "hourly load is nearly flat; 'peak hour' metrics will "
+                    "not be meaningful"))
+
+    mean_length = sum(
+        r.duration_seconds for r in trace
+    ) / n_sessions
+    if mean_length > 2 * units.SECONDS_PER_HOUR:
+        add(Finding(WARNING, "long-sessions",
+                    f"mean session {mean_length / 60:.0f} min is unusually "
+                    "long for VoD; check duration units"))
+    return report

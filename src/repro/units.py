@@ -1,0 +1,161 @@
+"""Units and constants used throughout the cable VoD model.
+
+The paper mixes several unit systems (Mb/s stream rates, Gb/s server loads,
+GB of set-top disk, TB of neighborhood cache, seconds of simulated time).
+Centralizing the conversions here keeps the rest of the code free of magic
+numbers and makes the provenance of each constant explicit.
+
+Conventions
+-----------
+* **Time** is measured in seconds (floats) since the start of the trace.
+* **Data sizes** are measured in bits internally; helpers convert to and
+  from bytes, GB and TB.  Storage units are decimal (1 GB = 1e9 bytes), as
+  is conventional for disk marketing capacities and as the paper uses them.
+* **Rates** are bits per second internally; helpers convert Mb/s and Gb/s.
+
+Constants are taken directly from the paper (section references inline).
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Time
+# --------------------------------------------------------------------------
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3_600.0
+SECONDS_PER_DAY = 86_400.0
+HOURS_PER_DAY = 24
+
+#: Length of one program segment (paper section IV-B.1: "Programs are
+#: divided into 5 minute segments").
+SEGMENT_SECONDS = 5 * SECONDS_PER_MINUTE
+
+# --------------------------------------------------------------------------
+# Rates (paper section IV-B.1 and II)
+# --------------------------------------------------------------------------
+
+#: Playback / transmission rate of one stream: 8.06 Mb/s, "the minimum rate
+#: necessary to sustain uninterrupted playback of a high quality MPEG-2
+#: standard definition TV media stream" (section IV-B.1).
+STREAM_RATE_BPS = 8.06e6
+
+#: Downstream coax capacity range (section II): 4.9 to 6.6 Gb/s depending on
+#: cable capacity.  We use the conservative low end for feasibility checks.
+COAX_DOWNSTREAM_CAPACITY_BPS = 4.9e9
+
+#: Portion of downstream capacity consumed by broadcast cable TV
+#: (section II: "roughly 3.3 Gb/s are used for cable television").
+COAX_TV_RESERVED_BPS = 3.3e9
+
+#: Upstream coax allocation (section II): "approximately 215 Mb/s".
+COAX_UPSTREAM_CAPACITY_BPS = 215e6
+
+#: Capacity available to the VoD service on the coax plant: everything that
+#: is not reserved for broadcast TV.  The paper's 17% feasibility figure
+#: (section VI-B) is computed against "the capacity of the coaxial line".
+COAX_VOD_CAPACITY_BPS = COAX_DOWNSTREAM_CAPACITY_BPS - COAX_TV_RESERVED_BPS
+
+# --------------------------------------------------------------------------
+# Peer restrictions (paper section V-C)
+# --------------------------------------------------------------------------
+
+#: Disk space a set-top box contributes to the cooperative cache: "we assume
+#: that set-top boxes will not be able to contribute more than 10 GB".
+DEFAULT_PEER_STORAGE_BYTES = 10e9
+
+#: Typical full set-top disk, for documentation/validation ("hard drives of
+#: around 40 GB").
+SETTOP_DISK_BYTES = 40e9
+
+#: "Typical set top boxes cannot receive data on more than two logical
+#: channels" -- at most two concurrent streams per peer, in either direction.
+MAX_STREAMS_PER_PEER = 2
+
+# --------------------------------------------------------------------------
+# Conversions
+# --------------------------------------------------------------------------
+
+BITS_PER_BYTE = 8.0
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bits/second."""
+    return value * 1e6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bits/second."""
+    return value * 1e9
+
+
+def to_mbps(bits_per_second: float) -> float:
+    """Convert bits/second to megabits/second."""
+    return bits_per_second / 1e6
+
+
+def to_gbps(bits_per_second: float) -> float:
+    """Convert bits/second to gigabits/second."""
+    return bits_per_second / 1e9
+
+
+def gigabytes(value: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return value * 1e9
+
+
+def terabytes(value: float) -> float:
+    """Convert decimal terabytes to bytes."""
+    return value * 1e12
+
+
+def to_gigabytes(n_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes."""
+    return n_bytes / 1e9
+
+
+def to_terabytes(n_bytes: float) -> float:
+    """Convert bytes to decimal terabytes."""
+    return n_bytes / 1e12
+
+
+def bytes_for_stream_seconds(seconds: float, rate_bps: float = STREAM_RATE_BPS) -> float:
+    """Bytes transferred by a stream of ``rate_bps`` lasting ``seconds``."""
+    return rate_bps * seconds / BITS_PER_BYTE
+
+
+def program_size_bytes(length_seconds: float, rate_bps: float = STREAM_RATE_BPS) -> float:
+    """Storage footprint of a whole program encoded at ``rate_bps``.
+
+    A 100-minute MPEG-2 program at the paper's 8.06 Mb/s occupies roughly
+    6 GB, which is why a 1 TB neighborhood cache holds only ~165 programs of
+    the 8,278-program catalog.
+    """
+    return bytes_for_stream_seconds(length_seconds, rate_bps)
+
+
+def segments_in_program(length_seconds: float) -> int:
+    """Number of 5-minute segments a program of the given length spans.
+
+    The final partial segment counts as a full segment for storage and
+    placement purposes (it still occupies a slot on a peer).
+    """
+    if length_seconds <= 0:
+        raise ValueError(f"program length must be positive, got {length_seconds}")
+    full, remainder = divmod(length_seconds, SEGMENT_SECONDS)
+    return int(full) + (1 if remainder > 0 else 0)
+
+
+def hour_of_day(time_seconds: float) -> int:
+    """Hour-of-day bucket (0..23) for an absolute simulation time."""
+    return int((time_seconds % SECONDS_PER_DAY) // SECONDS_PER_HOUR)
+
+
+def day_index(time_seconds: float) -> int:
+    """Whole days elapsed since trace start for an absolute time."""
+    return int(time_seconds // SECONDS_PER_DAY)
+
+
+def hour_index(time_seconds: float) -> int:
+    """Whole hours elapsed since trace start for an absolute time."""
+    return int(time_seconds // SECONDS_PER_HOUR)

@@ -1,0 +1,62 @@
+"""Feasibility and why-not-multicast analyses."""
+
+import pytest
+
+from repro import units
+from repro.analysis.feasibility import assess_feasibility
+from repro.analysis.multicast import why_not_multicast
+from repro.cache.factory import LFUSpec
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+
+
+@pytest.fixture(scope="module")
+def cached_result(small_trace):
+    return run_simulation(
+        small_trace,
+        SimulationConfig(neighborhood_size=100, per_peer_storage_gb=10.0,
+                         strategy=LFUSpec(), warmup_days=1.0),
+    )
+
+
+class TestFeasibility:
+    def test_report_fields_consistent(self, cached_result):
+        report = assess_feasibility(cached_result)
+        assert report.mean_coax_mbps <= report.worst_coax_mbps + 1e-9
+        assert report.p95_coax_mbps <= report.worst_coax_mbps + 1e-9
+        assert 0.0 <= report.peer_served_fraction <= 1.0
+
+    def test_small_neighborhoods_feasible(self, cached_result):
+        report = assess_feasibility(cached_result)
+        assert report.feasible
+        assert report.worst_case_utilization < 1.0
+
+    def test_capacities_are_paper_constants(self, cached_result):
+        report = assess_feasibility(cached_result)
+        assert report.coax_vod_capacity_mbps == pytest.approx(1600.0)
+        assert report.upstream_capacity_mbps == pytest.approx(215.0)
+
+    def test_upstream_bound_below_total(self, cached_result):
+        report = assess_feasibility(cached_result)
+        assert report.worst_upstream_mbps <= report.worst_coax_mbps
+
+    def test_summary_mentions_verdict(self, cached_result):
+        assert "feasible" in assess_feasibility(cached_result).summary()
+
+
+class TestWhyNotMulticast:
+    def test_report_shape(self, small_trace):
+        case = why_not_multicast(small_trace)
+        assert case.peak_sessions_max_program >= case.peak_sessions_q99_program
+        assert case.peak_sessions_q99_program >= case.peak_sessions_q95_program
+        assert case.multicast.unicast_stream_seconds > 0
+
+    def test_attrition_shows_short_sessions(self, small_trace):
+        case = why_not_multicast(small_trace)
+        assert case.median_session_minutes < 60.0
+        assert case.attrition.fraction_past_halfway < 0.6
+
+    def test_summary_renders(self, small_trace):
+        text = why_not_multicast(small_trace).summary()
+        assert "multicast" in text.lower()
+        assert "%" in text

@@ -1,0 +1,103 @@
+"""Batching+patching multicast model."""
+
+import pytest
+
+from repro import units
+from repro.baselines.multicast import MulticastModel, MulticastReport
+from repro.errors import ConfigurationError
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+
+def trace_of(sessions, length_seconds=6000.0):
+    """Build a single-program trace from (start, duration) pairs."""
+    catalog = Catalog([Program(0, length_seconds)])
+    records = [
+        SessionRecord(start, i % 5, 0, duration)
+        for i, (start, duration) in enumerate(sessions)
+    ]
+    return Trace(records, catalog, n_users=5)
+
+
+class TestGrouping:
+    def test_lone_session_is_singleton_group(self):
+        report = MulticastModel(600.0).evaluate(trace_of([(0.0, 1200.0)]))
+        assert len(report.groups) == 1
+        assert report.groups[0].n_members == 1
+        assert report.savings_fraction == pytest.approx(0.0)
+
+    def test_sessions_within_window_share_stream(self):
+        report = MulticastModel(600.0).evaluate(
+            trace_of([(0.0, 1200.0), (300.0, 1200.0)])
+        )
+        assert len(report.groups) == 1
+        assert report.groups[0].n_members == 2
+
+    def test_sessions_outside_window_split(self):
+        report = MulticastModel(600.0).evaluate(
+            trace_of([(0.0, 1200.0), (700.0, 1200.0)])
+        )
+        assert len(report.groups) == 2
+
+    def test_patch_cost_is_missed_prefix(self):
+        report = MulticastModel(600.0).evaluate(
+            trace_of([(0.0, 1200.0), (300.0, 1200.0)])
+        )
+        group = report.groups[0]
+        assert group.patch_seconds == pytest.approx(300.0)
+
+    def test_early_abandoner_patch_clipped(self):
+        # Second viewer joins at offset 300 but watches only 100 s: the
+        # patch only streams what they consume.
+        report = MulticastModel(600.0).evaluate(
+            trace_of([(0.0, 1200.0), (300.0, 100.0)])
+        )
+        assert report.groups[0].patch_seconds == pytest.approx(100.0)
+
+    def test_stream_runs_to_furthest_position(self):
+        report = MulticastModel(600.0).evaluate(
+            trace_of([(0.0, 800.0), (300.0, 2000.0)])
+        )
+        assert report.groups[0].stream_seconds == pytest.approx(2000.0)
+
+
+class TestSavings:
+    def test_sharing_saves_server_bits(self):
+        # Five viewers join the same stream immediately.
+        sessions = [(float(i), 3000.0) for i in range(5)]
+        report = MulticastModel(600.0).evaluate(trace_of(sessions))
+        assert report.savings_fraction > 0.7
+
+    def test_attrition_erodes_savings(self):
+        long_sessions = [(float(i * 10), 3000.0) for i in range(5)]
+        short_sessions = [(float(i * 10), 200.0) for i in range(5)]
+        long_report = MulticastModel(600.0).evaluate(trace_of(long_sessions))
+        short_report = MulticastModel(600.0).evaluate(trace_of(short_sessions))
+        assert short_report.savings_fraction < long_report.savings_fraction
+
+    def test_unicast_seconds_accumulated(self):
+        report = MulticastModel(600.0).evaluate(
+            trace_of([(0.0, 100.0), (5000.0, 200.0)])
+        )
+        assert report.unicast_stream_seconds == pytest.approx(300.0)
+
+    def test_server_gbps_equivalent(self):
+        report = MulticastReport(unicast_stream_seconds=0.0)
+        assert report.server_gbps_equivalent(3600.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            report.server_gbps_equivalent(0.0)
+
+    def test_synthetic_trace_modest_savings(self, tiny_trace):
+        # Real-shaped VoD workloads: sharing exists but is far from the
+        # cache's achievable saving (the paper's section IV-A argument).
+        report = MulticastModel().evaluate(tiny_trace)
+        assert 0.0 <= report.savings_fraction < 0.7
+        assert report.fraction_singleton_groups > 0.2
+
+    def test_group_size_distribution_sums_to_group_count(self, tiny_trace):
+        report = MulticastModel().evaluate(tiny_trace)
+        histogram = report.group_size_distribution()
+        assert sum(histogram.values()) == len(report.groups)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ConfigurationError):
+            MulticastModel(-1.0)

@@ -1,0 +1,50 @@
+"""Analytic no-cache baseline."""
+
+import pytest
+
+from repro import units
+from repro.baselines.no_cache import (
+    no_cache_hourly_rates,
+    no_cache_meter,
+    no_cache_peak_gbps,
+)
+from repro.trace.records import Trace
+
+from tests.conftest import make_catalog, make_record
+
+
+class TestNoCacheBaseline:
+    def test_meter_total_equals_trace_bits(self, tiny_trace):
+        meter = no_cache_meter(tiny_trace)
+        assert meter.total_bits() == pytest.approx(
+            tiny_trace.total_bits_delivered(), rel=1e-9
+        )
+
+    def test_peak_rate_single_session(self, catalog):
+        # One 30-minute session at 19:30 -> 4.03e6 avg bits/s in hour 19.
+        record = make_record(start=19.5 * units.SECONDS_PER_HOUR, minutes=30.0)
+        trace = Trace([record], catalog)
+        expected = units.to_gbps(units.STREAM_RATE_BPS / 2)
+        assert no_cache_peak_gbps(trace, peak_hours=(19,)) == pytest.approx(
+            expected / 1.0
+        )
+
+    def test_warmup_exclusion(self, catalog):
+        early = make_record(start=20 * units.SECONDS_PER_HOUR, minutes=10.0)
+        late = make_record(
+            start=(24 + 20) * units.SECONDS_PER_HOUR, minutes=20.0, program=1
+        )
+        trace = Trace([early, late], catalog)
+        full = no_cache_peak_gbps(trace)
+        warm = no_cache_peak_gbps(trace, warmup_seconds=units.SECONDS_PER_DAY)
+        assert warm > 0
+        assert warm != pytest.approx(full)
+
+    def test_hourly_rates_shape(self, tiny_trace):
+        rates = no_cache_hourly_rates(tiny_trace)
+        assert len(rates) == 24
+        assert max(rates) > 0
+
+    def test_peak_hours_default_are_paper_window(self, tiny_trace):
+        explicit = no_cache_peak_gbps(tiny_trace, peak_hours=(19, 20, 21, 22))
+        assert no_cache_peak_gbps(tiny_trace) == explicit

@@ -1,0 +1,24 @@
+"""Helpers for cache-strategy unit tests."""
+
+from repro.cache.base import StrategyContext
+
+
+def bind(strategy, capacity=300.0, sizes=None, neighborhood_id=0):
+    """Bind ``strategy`` to a synthetic context.
+
+    ``sizes`` maps program ids to footprints; unlisted programs cost 100
+    bytes, so the default 300-byte capacity holds exactly three programs.
+    Returns the initial membership change.
+    """
+    sizes = sizes or {}
+
+    def footprint_of(program_id):
+        return float(sizes.get(program_id, 100.0))
+
+    return strategy.bind(
+        StrategyContext(
+            neighborhood_id=neighborhood_id,
+            capacity_bytes=float(capacity),
+            footprint_of=footprint_of,
+        )
+    )

@@ -1,0 +1,103 @@
+"""Strategy base class and context plumbing."""
+
+import pytest
+
+from repro.cache.base import (
+    CacheStrategy,
+    MembershipChange,
+    NullStrategy,
+    StrategyContext,
+)
+from repro.errors import CacheError
+
+from tests.cache.helpers import bind
+
+
+class TestStrategyContext:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(CacheError):
+            StrategyContext(neighborhood_id=0, capacity_bytes=-1.0,
+                            footprint_of=lambda pid: 1.0)
+
+    def test_zero_capacity_allowed(self):
+        StrategyContext(neighborhood_id=0, capacity_bytes=0.0,
+                        footprint_of=lambda pid: 1.0)
+
+
+class TestMembershipChange:
+    def test_empty_by_default(self):
+        change = MembershipChange()
+        assert change.empty
+        assert not change
+
+    def test_truthy_when_populated(self):
+        change = MembershipChange(admitted=[1])
+        assert not change.empty
+        assert change
+
+
+class TestNullStrategy:
+    def test_never_admits(self):
+        strategy = NullStrategy()
+        bind(strategy)
+        for t in range(20):
+            assert strategy.on_access(float(t), t % 3).empty
+        assert strategy.members == frozenset()
+        assert strategy.used_bytes == 0.0
+
+    def test_not_instant_fill(self):
+        assert NullStrategy().instant_fill is False
+
+
+class _Admitter(CacheStrategy):
+    """Minimal concrete strategy for exercising base bookkeeping."""
+
+    name = "admitter"
+
+    def on_access(self, now, program_id):
+        change = MembershipChange()
+        if program_id not in self._members:
+            self._admit(program_id)
+            change.admitted.append(program_id)
+        return change
+
+
+class TestBaseBookkeeping:
+    def test_admit_charges_footprint(self):
+        strategy = _Admitter()
+        bind(strategy)
+        strategy.on_access(0.0, 1)
+        assert strategy.used_bytes == 100.0
+        assert strategy.free_bytes == 200.0
+
+    def test_double_admit_rejected(self):
+        strategy = _Admitter()
+        bind(strategy)
+        strategy._admit(1)
+        with pytest.raises(CacheError):
+            strategy._admit(1)
+
+    def test_admit_beyond_capacity_rejected(self):
+        strategy = _Admitter()
+        bind(strategy, capacity=100.0)
+        strategy._admit(1)
+        with pytest.raises(CacheError):
+            strategy._admit(2)
+
+    def test_evict_refunds(self):
+        strategy = _Admitter()
+        bind(strategy)
+        strategy._admit(1)
+        strategy._evict(1)
+        assert strategy.used_bytes == 0.0
+        assert 1 not in strategy
+
+    def test_evict_non_member_rejected(self):
+        strategy = _Admitter()
+        bind(strategy)
+        with pytest.raises(CacheError):
+            strategy._evict(5)
+
+    def test_context_before_bind_rejected(self):
+        with pytest.raises(CacheError):
+            _Admitter().context

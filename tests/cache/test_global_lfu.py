@@ -1,0 +1,108 @@
+"""Global-LFU feed: cross-neighborhood popularity with batching lag."""
+
+import pytest
+
+from repro.cache.global_lfu import GlobalLFUStrategy, GlobalPopularityFeed
+from repro.errors import ConfigurationError
+
+from tests.cache.helpers import bind
+
+
+class TestFeedVisibility:
+    def test_zero_lag_visible_after_advance(self):
+        feed = GlobalPopularityFeed(window_seconds=3600.0, lag_seconds=0.0)
+        feed.record(10.0, 1, neighborhood_id=0)
+        feed.advance(10.0)
+        assert feed.remote_count(1, 1) == 1
+
+    def test_own_events_excluded(self):
+        feed = GlobalPopularityFeed(window_seconds=3600.0, lag_seconds=0.0)
+        feed.record(10.0, 1, neighborhood_id=0)
+        feed.advance(10.0)
+        assert feed.remote_count(0, 1) == 0
+
+    def test_lag_batches_releases(self):
+        feed = GlobalPopularityFeed(window_seconds=None, lag_seconds=1800.0)
+        feed.record(100.0, 1, neighborhood_id=0)  # batch ends at 1800
+        feed.advance(1799.0)
+        assert feed.remote_count(1, 1) == 0
+        feed.advance(1800.0)
+        assert feed.remote_count(1, 1) == 1
+
+    def test_event_on_batch_boundary_goes_to_next_batch(self):
+        feed = GlobalPopularityFeed(window_seconds=None, lag_seconds=100.0)
+        feed.record(100.0, 1, neighborhood_id=0)  # released at 200
+        feed.advance(150.0)
+        assert feed.remote_count(1, 1) == 0
+        feed.advance(200.0)
+        assert feed.remote_count(1, 1) == 1
+
+    def test_window_expiry(self):
+        feed = GlobalPopularityFeed(window_seconds=1000.0, lag_seconds=0.0)
+        feed.record(0.0, 1, neighborhood_id=0)
+        feed.record(500.0, 1, neighborhood_id=0)
+        feed.advance(1200.0)
+        assert feed.remote_count(1, 1) == 1
+        feed.advance(1600.0)
+        assert feed.remote_count(1, 1) == 0
+
+    def test_listeners_fire_on_release_and_expiry(self):
+        feed = GlobalPopularityFeed(window_seconds=100.0, lag_seconds=0.0)
+        events = []
+        feed.add_change_listener(events.append)
+        feed.record(0.0, 9, neighborhood_id=0)
+        feed.advance(0.0)
+        feed.advance(200.0)
+        assert events == [9, 9]
+
+    def test_rejects_negative_lag(self):
+        with pytest.raises(ConfigurationError):
+            GlobalPopularityFeed(window_seconds=None, lag_seconds=-1.0)
+
+
+class TestGlobalStrategy:
+    def test_counts_blend_local_and_remote(self):
+        feed = GlobalPopularityFeed(window_seconds=3600.0, lag_seconds=0.0)
+        local = GlobalLFUStrategy(feed, neighborhood_id=0, history_hours=1.0)
+        bind(local)
+        # A remote neighborhood watched program 1 twice.
+        feed.record(0.0, 1, neighborhood_id=1)
+        feed.record(1.0, 1, neighborhood_id=1)
+        local.on_access(2.0, 1)
+        assert local._count(1) == 3  # 1 local + 2 remote
+
+    def test_remote_knowledge_changes_admission(self):
+        feed = GlobalPopularityFeed(window_seconds=3600.0, lag_seconds=0.0)
+        strategy = GlobalLFUStrategy(feed, neighborhood_id=0, history_hours=1.0)
+        bind(strategy)  # 3 slots
+        # Fill the cache with three locally one-hit programs.
+        for t, pid in ((0.0, 1), (1.0, 2), (2.0, 3)):
+            strategy.on_access(t, pid)
+        # Remote neighborhoods hammer program 9.
+        for k in range(5):
+            feed.record(3.0 + k, 9, neighborhood_id=2)
+        # One local access to 9: global count 6 beats any member.
+        change = strategy.on_access(10.0, 9)
+        assert 9 in strategy
+        assert len(change.evicted) == 1
+
+    def test_local_strategy_blind_without_feed_records(self):
+        feed = GlobalPopularityFeed(window_seconds=3600.0, lag_seconds=0.0)
+        strategy = GlobalLFUStrategy(feed, neighborhood_id=0, history_hours=1.0)
+        bind(strategy)
+        strategy.on_access(0.0, 1)
+        assert strategy._count(1) == 1  # purely local
+
+    def test_two_neighborhood_strategies_share_feed(self):
+        feed = GlobalPopularityFeed(window_seconds=3600.0, lag_seconds=0.0)
+        a = GlobalLFUStrategy(feed, neighborhood_id=0, history_hours=1.0)
+        b = GlobalLFUStrategy(feed, neighborhood_id=1, history_hours=1.0)
+        bind(a, neighborhood_id=0)
+        bind(b, neighborhood_id=1)
+        feed.record(0.0, 5, neighborhood_id=0)
+        a.on_access(0.0, 5)
+        feed.record(1.0, 5, neighborhood_id=1)
+        b.on_access(1.0, 5)
+        # Each sees its own access locally plus the other's remotely.
+        assert a._count(5) == 2
+        assert b._count(5) == 2

@@ -1,0 +1,213 @@
+"""LFU strategy: windowed frequency ranking with LRU tie-breaks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.cache.lfu import LFUStrategy, WindowedCounts
+from repro.cache.lru import LRUStrategy
+
+from tests.cache.helpers import bind
+
+
+class TestWindowedCounts:
+    def test_counts_accumulate(self):
+        counts = WindowedCounts(100.0)
+        counts.record(0.0, 1)
+        counts.record(1.0, 1)
+        assert counts.count(1) == 2
+
+    def test_expiry(self):
+        counts = WindowedCounts(100.0)
+        counts.record(0.0, 1)
+        counts.record(50.0, 1)
+        counts.advance(120.0)
+        assert counts.count(1) == 1
+        counts.advance(151.0)
+        assert counts.count(1) == 0
+
+    def test_zero_window_expires_immediately(self):
+        counts = WindowedCounts(0.0)
+        counts.record(0.0, 1)
+        counts.advance(0.0)
+        assert counts.count(1) == 0
+
+    def test_infinite_window_never_expires(self):
+        counts = WindowedCounts(None)
+        counts.record(0.0, 1)
+        counts.advance(1e12)
+        assert counts.count(1) == 1
+
+    def test_listeners_fire_on_record_and_expiry(self):
+        counts = WindowedCounts(10.0)
+        events = []
+        counts.add_change_listener(events.append)
+        counts.record(0.0, 7)
+        counts.advance(20.0)
+        assert events == [7, 7]
+
+    def test_len_counts_live_events(self):
+        counts = WindowedCounts(10.0)
+        counts.record(0.0, 1)
+        counts.record(5.0, 2)
+        assert len(counts) == 2
+
+
+class TestAdmission:
+    def test_admits_into_free_space(self):
+        strategy = LFUStrategy(history_hours=24.0)
+        bind(strategy)
+        change = strategy.on_access(0.0, 1)
+        assert change.admitted == [1]
+
+    def test_newcomer_displaces_least_frequent(self):
+        strategy = LFUStrategy(history_hours=24.0)
+        bind(strategy)
+        # 1 and 2 are hot; 3 is a one-hit wonder occupying the last slot.
+        for t, pid in ((0.0, 1), (1.0, 1), (2.0, 2), (3.0, 2), (4.0, 3)):
+            strategy.on_access(t, pid)
+        # Newcomer ties 3 on count (1) and wins the LRU tie-break; the
+        # hot programs stay.
+        change = strategy.on_access(5.0, 4)
+        assert 4 in strategy
+        assert 3 not in strategy
+        assert change.evicted == [3]
+        assert {1, 2} <= set(strategy.members)
+
+    def test_less_frequent_newcomer_rejected(self):
+        strategy = LFUStrategy(history_hours=24.0)
+        bind(strategy)
+        for pid in (1, 2, 3):
+            for t in range(3):  # all members have count 3
+                strategy.on_access(float(t), pid)
+        change = strategy.on_access(10.0, 4)  # count 1 < 3 everywhere
+        assert change.empty
+        assert 4 not in strategy
+
+    def test_tie_resolved_by_recency(self):
+        strategy = LFUStrategy(history_hours=24.0)
+        bind(strategy)
+        for t, pid in ((0.0, 1), (1.0, 2), (2.0, 3)):
+            strategy.on_access(t, pid)
+        # Everyone has count 1; newcomer ties and wins over the oldest.
+        change = strategy.on_access(3.0, 4)
+        assert change.admitted == [4]
+        assert change.evicted == [1]
+
+    def test_oversized_program_rejected(self):
+        strategy = LFUStrategy(history_hours=24.0)
+        bind(strategy, capacity=300.0, sizes={9: 301.0})
+        assert strategy.on_access(0.0, 9).empty
+
+    def test_multi_victim_admission_spares_hot_member(self):
+        strategy = LFUStrategy(history_hours=24.0)
+        bind(strategy, capacity=300.0, sizes={9: 200.0})
+        # Member 1 is hot (count 3); members 2, 3 are cold (count 1).
+        for t in (0.0, 1.0, 2.0):
+            strategy.on_access(t, 1)
+        strategy.on_access(3.0, 2)
+        strategy.on_access(4.0, 3)
+        # Newcomer 9 (200 B) needs two victims; ties the cold members
+        # (count 1) and wins on recency, never touching the hot one.
+        change = strategy.on_access(5.0, 9)
+        assert set(change.evicted) == {2, 3}
+        assert change.admitted == [9]
+        assert 1 in strategy
+
+    def test_failed_plan_rolls_back(self):
+        strategy = LFUStrategy(history_hours=24.0)
+        bind(strategy, capacity=300.0, sizes={9: 250.0})
+        # Two cold members and one hot member fill the cache; newcomer
+        # with count 1 cannot displace the hot one, so even though one
+        # cold victim is beatable the plan must abort cleanly.
+        strategy.on_access(0.0, 2)
+        for t in (1.0, 2.0):
+            strategy.on_access(t, 1)
+        strategy.on_access(3.0, 3)
+        members_before = strategy.members
+        change = strategy.on_access(4.0, 9)
+        assert change.empty
+        assert strategy.members == members_before
+        # The rolled-back heap still evicts correctly afterwards.
+        strategy.on_access(5.0, 4)
+        assert 4 in strategy
+
+
+class TestHistoryWindow:
+    def test_expired_counts_lose_protection(self):
+        strategy = LFUStrategy(history_hours=1.0)
+        bind(strategy)
+        for t in (0.0, 10.0, 20.0):
+            strategy.on_access(t, 1)
+        strategy.on_access(30.0, 2)
+        strategy.on_access(40.0, 3)
+        # Two hours later program 1's count has expired: a tie-break
+        # newcomer displaces it (oldest last access).
+        change = strategy.on_access(2 * units.SECONDS_PER_HOUR + 50.0, 4)
+        assert change.admitted == [4]
+        assert change.evicted == [1]
+
+    def test_zero_history_behaves_like_lru(self):
+        lfu = LFUStrategy(history_hours=0.0)
+        lru = LRUStrategy()
+        bind(lfu)
+        bind(lru)
+        accesses = [(float(t), pid) for t, pid in
+                    enumerate((1, 2, 3, 1, 4, 2, 5, 1, 3, 6, 7, 2, 8))]
+        for t, pid in accesses:
+            lfu_members_change = lfu.on_access(t, pid)
+            lru_members_change = lru.on_access(t, pid)
+            assert lfu_members_change.admitted == lru_members_change.admitted
+            assert lfu_members_change.evicted == lru_members_change.evicted
+        assert lfu.members == lru.members
+
+    @given(st.lists(st.tuples(st.integers(1, 12), st.integers(0, 30)),
+                    min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_property_zero_history_equals_lru(self, steps):
+        # Strictly increasing timestamps: at identical instants the two
+        # policies may tie-break differently, which is fine.
+        lfu = LFUStrategy(history_hours=0.0)
+        lru = LRUStrategy()
+        bind(lfu, capacity=400.0)
+        bind(lru, capacity=400.0)
+        t = 0.0
+        for gap, pid in steps:
+            t += gap
+            lfu.on_access(t, pid)
+            lru.on_access(t, pid)
+        assert lfu.members == lru.members
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(st.integers(0, 3600), st.integers(0, 40)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_property_capacity_never_exceeded(self, steps):
+        strategy = LFUStrategy(history_hours=1.0)
+        bind(strategy, capacity=500.0)
+        t = 0.0
+        for gap, pid in steps:
+            t += gap
+            strategy.on_access(t, pid)
+            assert strategy.used_bytes <= 500.0 + 1e-9
+            assert strategy.used_bytes == 100.0 * len(strategy.members)
+
+    @given(st.lists(st.tuples(st.integers(0, 600), st.integers(0, 25)),
+                    min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_property_changes_are_consistent(self, steps):
+        strategy = LFUStrategy(history_hours=2.0)
+        bind(strategy, capacity=300.0)
+        members = set()
+        t = 0.0
+        for gap, pid in steps:
+            t += gap
+            change = strategy.on_access(t, pid)
+            for evicted in change.evicted:
+                assert evicted in members
+                members.discard(evicted)
+            for admitted in change.admitted:
+                assert admitted not in members
+                members.add(admitted)
+            assert members == set(strategy.members)

@@ -1,0 +1,109 @@
+"""LRU strategy: the paper's IV-B.2 queue semantics."""
+
+import pytest
+
+from repro.cache.lru import LRUStrategy
+from repro.errors import CacheError
+
+from tests.cache.helpers import bind
+
+
+class TestAdmission:
+    def test_admits_immediately_on_access(self):
+        strategy = LRUStrategy()
+        bind(strategy)
+        change = strategy.on_access(0.0, 1)
+        assert change.admitted == [1]
+        assert 1 in strategy
+
+    def test_repeat_access_changes_nothing(self):
+        strategy = LRUStrategy()
+        bind(strategy)
+        strategy.on_access(0.0, 1)
+        change = strategy.on_access(1.0, 1)
+        assert change.empty
+
+    def test_fills_to_capacity_without_eviction(self):
+        strategy = LRUStrategy()
+        bind(strategy)  # capacity 3 programs
+        for t, pid in enumerate((1, 2, 3)):
+            change = strategy.on_access(float(t), pid)
+            assert change.evicted == []
+        assert strategy.members == frozenset({1, 2, 3})
+
+    def test_oversized_program_never_admitted(self):
+        strategy = LRUStrategy()
+        bind(strategy, capacity=300.0, sizes={9: 400.0})
+        change = strategy.on_access(0.0, 9)
+        assert change.empty
+        assert 9 not in strategy
+
+
+class TestEviction:
+    def test_evicts_least_recently_used(self):
+        strategy = LRUStrategy()
+        bind(strategy)
+        for t, pid in enumerate((1, 2, 3)):
+            strategy.on_access(float(t), pid)
+        change = strategy.on_access(3.0, 4)
+        assert change.evicted == [1]
+        assert change.admitted == [4]
+
+    def test_access_refreshes_recency(self):
+        strategy = LRUStrategy()
+        bind(strategy)
+        for t, pid in enumerate((1, 2, 3)):
+            strategy.on_access(float(t), pid)
+        strategy.on_access(3.0, 1)  # 1 becomes most recent
+        change = strategy.on_access(4.0, 4)
+        assert change.evicted == [2]
+
+    def test_large_program_evicts_multiple(self):
+        strategy = LRUStrategy()
+        bind(strategy, capacity=300.0, sizes={9: 200.0})
+        for t, pid in enumerate((1, 2, 3)):
+            strategy.on_access(float(t), pid)
+        change = strategy.on_access(3.0, 9)
+        assert change.evicted == [1, 2]
+        assert change.admitted == [9]
+        assert strategy.members == frozenset({3, 9})
+
+    def test_used_bytes_tracked(self):
+        strategy = LRUStrategy()
+        bind(strategy)
+        strategy.on_access(0.0, 1)
+        strategy.on_access(1.0, 2)
+        assert strategy.used_bytes == 200.0
+        strategy.on_access(2.0, 3)
+        strategy.on_access(3.0, 4)
+        assert strategy.used_bytes == 300.0
+
+
+class TestForceEvict:
+    def test_force_evict_removes_from_queue(self):
+        strategy = LRUStrategy()
+        bind(strategy)
+        strategy.on_access(0.0, 1)
+        strategy.force_evict(1)
+        assert 1 not in strategy
+        # Re-admission works cleanly afterwards.
+        change = strategy.on_access(1.0, 1)
+        assert change.admitted == [1]
+
+    def test_force_evict_non_member_raises(self):
+        strategy = LRUStrategy()
+        bind(strategy)
+        with pytest.raises(CacheError):
+            strategy.force_evict(42)
+
+
+class TestLifecycle:
+    def test_double_bind_rejected(self):
+        strategy = LRUStrategy()
+        bind(strategy)
+        with pytest.raises(CacheError):
+            bind(strategy)
+
+    def test_use_before_bind_rejected(self):
+        with pytest.raises(CacheError):
+            LRUStrategy().on_access(0.0, 1)

@@ -1,0 +1,90 @@
+"""Oracle strategy: future-knowledge membership."""
+
+import pytest
+
+from repro import units
+from repro.cache.oracle import OracleStrategy
+from repro.errors import ConfigurationError
+
+from tests.cache.helpers import bind
+
+DAY = units.SECONDS_PER_DAY
+
+
+class TestConstruction:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            OracleStrategy({}, window_days=0.0)
+
+    def test_rejects_bad_recompute(self):
+        with pytest.raises(ConfigurationError):
+            OracleStrategy({}, recompute_hours=0.0)
+
+    def test_unsorted_futures_are_sorted(self):
+        oracle = OracleStrategy({1: [500.0, 100.0, 300.0]})
+        assert oracle.future_count(0.0, 1) == 3
+
+    def test_is_instant_fill(self):
+        assert OracleStrategy({}).instant_fill is True
+
+
+class TestFutureCounts:
+    def test_counts_strictly_future_window(self):
+        oracle = OracleStrategy({1: [0.0, 100.0, 2 * DAY, 10 * DAY]},
+                                window_days=3.0)
+        # At t=0: events at 100 and 2*DAY fall in (0, 3d]; t=0 does not.
+        assert oracle.future_count(0.0, 1) == 2
+
+    def test_unknown_program_counts_zero(self):
+        assert OracleStrategy({}).future_count(0.0, 42) == 0
+
+
+class TestMembership:
+    def test_prewarms_on_bind(self):
+        oracle = OracleStrategy({1: [100.0] * 5, 2: [200.0] * 3, 3: [300.0]})
+        change = bind(oracle)  # capacity: 3 programs
+        assert set(change.admitted) == {1, 2, 3}
+
+    def test_caps_at_capacity_by_frequency(self):
+        futures = {pid: [100.0] * (10 - pid) for pid in range(6)}
+        oracle = OracleStrategy(futures)
+        change = bind(oracle)  # 3 slots; most frequent are 0, 1, 2
+        assert set(change.admitted) == {0, 1, 2}
+
+    def test_recompute_follows_demand_shift(self):
+        oracle = OracleStrategy(
+            {1: [0.5 * DAY], 2: [5 * DAY, 5.1 * DAY]},
+            window_days=1.0,
+            recompute_hours=6.0,
+        )
+        bind(oracle, capacity=100.0)  # a single slot
+        assert oracle.members == frozenset({1})
+        # As soon as 2's spike enters the look-ahead, it must take the
+        # only slot from the now-demandless program 1.
+        change = oracle.on_access(4.5 * DAY, 2)
+        assert oracle.members == frozenset({2})
+        assert change.evicted == [1]
+        assert change.admitted == [2]
+        # Further accesses inside the recompute interval change nothing.
+        assert oracle.on_access(4.6 * DAY, 1).empty
+
+    def test_no_recompute_between_intervals(self):
+        oracle = OracleStrategy({1: [100.0]}, recompute_hours=6.0)
+        bind(oracle)
+        assert oracle.on_access(1.0, 1).empty
+        assert oracle.on_access(2.0, 1).empty
+
+    def test_retains_members_when_space_allows(self):
+        oracle = OracleStrategy({1: [100.0], 2: [10 * DAY]}, window_days=1.0,
+                                recompute_hours=1.0)
+        bind(oracle)  # 3 slots
+        assert oracle.members == frozenset({1})
+        # After program 1's only access passes, it keeps its slot: the
+        # cache is not full, and evicting would only force a refill.
+        oracle.on_access(2 * DAY, 2)
+        assert 1 in oracle.members
+
+    def test_oversized_programs_skipped(self):
+        oracle = OracleStrategy({1: [100.0] * 9, 2: [200.0]})
+        bind(oracle, capacity=150.0, sizes={1: 200.0})
+        assert oracle.members == frozenset({2})

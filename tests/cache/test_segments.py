@@ -1,0 +1,136 @@
+"""Segmentation math and physical placement."""
+
+import pytest
+
+from repro import units
+from repro.cache.segments import (
+    PlacementMap,
+    cache_footprint_bytes,
+    segment_bytes,
+    segment_play_seconds,
+    usable_capacity_bytes,
+)
+from repro.errors import PlacementError
+from repro.peers.settop import SetTopBox
+from repro.trace.records import Program
+
+
+class TestSegmentMath:
+    def test_segment_bytes_is_five_minutes_of_stream(self):
+        assert segment_bytes() == pytest.approx(8.06e6 * 300 / 8)
+
+    def test_footprint_rounds_up_to_whole_segments(self):
+        program = Program(0, 301.0)  # 2 segments
+        assert cache_footprint_bytes(program) == pytest.approx(2 * segment_bytes())
+
+    def test_usable_capacity_floors_per_peer(self):
+        seg = segment_bytes()
+        # 2.5 segments of storage per peer -> 2 usable.
+        assert usable_capacity_bytes(2.5 * seg, 10) == pytest.approx(20 * seg)
+
+    def test_usable_capacity_zero_for_tiny_disks(self):
+        assert usable_capacity_bytes(1.0, 100) == 0.0
+
+    def test_usable_capacity_rejects_negative(self):
+        with pytest.raises(PlacementError):
+            usable_capacity_bytes(-1.0, 10)
+
+    def test_segment_play_seconds_full_and_partial(self):
+        program = Program(0, 700.0)  # 300 + 300 + 100
+        assert segment_play_seconds(program, 0) == 300.0
+        assert segment_play_seconds(program, 2) == pytest.approx(100.0)
+
+    def test_segment_play_seconds_bounds(self):
+        program = Program(0, 700.0)
+        with pytest.raises(PlacementError):
+            segment_play_seconds(program, 3)
+        with pytest.raises(PlacementError):
+            segment_play_seconds(program, -1)
+
+
+def boxes_with_segments(n_boxes, segments_each):
+    return [
+        SetTopBox(i, storage_bytes=segments_each * segment_bytes())
+        for i in range(n_boxes)
+    ]
+
+
+class TestPlacementMap:
+    def test_places_all_segments(self):
+        placement = PlacementMap(boxes_with_segments(4, 10))
+        program = Program(0, 100 * 60.0)  # 20 segments
+        assignment = placement.place_program(program)
+        assert len(assignment) == 20
+        assert placement.is_placed(0)
+
+    def test_balances_across_peers(self):
+        boxes = boxes_with_segments(4, 10)
+        placement = PlacementMap(boxes)
+        placement.place_program(Program(0, 100 * 60.0))  # 20 segments
+        loads = [box.used_bytes / segment_bytes() for box in boxes]
+        assert max(loads) - min(loads) <= 1.0
+
+    def test_holder_lookup(self):
+        placement = PlacementMap(boxes_with_segments(2, 10))
+        program = Program(0, 600.0)
+        assignment = placement.place_program(program)
+        assert placement.holder_of(0, 0) is assignment[0]
+        assert placement.holder_of(0, 1) is assignment[1]
+
+    def test_holder_of_unplaced_raises(self):
+        placement = PlacementMap(boxes_with_segments(1, 10))
+        with pytest.raises(PlacementError):
+            placement.holder_of(0, 0)
+
+    def test_holder_of_bad_index_raises(self):
+        placement = PlacementMap(boxes_with_segments(1, 10))
+        placement.place_program(Program(0, 600.0))
+        with pytest.raises(PlacementError):
+            placement.holder_of(0, 5)
+
+    def test_double_place_rejected(self):
+        placement = PlacementMap(boxes_with_segments(2, 10))
+        placement.place_program(Program(0, 600.0))
+        with pytest.raises(PlacementError):
+            placement.place_program(Program(0, 600.0))
+
+    def test_remove_frees_space(self):
+        boxes = boxes_with_segments(2, 3)
+        placement = PlacementMap(boxes)
+        placement.place_program(Program(0, 1500.0))  # 5 of 6 slots
+        placement.remove_program(0)
+        assert all(box.used_bytes == 0.0 for box in boxes)
+        assert not placement.is_placed(0)
+
+    def test_remove_unplaced_is_noop(self):
+        placement = PlacementMap(boxes_with_segments(1, 10))
+        placement.remove_program(99)
+
+    def test_overfull_placement_fails_atomically(self):
+        boxes = boxes_with_segments(2, 2)  # 4 slots total
+        placement = PlacementMap(boxes)
+        with pytest.raises(PlacementError):
+            placement.place_program(Program(0, 1500.0))  # needs 5
+        assert all(box.used_bytes == 0.0 for box in boxes)
+        assert not placement.is_placed(0)
+
+    def test_space_reusable_after_failed_placement(self):
+        boxes = boxes_with_segments(2, 2)
+        placement = PlacementMap(boxes)
+        with pytest.raises(PlacementError):
+            placement.place_program(Program(0, 1500.0))
+        placement.place_program(Program(1, 1200.0))  # 4 segments fit
+        assert placement.is_placed(1)
+
+    def test_fills_to_exact_capacity(self):
+        boxes = boxes_with_segments(3, 2)  # 6 slots
+        placement = PlacementMap(boxes)
+        placement.place_program(Program(0, 900.0))   # 3
+        placement.place_program(Program(1, 900.0))   # 3
+        assert placement.placed_programs == 2
+        with pytest.raises(PlacementError):
+            placement.place_program(Program(2, 300.0))
+
+    def test_empty_peer_list_rejected(self):
+        with pytest.raises(PlacementError):
+            PlacementMap([])

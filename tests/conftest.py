@@ -1,0 +1,67 @@
+"""Shared fixtures: small deterministic traces and catalogs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+from repro.trace.synthetic import PowerInfoModel, generate_trace
+
+
+def make_catalog(lengths_minutes=(30, 60, 100, 120), copies=1):
+    """A small catalog with known lengths (ids dense from 0)."""
+    programs = []
+    for copy in range(copies):
+        for minutes in lengths_minutes:
+            programs.append(
+                Program(
+                    program_id=len(programs),
+                    length_seconds=minutes * units.SECONDS_PER_MINUTE,
+                    introduced_at=0.0,
+                )
+            )
+    return Catalog(programs)
+
+
+def make_record(start=0.0, user=0, program=0, minutes=10.0):
+    """One session record with convenient defaults."""
+    return SessionRecord(
+        start_time=start,
+        user_id=user,
+        program_id=program,
+        duration_seconds=minutes * units.SECONDS_PER_MINUTE,
+    )
+
+
+@pytest.fixture
+def catalog():
+    return make_catalog()
+
+
+@pytest.fixture
+def simple_trace(catalog):
+    """Ten sessions from four users over two programs, strictly ordered."""
+    records = [
+        make_record(start=100.0 * i, user=i % 4, program=i % 2, minutes=5 + i)
+        for i in range(10)
+    ]
+    return Trace(records, catalog, n_users=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A tiny but statistically meaningful synthetic workload model."""
+    return PowerInfoModel(n_users=300, n_programs=60, days=4.0, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_model):
+    return generate_trace(tiny_model)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A mid-size trace for integration tests (a few thousand sessions)."""
+    model = PowerInfoModel(n_users=1_200, n_programs=240, days=6.0, seed=23)
+    return generate_trace(model)

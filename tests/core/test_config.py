@@ -1,0 +1,68 @@
+"""SimulationConfig validation and derived quantities."""
+
+import pytest
+
+from repro.cache.factory import LRUSpec
+from repro.core.config import SimulationConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.neighborhood_size == 1_000
+        assert config.per_peer_storage_gb == 10.0
+
+    def test_rejects_nonpositive_neighborhood(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(neighborhood_size=0)
+
+    def test_rejects_negative_storage(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(per_peer_storage_gb=-1.0)
+
+    def test_rejects_zero_streams(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(max_streams_per_peer=0)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(warmup_days=-0.5)
+
+    def test_rejects_empty_peak_hours(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(peak_hours=())
+
+    def test_rejects_out_of_range_peak_hour(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(peak_hours=(19, 24))
+
+
+class TestDerived:
+    def test_per_peer_bytes(self):
+        config = SimulationConfig(per_peer_storage_gb=10.0)
+        assert config.per_peer_storage_bytes == pytest.approx(10e9)
+
+    def test_total_cache_tb(self):
+        config = SimulationConfig(neighborhood_size=1_000,
+                                  per_peer_storage_gb=10.0)
+        assert config.total_cache_tb() == pytest.approx(10.0)
+
+    def test_warmup_seconds(self):
+        assert SimulationConfig(warmup_days=2.0).warmup_seconds == 172_800.0
+
+    def test_with_strategy_replaces_only_strategy(self):
+        base = SimulationConfig(neighborhood_size=500)
+        other = base.with_strategy(LRUSpec())
+        assert other.neighborhood_size == 500
+        assert other.strategy.label == "lru"
+        assert base.strategy.label != "lru"
+
+    def test_label_mentions_key_parameters(self):
+        label = SimulationConfig(neighborhood_size=500,
+                                 per_peer_storage_gb=4.0).label()
+        assert "500" in label
+        assert "4" in label
+
+    def test_default_peak_hours_are_paper_window(self):
+        assert SimulationConfig().peak_hours == (19, 20, 21, 22)

@@ -1,0 +1,99 @@
+"""Property-based conservation laws over randomly generated mini-traces.
+
+Hypothesis builds arbitrary small session workloads; regardless of their
+shape, the simulator must conserve bytes, never let the server stream
+more than was delivered, and keep its counters mutually consistent.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.cache.factory import LFUSpec, LRUSpec
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+N_PROGRAMS = 6
+N_USERS = 12
+LENGTHS = (600.0, 1200.0, 1800.0, 2400.0, 3000.0, 3600.0)
+
+session_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=5 * units.SECONDS_PER_DAY),
+    st.integers(min_value=0, max_value=N_USERS - 1),
+    st.integers(min_value=0, max_value=N_PROGRAMS - 1),
+    st.floats(min_value=0.01, max_value=1.0),  # fraction of program watched
+)
+
+
+def build_trace(sessions):
+    catalog = Catalog([Program(i, LENGTHS[i]) for i in range(N_PROGRAMS)])
+    records = [
+        SessionRecord(
+            start_time=start,
+            user_id=user,
+            program_id=program,
+            duration_seconds=max(1.0, fraction * LENGTHS[program]),
+        )
+        for start, user, program, fraction in sessions
+    ]
+    return Trace(records, catalog, n_users=N_USERS)
+
+
+@st.composite
+def traces(draw):
+    sessions = draw(st.lists(session_strategy, min_size=1, max_size=60))
+    return build_trace(sessions)
+
+
+@given(traces(), st.sampled_from([LRUSpec(), LFUSpec(history_hours=6.0)]))
+@settings(max_examples=25, deadline=None)
+def test_property_conservation_laws(trace, spec):
+    """Bytes, counters and meters stay mutually consistent for any input."""
+    result = run_simulation(
+        trace,
+        SimulationConfig(
+            neighborhood_size=4,
+            per_peer_storage_gb=2.0,
+            strategy=spec,
+            warmup_days=0.0,
+        ),
+    )
+    counters = result.counters
+
+    # Every session and segment accounted for.
+    assert counters.sessions == len(trace)
+    assert (
+        counters.peer_hits + counters.local_hits + counters.server_deliveries
+        == counters.segment_requests
+    )
+    assert counters.busy_misses + counters.cold_misses == counters.server_deliveries
+
+    # Byte conservation: total delivered equals the trace's watch time,
+    # and the server never supplies more than the total.
+    assert result.total_meter.total_bits() == pytest.approx(
+        trace.total_bits_delivered(), rel=1e-6
+    )
+    assert (
+        result.server_meter.total_bits()
+        <= result.total_meter.total_bits() * (1 + 1e-9)
+    )
+
+    # Coax traffic is total minus own-disk hits, so it never exceeds total.
+    coax_bits = sum(m.total_bits() for m in result.coax_meters.values())
+    assert coax_bits <= result.total_meter.total_bits() * (1 + 1e-9)
+
+
+@given(traces())
+@settings(max_examples=15, deadline=None)
+def test_property_runs_are_deterministic(trace):
+    """Same trace, same config => bit-identical outcomes."""
+    config = SimulationConfig(
+        neighborhood_size=4, per_peer_storage_gb=1.0,
+        strategy=LFUSpec(history_hours=12.0), warmup_days=0.0,
+    )
+    a = run_simulation(trace, config)
+    b = run_simulation(trace, config)
+    assert a.server_meter.total_bits() == b.server_meter.total_bits()
+    assert a.counters.peer_hits == b.counters.peer_hits
+    assert a.counters.evictions == b.counters.evictions

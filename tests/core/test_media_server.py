@@ -1,0 +1,30 @@
+"""Central media server accounting."""
+
+import pytest
+
+from repro import units
+from repro.core.media_server import MediaServer
+
+
+class TestMediaServer:
+    def test_serve_meters_bits(self):
+        server = MediaServer()
+        server.serve(0.0, 300.0)
+        assert server.total_bits() == pytest.approx(300.0 * units.STREAM_RATE_BPS)
+
+    def test_delivery_counter(self):
+        server = MediaServer()
+        for _ in range(5):
+            server.serve(0.0, 60.0)
+        assert server.deliveries == 5
+
+    def test_custom_rate(self):
+        server = MediaServer()
+        server.serve(0.0, 10.0, rate_bps=1e6)
+        assert server.total_bits() == pytest.approx(1e7)
+
+    def test_interval_lands_in_correct_hour(self):
+        server = MediaServer()
+        server.serve(19 * units.SECONDS_PER_HOUR + 100.0, 60.0)
+        assert server.meter.bits_in_hour(19) > 0
+        assert server.meter.bits_in_hour(18) == 0

@@ -1,0 +1,138 @@
+"""SimulationResult reductions and quantiles."""
+
+import pytest
+
+from repro import units
+from repro.core.config import SimulationConfig
+from repro.core.meter import HourlyMeter
+from repro.core.results import SimulationCounters, SimulationResult, quantile
+from repro.errors import SimulationError
+
+HOUR = units.SECONDS_PER_HOUR
+DAY = units.SECONDS_PER_DAY
+
+
+class TestQuantile:
+    def test_median_of_odd_list(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolates(self):
+        assert quantile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert quantile(data, 0.0) == 1.0
+        assert quantile(data, 1.0) == 9.0
+
+    def test_single_sample(self):
+        assert quantile([7.0], 0.95) == 7.0
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(SimulationError):
+            quantile([], 0.5)
+        with pytest.raises(SimulationError):
+            quantile([1.0], 1.5)
+
+
+class TestCounters:
+    def test_hits_and_ratio(self):
+        counters = SimulationCounters(segment_requests=10, peer_hits=3,
+                                      local_hits=1)
+        assert counters.hits == 4
+        assert counters.hit_ratio == pytest.approx(0.4)
+
+    def test_zero_requests_ratio(self):
+        assert SimulationCounters().hit_ratio == 0.0
+
+
+def build_result(server_hours, total_hours, warmup_days=0.0,
+                 coax_hours=None, end_days=3.0):
+    """Construct a result with given (hour, gbps) loads."""
+    config = SimulationConfig(warmup_days=warmup_days)
+    server = HourlyMeter()
+    for hour, gbps in server_hours:
+        server.add_bits(hour * HOUR, units.gbps(gbps) * HOUR)
+    total = HourlyMeter()
+    for hour, gbps in total_hours:
+        total.add_bits(hour * HOUR, units.gbps(gbps) * HOUR)
+    coax = HourlyMeter()
+    for hour, mbps in coax_hours or []:
+        coax.add_bits(hour * HOUR, units.mbps(mbps) * HOUR)
+    return SimulationResult(
+        config=config,
+        n_users=100,
+        n_neighborhoods=1,
+        trace_end_time=end_days * DAY,
+        server_meter=server,
+        total_meter=total,
+        coax_meters={0: coax},
+        counters=SimulationCounters(),
+    )
+
+
+class TestPeakLoads:
+    def test_peak_mean_uses_only_peak_hours(self):
+        result = build_result(
+            server_hours=[(19, 2.0), (20, 4.0), (3, 100.0)],
+            total_hours=[(19, 2.0), (20, 4.0), (3, 100.0)],
+        )
+        assert result.peak_server_gbps() == pytest.approx(3.0)
+
+    def test_warmup_excluded(self):
+        result = build_result(
+            server_hours=[(20, 10.0), (24 + 20, 2.0)],
+            total_hours=[(20, 10.0), (24 + 20, 2.0)],
+            warmup_days=1.0,
+        )
+        assert result.peak_server_gbps() == pytest.approx(2.0)
+
+    def test_quantiles_bracket_mean(self):
+        hours = [(19, 1.0), (20, 2.0), (21, 3.0), (22, 4.0)]
+        result = build_result(server_hours=hours, total_hours=hours)
+        low, high = result.peak_server_quantiles_gbps()
+        assert low <= result.peak_server_gbps() <= high
+
+    def test_reduction(self):
+        result = build_result(
+            server_hours=[(20, 2.0)],
+            total_hours=[(20, 10.0)],
+        )
+        assert result.no_cache_peak_gbps() == pytest.approx(10.0)
+        assert result.peak_reduction() == pytest.approx(0.8)
+
+    def test_reduction_zero_baseline(self):
+        result = build_result(server_hours=[], total_hours=[])
+        assert result.peak_reduction() == 0.0
+
+
+class TestCoax:
+    def test_coax_mean_and_quantile(self):
+        result = build_result(
+            server_hours=[], total_hours=[],
+            coax_hours=[(19, 100.0), (20, 300.0)],
+        )
+        assert result.coax_peak_mean_mbps() == pytest.approx(200.0)
+        assert result.coax_peak_quantile_mbps(1.0) == pytest.approx(300.0)
+
+    def test_coax_utilization_fraction(self):
+        result = build_result(
+            server_hours=[], total_hours=[],
+            coax_hours=[(20, 160.0)],
+        )
+        assert result.coax_utilization() == pytest.approx(
+            units.mbps(160.0) / units.COAX_VOD_CAPACITY_BPS
+        )
+
+    def test_unknown_neighborhood_rejected(self):
+        result = build_result(server_hours=[], total_hours=[])
+        with pytest.raises(SimulationError):
+            result.coax_peak_samples(neighborhood_id=7)
+
+    def test_summary_renders(self):
+        result = build_result(
+            server_hours=[(20, 1.0)], total_hours=[(20, 2.0)],
+            coax_hours=[(20, 50.0)],
+        )
+        text = result.summary()
+        assert "reduction" in text
+        assert "50" in text or "Gb/s" in text

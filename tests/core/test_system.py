@@ -1,0 +1,167 @@
+"""End-to-end system integration on small synthetic workloads."""
+
+import pytest
+
+from repro import units
+from repro.cache.factory import (
+    GlobalLFUSpec,
+    LFUSpec,
+    LRUSpec,
+    NoCacheSpec,
+    OracleSpec,
+)
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+from repro.core.system import CableVoDSystem
+from repro.baselines.no_cache import no_cache_peak_gbps
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+
+def config(**kwargs):
+    defaults = dict(neighborhood_size=100, per_peer_storage_gb=10.0,
+                    warmup_days=0.0)
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestConservationLaws:
+    def test_every_session_processed(self, tiny_trace):
+        result = run_simulation(tiny_trace, config())
+        assert result.counters.sessions == len(tiny_trace)
+
+    def test_total_meter_equals_trace_bits(self, tiny_trace):
+        result = run_simulation(tiny_trace, config())
+        assert result.total_meter.total_bits() == pytest.approx(
+            tiny_trace.total_bits_delivered(), rel=1e-6
+        )
+
+    def test_server_bits_never_exceed_total(self, tiny_trace):
+        result = run_simulation(tiny_trace, config(strategy=LFUSpec()))
+        assert (
+            result.server_meter.total_bits()
+            <= result.total_meter.total_bits() + 1e-6
+        )
+
+    def test_hits_plus_server_deliveries_cover_requests(self, tiny_trace):
+        result = run_simulation(tiny_trace, config(strategy=LFUSpec()))
+        counters = result.counters
+        assert (
+            counters.peer_hits + counters.local_hits + counters.server_deliveries
+            == counters.segment_requests
+        )
+
+    def test_no_cache_server_equals_total(self, tiny_trace):
+        result = run_simulation(tiny_trace, config(strategy=NoCacheSpec()))
+        assert result.server_meter.total_bits() == pytest.approx(
+            result.total_meter.total_bits(), rel=1e-9
+        )
+        assert result.counters.hits == 0
+
+    def test_no_cache_matches_analytic_baseline(self, tiny_trace):
+        result = run_simulation(tiny_trace, config(strategy=NoCacheSpec()))
+        assert result.peak_server_gbps() == pytest.approx(
+            no_cache_peak_gbps(tiny_trace), rel=1e-9
+        )
+
+
+class TestCachingEffect:
+    def test_lfu_reduces_server_load(self, small_trace):
+        cached = run_simulation(small_trace, config(strategy=LFUSpec()))
+        assert cached.peak_reduction() > 0.1
+        assert cached.counters.hits > 0
+
+    def test_oracle_not_worse_than_lfu(self, small_trace):
+        oracle = run_simulation(small_trace, config(strategy=OracleSpec()))
+        lfu = run_simulation(small_trace, config(strategy=LFUSpec()))
+        assert oracle.peak_server_gbps() <= lfu.peak_server_gbps() * 1.05
+
+    def test_lfu_not_worse_than_lru(self, small_trace):
+        lfu = run_simulation(small_trace, config(strategy=LFUSpec()))
+        lru = run_simulation(small_trace, config(strategy=LRUSpec()))
+        assert lfu.peak_server_gbps() <= lru.peak_server_gbps() * 1.05
+
+    def test_bigger_cache_not_worse(self, small_trace):
+        small = run_simulation(
+            small_trace, config(strategy=LFUSpec(), per_peer_storage_gb=1.0)
+        )
+        large = run_simulation(
+            small_trace, config(strategy=LFUSpec(), per_peer_storage_gb=10.0)
+        )
+        assert large.peak_server_gbps() <= small.peak_server_gbps() * 1.02
+
+    def test_global_lfu_runs_and_caches(self, small_trace):
+        result = run_simulation(
+            small_trace, config(strategy=GlobalLFUSpec(lag_seconds=1800.0))
+        )
+        assert result.counters.hits > 0
+
+    def test_zero_storage_behaves_like_no_cache(self, tiny_trace):
+        result = run_simulation(
+            tiny_trace, config(strategy=LFUSpec(), per_peer_storage_gb=0.0)
+        )
+        assert result.counters.hits == 0
+        assert result.server_meter.total_bits() == pytest.approx(
+            result.total_meter.total_bits(), rel=1e-9
+        )
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self, tiny_trace):
+        a = run_simulation(tiny_trace, config(strategy=LFUSpec()))
+        b = run_simulation(tiny_trace, config(strategy=LFUSpec()))
+        assert a.peak_server_gbps() == b.peak_server_gbps()
+        assert a.counters.peer_hits == b.counters.peer_hits
+        assert a.counters.fills == b.counters.fills
+
+    def test_placement_shared_across_strategies(self, tiny_trace):
+        lru = CableVoDSystem(tiny_trace, config(strategy=LRUSpec()))
+        lfu = CableVoDSystem(tiny_trace, config(strategy=LFUSpec()))
+        assert [n.user_ids for n in lru.plant] == [n.user_ids for n in lfu.plant]
+
+
+class TestSegmentProcess:
+    def _one_session_trace(self, duration_seconds, length_seconds=1800.0):
+        catalog = Catalog([Program(0, length_seconds)])
+        record = SessionRecord(0.0, 0, 0, duration_seconds)
+        return Trace([record], catalog, n_users=4)
+
+    def test_segment_count_for_full_view(self):
+        trace = self._one_session_trace(1800.0)  # 6 segments
+        result = run_simulation(trace, config(neighborhood_size=4))
+        assert result.counters.segment_requests == 6
+
+    def test_segment_count_for_partial_view(self):
+        trace = self._one_session_trace(750.0)  # 2.5 segments
+        result = run_simulation(trace, config(neighborhood_size=4))
+        assert result.counters.segment_requests == 3
+
+    def test_short_session_single_segment(self):
+        trace = self._one_session_trace(30.0)
+        result = run_simulation(trace, config(neighborhood_size=4))
+        assert result.counters.segment_requests == 1
+
+    def test_bits_match_watched_seconds(self):
+        trace = self._one_session_trace(750.0)
+        result = run_simulation(trace, config(neighborhood_size=4))
+        assert result.total_meter.total_bits() == pytest.approx(
+            750.0 * units.STREAM_RATE_BPS
+        )
+
+    def test_full_program_length_never_overruns(self):
+        # A full view of a program whose length is an exact segment
+        # multiple must not request a segment past the end.
+        trace = self._one_session_trace(3600.0, length_seconds=3600.0)
+        result = run_simulation(trace, config(neighborhood_size=4))
+        assert result.counters.segment_requests == 12
+
+
+class TestCoaxAccounting:
+    def test_coax_traffic_present_in_every_neighborhood(self, small_trace):
+        result = run_simulation(small_trace, config(strategy=LFUSpec()))
+        for meter in result.coax_meters.values():
+            assert meter.total_bits() > 0
+
+    def test_coax_equals_total_minus_local_hits(self, small_trace):
+        result = run_simulation(small_trace, config(strategy=LFUSpec()))
+        coax_total = sum(m.total_bits() for m in result.coax_meters.values())
+        assert coax_total <= result.total_meter.total_bits() + 1e-6

@@ -1,0 +1,79 @@
+"""Upstream (peer-broadcast) metering and byte-hit-ratio accounting."""
+
+import pytest
+
+from repro.cache.factory import LFUSpec, NoCacheSpec
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+from repro.analysis.feasibility import assess_feasibility
+
+
+@pytest.fixture(scope="module")
+def cached(small_trace):
+    return run_simulation(
+        small_trace,
+        SimulationConfig(neighborhood_size=100, per_peer_storage_gb=10.0,
+                         strategy=LFUSpec(), warmup_days=1.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def uncached(small_trace):
+    return run_simulation(
+        small_trace,
+        SimulationConfig(neighborhood_size=100, per_peer_storage_gb=10.0,
+                         strategy=NoCacheSpec(), warmup_days=1.0),
+    )
+
+
+class TestUpstreamMetering:
+    def test_upstream_meters_present_per_neighborhood(self, cached):
+        assert set(cached.upstream_meters) == set(cached.coax_meters)
+
+    def test_upstream_is_peer_traffic_only(self, cached):
+        upstream = sum(m.total_bits() for m in cached.upstream_meters.values())
+        coax = sum(m.total_bits() for m in cached.coax_meters.values())
+        assert 0 < upstream <= coax + 1e-6
+
+    def test_no_cache_has_zero_upstream(self, uncached):
+        assert all(
+            meter.total_bits() == 0.0
+            for meter in uncached.upstream_meters.values()
+        )
+        assert uncached.upstream_peak_mean_mbps() == 0.0
+
+    def test_upstream_mean_below_coax_mean(self, cached):
+        assert cached.upstream_peak_mean_mbps() <= cached.coax_peak_mean_mbps() + 1e-9
+
+    def test_feasibility_reports_peer_broadcast(self, cached):
+        report = assess_feasibility(cached)
+        assert report.mean_peer_broadcast_mbps == pytest.approx(
+            cached.upstream_peak_mean_mbps()
+        )
+        # The bidirectional-amplifier verdict is a boolean, not an error.
+        assert report.needs_bidirectional_amplifiers in (True, False)
+
+
+class TestByteHitRatio:
+    def test_bounds(self, cached):
+        assert 0.0 <= cached.byte_hit_ratio() <= 1.0
+
+    def test_no_cache_is_zero(self, uncached):
+        assert uncached.byte_hit_ratio() == pytest.approx(0.0, abs=1e-9)
+
+    def test_consistent_with_meters(self, cached):
+        expected = 1.0 - (
+            cached.server_meter.total_bits() / cached.total_meter.total_bits()
+        )
+        assert cached.byte_hit_ratio() == pytest.approx(expected)
+
+    def test_empty_result_is_zero(self):
+        from repro.core.meter import HourlyMeter
+        from repro.core.results import SimulationCounters, SimulationResult
+        result = SimulationResult(
+            config=SimulationConfig(), n_users=1, n_neighborhoods=1,
+            trace_end_time=0.0, server_meter=HourlyMeter(),
+            total_meter=HourlyMeter(), coax_meters={},
+            counters=SimulationCounters(),
+        )
+        assert result.byte_hit_ratio() == 0.0

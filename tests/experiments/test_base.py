@@ -1,0 +1,56 @@
+"""ExperimentResult container behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+
+
+def result_fixture():
+    return ExperimentResult(
+        experiment_id="figXX",
+        title="A demonstration exhibit",
+        profile_name="test",
+        columns=["x", "y"],
+        rows=[{"x": 1, "y": 2.5}, {"x": 2, "y": 3.25}],
+        paper_expectation="y grows with x",
+        notes="synthetic",
+    )
+
+
+class TestExperimentResult:
+    def test_column_extraction(self):
+        assert result_fixture().column("y") == [2.5, 3.25]
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            result_fixture().column("z")
+
+    def test_format_table_contains_everything(self):
+        table = result_fixture().format_table()
+        assert "figXX" in table
+        assert "A demonstration exhibit" in table
+        assert "2.50" in table  # float formatting
+        assert "paper: y grows with x" in table
+        assert "note : synthetic" in table
+
+    def test_format_table_aligns_headers(self):
+        lines = result_fixture().format_table().splitlines()
+        header = lines[1]
+        divider = lines[2]
+        assert len(header) == len(divider)
+
+    def test_empty_rows_still_render(self):
+        result = ExperimentResult(
+            experiment_id="e", title="t", profile_name="p",
+            columns=["a"], rows=[],
+        )
+        assert "e" in result.format_table()
+
+    def test_missing_cell_renders_blank(self):
+        result = ExperimentResult(
+            experiment_id="e", title="t", profile_name="p",
+            columns=["a", "b"], rows=[{"a": 1}],
+        )
+        assert result.column("b") == [None]
+        result.format_table()

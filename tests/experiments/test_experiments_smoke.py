@@ -1,0 +1,230 @@
+"""Every paper exhibit regenerates at a micro scale with the right shape.
+
+These are smoke-plus-shape tests: each experiment runs at a tiny profile
+(seconds, not minutes) and we assert the qualitative claims the paper
+makes about that exhibit -- orderings, monotonicity, linearity -- not
+absolute values.
+"""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.profiles import ExperimentProfile
+from repro.errors import ConfigurationError
+
+#: Micro profile: ~800 users, ~165 programs, seconds per simulator run.
+SMOKE = ExperimentProfile(name="smoke", scale=0.02, days=8.0, warmup_days=4.0)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once at the smoke profile."""
+    return {
+        experiment_id: module.run(SMOKE)
+        for experiment_id, module in all_experiments().items()
+    }
+
+
+class TestRegistry:
+    def test_all_exhibits_registered(self):
+        # 15 paper exhibits plus the tuner-budget ablation.
+        assert len(all_experiments()) == 16
+
+    def test_lookup_by_id(self):
+        assert get_experiment("fig08").EXPERIMENT_ID == "fig08"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_every_module_has_metadata(self):
+        for module in all_experiments().values():
+            assert module.TITLE
+            assert module.PAPER_EXPECTATION
+
+
+class TestResultsWellFormed:
+    def test_every_result_has_rows_and_renders(self, results):
+        for experiment_id, result in results.items():
+            assert result.rows, f"{experiment_id} produced no rows"
+            table = result.format_table()
+            assert experiment_id in table
+
+    def test_columns_cover_rows(self, results):
+        for result in results.values():
+            for column in result.columns:
+                assert any(column in row for row in result.rows)
+
+
+class TestFig02Skew:
+    def test_head_dominates_quantiles(self, results):
+        rows = {row["program_class"]: row for row in results["fig02"].rows}
+        assert rows["max"]["peak_per_window"] >= rows["q99"]["peak_per_window"]
+        assert rows["q99"]["peak_per_window"] >= rows["q95"]["peak_per_window"]
+        assert rows["max"]["total_sessions"] > 5 * max(1, rows["q95"]["total_sessions"])
+
+
+class TestFig03Attrition:
+    def test_cdf_monotone_and_short_heavy(self, results):
+        rows = results["fig03"].rows
+        cdf_values = [row["cdf"] for row in rows]
+        assert cdf_values == sorted(cdf_values)
+        by_minute = {row["minutes"]: row["cdf"] for row in rows}
+        assert by_minute[8] > 0.3  # short attention spans
+
+
+class TestFig06LengthInference:
+    def test_majority_of_busy_programs_recovered(self, results):
+        rows = results["fig06"].rows
+        correct = sum(1 for row in rows if row["correct"])
+        assert correct >= 0.7 * len(rows)
+
+
+class TestFig07Diurnal:
+    def test_peak_window_dominates(self, results):
+        rows = results["fig07"].rows
+        peak = [r["gbps_full_scale"] for r in rows if r["peak_window"]]
+        trough = min(r["gbps_full_scale"] for r in rows)
+        assert min(peak) > 2 * max(trough, 0.01)
+
+    def test_extrapolated_peak_near_anchor(self, results):
+        rows = results["fig07"].rows
+        peak = max(r["gbps_full_scale"] for r in rows)
+        assert 10.0 < peak < 30.0  # paper anchor is ~17-20
+
+
+class TestFig08CacheSize:
+    def test_loads_monotone_in_cache_size(self, results):
+        rows = results["fig08"].rows
+        for strategy in ("lru", "lfu(72h)", "oracle(3d)"):
+            loads = [r["server_gbps"] for r in rows if r["strategy"] == strategy]
+            assert loads[0] >= loads[-1] * 0.95, strategy
+
+    def test_strategy_ordering(self, results):
+        rows = results["fig08"].rows
+        by_cache = {}
+        for row in rows:
+            by_cache.setdefault(row["total_cache_tb"], {})[row["strategy"]] = row[
+                "server_gbps"
+            ]
+        for cache_tb, strategies in by_cache.items():
+            assert strategies["oracle(3d)"] <= strategies["lfu(72h)"] * 1.1
+            assert strategies["lfu(72h)"] <= strategies["lru"] * 1.1
+
+
+class TestFig09GrowingNeighborhoods:
+    def test_more_peers_less_load(self, results):
+        rows = results["fig09"].rows
+        lfu = [r for r in rows if r["strategy"] == "lfu(72h)"]
+        assert lfu[0]["server_gbps"] >= lfu[-1]["server_gbps"] * 0.9
+
+
+class TestFig10FixedCache:
+    def test_lfu_improves_with_neighborhood_size(self, results):
+        rows = [r for r in results["fig10"].rows if r["strategy"] == "lfu(72h)"]
+        assert rows[0]["nominal_neighborhood"] == 100
+        assert rows[-1]["nominal_neighborhood"] == 1_000
+        # More observers -> not worse popularity estimates.
+        assert rows[-1]["server_gbps"] <= rows[0]["server_gbps"] * 1.15
+
+
+class TestFig11History:
+    def test_zero_history_is_worst_or_close(self, results):
+        rows = results["fig11"].rows
+        zero = rows[0]["server_gbps"]
+        best = min(r["server_gbps"] for r in rows)
+        assert zero >= best
+
+    def test_long_history_beats_none(self, results):
+        rows = {r["history_days"]: r["server_gbps"] for r in results["fig11"].rows}
+        assert rows[3.0] <= rows[0.0]
+
+
+class TestFig12Decay:
+    def test_popularity_drops_after_introduction(self, results):
+        rows = results["fig12"].rows
+        assert rows[0]["relative_to_day0"] == pytest.approx(1.0)
+        assert rows[-1]["relative_to_day0"] < 0.6
+
+
+class TestFig13GlobalPopularity:
+    def test_global_not_worse_than_local(self, results):
+        rows = results["fig13"].rows
+        by_storage = {}
+        for row in rows:
+            by_storage.setdefault(row["per_peer_gb"], {})[row["feed"]] = row[
+                "server_gbps"
+            ]
+        for feeds in by_storage.values():
+            assert feeds["global"] <= feeds["local"] * 1.1
+
+
+class TestFig14Coax:
+    def test_traffic_grows_linearly(self, results):
+        rows = results["fig14"].rows
+        small = rows[0]
+        large = rows[-1]
+        ratio = large["coax_mean_mbps"] / max(small["coax_mean_mbps"], 1e-9)
+        size_ratio = large["nominal_neighborhood"] / small["nominal_neighborhood"]
+        assert ratio == pytest.approx(size_ratio, rel=0.5)
+
+    def test_all_sizes_feasible(self, results):
+        assert all(row["feasible"] for row in results["fig14"].rows)
+
+
+class TestFig15Scalability:
+    def test_grid_complete(self, results):
+        assert len(results["fig15"].rows) == 25
+
+    def test_load_increases_with_population(self, results):
+        grid = results["fig15"].extras["grid"]
+        for catalog_factor in (1, 5):
+            column = [grid[(m, catalog_factor)]["server_gbps"] for m in range(1, 6)]
+            assert column == sorted(column)
+
+    def test_load_increases_with_catalog(self, results):
+        grid = results["fig15"].extras["grid"]
+        row = [grid[(1, k)]["server_gbps"] for k in range(1, 6)]
+        assert row[0] <= row[-1]
+
+
+class TestFig16Population:
+    def test_linear_in_population(self, results):
+        rows = results["fig16b"].rows
+        for row in rows:
+            assert row["ratio_vs_x1"] == pytest.approx(row["population_x"], rel=0.25)
+
+    def test_reduction_roughly_constant(self, results):
+        reductions = [r["reduction_pct"] for r in results["fig16b"].rows]
+        assert max(reductions) - min(reductions) < 15.0
+
+
+class TestFig16Catalog:
+    def test_diminishing_increments(self, results):
+        rows = results["fig16c"].rows
+        increments = [r["increment_gbps"] for r in rows[1:]]
+        # First jump should be the largest (paper: 2.93, 1.91, 1.25, 0.93).
+        assert increments[0] >= increments[-1] * 0.8
+
+
+class TestAblationTuners:
+    def test_more_channels_not_worse(self, results):
+        rows = results["ablation-tuners"].rows
+        assert rows[0]["channels"] == 1
+        # One channel (no serve-while-view) must not beat the paper's two.
+        assert rows[1]["server_gbps"] <= rows[0]["server_gbps"] * 1.05
+        # Four channels buys little over two.
+        assert rows[2]["server_gbps"] <= rows[1]["server_gbps"] * 1.02
+
+    def test_busy_miss_share_small_at_two_channels(self, results):
+        rows = {r["channels"]: r for r in results["ablation-tuners"].rows}
+        assert rows[2]["busy_miss_pct"] < 5.0
+
+
+class TestMulticastComparison:
+    def test_cache_beats_multicast_bound(self, results):
+        rows = {r["approach"]: r["server_saving_pct"] for r in
+                results["multicast"].rows}
+        cache = rows["cooperative cache (LFU, 10 TB)"]
+        multicast = rows["batching+patching multicast"]
+        assert cache > multicast

@@ -1,0 +1,88 @@
+"""Experiment profiles: scaling arithmetic and trace memoization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.profiles import (
+    FAST,
+    MEDIUM,
+    PAPER,
+    ExperimentProfile,
+    base_trace,
+    get_profile,
+)
+from repro.trace.synthetic import POWERINFO_PROGRAMS, POWERINFO_USERS
+
+
+class TestProfileArithmetic:
+    def test_paper_profile_is_full_scale(self):
+        assert PAPER.n_users == POWERINFO_USERS
+        assert PAPER.n_programs == POWERINFO_PROGRAMS
+        assert PAPER.neighborhood_size(1_000) == 1_000
+
+    def test_fast_profile_scales_all_dimensions(self):
+        ratio_users = FAST.n_users / POWERINFO_USERS
+        ratio_programs = FAST.n_programs / POWERINFO_PROGRAMS
+        assert ratio_users == pytest.approx(FAST.scale, rel=0.01)
+        assert ratio_programs == pytest.approx(FAST.scale, rel=0.01)
+        assert FAST.neighborhood_size(1_000) == round(1_000 * FAST.scale)
+
+    def test_extrapolation_inverts_scale(self):
+        assert FAST.extrapolate(1.0) == pytest.approx(1.0 / FAST.scale)
+        assert PAPER.extrapolate(17.0) == 17.0
+
+    def test_neighborhood_floor(self):
+        tiny = ExperimentProfile("t", scale=0.01, days=5.0, warmup_days=1.0)
+        assert tiny.neighborhood_size(100) == 5
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentProfile("x", scale=0.0, days=5.0, warmup_days=1.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentProfile("x", scale=1.5, days=5.0, warmup_days=1.0)
+
+    def test_rejects_warmup_exceeding_days(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentProfile("x", scale=0.1, days=2.0, warmup_days=3.0)
+
+    def test_with_days(self):
+        shorter = FAST.with_days(6.0, 1.0)
+        assert shorter.days == 6.0
+        assert shorter.warmup_days == 1.0
+        assert shorter.scale == FAST.scale
+
+    def test_model_reflects_profile(self):
+        model = MEDIUM.model()
+        assert model.n_users == MEDIUM.n_users
+        assert model.days == MEDIUM.days
+
+
+class TestLookup:
+    def test_get_profile_by_name(self):
+        assert get_profile("fast") is FAST
+        assert get_profile("medium") is MEDIUM
+        assert get_profile("paper") is PAPER
+
+    def test_get_profile_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile() is FAST
+
+    def test_get_profile_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "medium")
+        assert get_profile() is MEDIUM
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("warp")
+
+
+class TestTraceMemo:
+    def test_base_trace_cached(self):
+        profile = ExperimentProfile("memo", scale=0.01, days=3.0,
+                                    warmup_days=1.0)
+        assert base_trace(profile) is base_trace(profile)
+
+    def test_distinct_profiles_distinct_traces(self):
+        a = ExperimentProfile("a", scale=0.01, days=3.0, warmup_days=1.0)
+        b = ExperimentProfile("b", scale=0.01, days=4.0, warmup_days=1.0)
+        assert base_trace(a) is not base_trace(b)

@@ -1,0 +1,107 @@
+"""Event queue ordering, cancellation, and invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue
+
+
+def drain(queue):
+    order = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            return order
+        order.append(event)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        for t in (5.0, 1.0, 3.0):
+            queue.push(t, lambda: None)
+        assert [e.time for e in drain(queue)] == [1.0, 3.0, 5.0]
+
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        events = [queue.push(2.0, lambda: None) for _ in range(5)]
+        assert drain(queue) == events
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+
+    def test_bool_reflects_liveness(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=200))
+    def test_property_pop_order_is_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(t, lambda: None)
+        popped = [e.time for e in drain(queue)]
+        assert popped == sorted(times)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=100))
+    def test_property_stable_for_ties(self, times):
+        queue = EventQueue()
+        pushed = [queue.push(t, lambda: None) for t in times]
+        popped = drain(queue)
+        # Stable: among equal times, sequence order is preserved.
+        assert popped == sorted(pushed, key=lambda e: (e.time, e.seq))
+
+
+class TestCancellation:
+    def test_cancelled_event_not_popped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        drop = queue.push(0.5, lambda: None)
+        queue.cancel(drop)
+        assert drain(queue) == [keep]
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_cancel_updates_len(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(event)
+        assert len(queue) == 1
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(first)
+        assert queue.peek_time() == 2.0
+
+
+class TestPeekAndFire:
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_does_not_consume(self):
+        queue = EventQueue()
+        queue.push(7.0, lambda: None)
+        assert queue.peek_time() == 7.0
+        assert len(queue) == 1
+
+    def test_fire_passes_args(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(1.0, lambda a, b: seen.append((a, b)), "x", 2)
+        queue.pop().fire()
+        assert seen == [("x", 2)]

@@ -1,0 +1,30 @@
+"""CLI surface: listing, running, error handling."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig02", "fig08", "fig15", "multicast"):
+            assert experiment_id in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_profile_fails_cleanly(self, capsys):
+        assert main(["fig02", "--profile", "warp"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_single_cheap_experiment(self, capsys, monkeypatch):
+        # fig02 is trace-analysis only; run it at the default profile but
+        # against the (memoized) fast trace -- still quick enough for CI.
+        monkeypatch.setenv("REPRO_PROFILE", "fast")
+        assert main(["fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "paper:" in out

@@ -1,0 +1,58 @@
+"""Example scripts: present, documented, and importable.
+
+Running the examples end-to-end takes minutes, so CI checks they compile,
+carry docstrings and a main() entry point, and reference only public API
+that actually exists.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXPECTED = {
+    "quickstart.py",
+    "capacity_planning.py",
+    "strategy_comparison.py",
+    "multicast_vs_cache.py",
+    "trace_analysis.py",
+}
+
+
+def example_paths():
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_all_expected_examples_present(self):
+        names = {path.name for path in example_paths()}
+        assert EXPECTED <= names
+
+    @pytest.mark.parametrize("path", example_paths(), ids=lambda p: p.name)
+    def test_example_parses(self, path):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        assert isinstance(tree.body[0], ast.Expr), f"{path.name} lacks a docstring"
+
+    @pytest.mark.parametrize("path", example_paths(), ids=lambda p: p.name)
+    def test_example_has_main_guard(self, path):
+        source = path.read_text()
+        assert "def main()" in source
+        assert '__name__ == "__main__"' in source
+
+    @pytest.mark.parametrize("path", example_paths(), ids=lambda p: p.name)
+    def test_example_imports_resolve(self, path):
+        """Every ``from repro...`` import in an example must exist."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module \
+                    and node.module.startswith("repro"):
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    if hasattr(module, alias.name):
+                        continue
+                    # ``from repro.trace import io`` names a submodule
+                    # rather than an attribute; importing it proves it.
+                    importlib.import_module(f"{node.module}.{alias.name}")

@@ -1,0 +1,85 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.report.charts import bar_chart, chart_for_result
+
+
+class TestBarChart:
+    def test_largest_value_fills_width(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_labels_right_aligned(self):
+        chart = bar_chart(["x", "long-label"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].startswith("         x |")
+        assert lines[1].startswith("long-label |")
+
+    def test_values_printed(self):
+        chart = bar_chart(["a"], [3.5], unit=" Gb/s")
+        assert "3.50 Gb/s" in chart
+
+    def test_zero_values_render_empty_bars(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "#" not in chart
+
+    def test_negative_clamped(self):
+        chart = bar_chart(["a", "b"], [-5.0, 10.0], width=10)
+        lines = chart.splitlines()
+        assert "#" not in lines[0]
+
+    def test_tiny_positive_gets_one_mark(self):
+        chart = bar_chart(["a", "b"], [0.001, 100.0], width=20)
+        assert chart.splitlines()[0].count("#") == 1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0], width=4)
+
+
+def make_result(columns, rows):
+    return ExperimentResult(
+        experiment_id="figX", title="t", profile_name="p",
+        columns=columns, rows=rows,
+    )
+
+
+class TestChartForResult:
+    def test_prefers_server_gbps(self):
+        result = make_result(
+            ["strategy", "server_gbps", "hit_pct"],
+            [{"strategy": "lru", "server_gbps": 4.0, "hit_pct": 50.0},
+             {"strategy": "lfu", "server_gbps": 2.0, "hit_pct": 70.0}],
+        )
+        chart = chart_for_result(result)
+        assert chart.startswith("[server_gbps]")
+        assert "lru" in chart and "lfu" in chart
+
+    def test_falls_back_to_any_numeric_column(self):
+        result = make_result(
+            ["name", "widgets"],
+            [{"name": "a", "widgets": 3}, {"name": "b", "widgets": 9}],
+        )
+        chart = chart_for_result(result)
+        assert "[widgets]" in chart
+
+    def test_no_rows_returns_none(self):
+        assert chart_for_result(make_result(["a"], [])) is None
+
+    def test_caps_rows_at_thirty(self):
+        rows = [{"k": i, "server_gbps": float(i)} for i in range(50)]
+        chart = chart_for_result(make_result(["k", "server_gbps"], rows))
+        assert len(chart.splitlines()) == 31  # header + 30 bars

@@ -1,0 +1,90 @@
+"""Unit conversions and paper constants."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_segment_is_five_minutes(self):
+        assert units.SEGMENT_SECONDS == 300.0
+
+    def test_stream_rate_is_paper_value(self):
+        assert units.STREAM_RATE_BPS == pytest.approx(8.06e6)
+
+    def test_coax_vod_capacity_is_downstream_minus_tv(self):
+        assert units.COAX_VOD_CAPACITY_BPS == pytest.approx(4.9e9 - 3.3e9)
+
+    def test_upstream_allocation(self):
+        assert units.COAX_UPSTREAM_CAPACITY_BPS == pytest.approx(215e6)
+
+    def test_peer_storage_default_is_10_gb(self):
+        assert units.DEFAULT_PEER_STORAGE_BYTES == pytest.approx(10e9)
+
+    def test_two_streams_per_peer(self):
+        assert units.MAX_STREAMS_PER_PEER == 2
+
+
+class TestRateConversions:
+    def test_mbps_round_trip(self):
+        assert units.to_mbps(units.mbps(123.4)) == pytest.approx(123.4)
+
+    def test_gbps_round_trip(self):
+        assert units.to_gbps(units.gbps(17.0)) == pytest.approx(17.0)
+
+    def test_gbps_is_1000_mbps(self):
+        assert units.gbps(1.0) == pytest.approx(units.mbps(1000.0))
+
+
+class TestSizeConversions:
+    def test_gigabytes_round_trip(self):
+        assert units.to_gigabytes(units.gigabytes(10.0)) == pytest.approx(10.0)
+
+    def test_terabytes_round_trip(self):
+        assert units.to_terabytes(units.terabytes(2.5)) == pytest.approx(2.5)
+
+    def test_terabyte_is_1000_gigabytes(self):
+        assert units.terabytes(1.0) == pytest.approx(units.gigabytes(1000.0))
+
+
+class TestStreamMath:
+    def test_bytes_for_one_second(self):
+        assert units.bytes_for_stream_seconds(1.0) == pytest.approx(8.06e6 / 8)
+
+    def test_hundred_minute_program_is_about_six_gb(self):
+        size = units.program_size_bytes(100 * 60)
+        assert size == pytest.approx(6.045e9, rel=1e-3)
+
+    def test_segments_exact_multiple(self):
+        assert units.segments_in_program(1500.0) == 5
+
+    def test_segments_round_up_partial(self):
+        assert units.segments_in_program(1501.0) == 6
+
+    def test_segments_single_short_program(self):
+        assert units.segments_in_program(10.0) == 1
+
+    def test_segments_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.segments_in_program(0.0)
+
+
+class TestTimeBuckets:
+    def test_hour_of_day_wraps(self):
+        assert units.hour_of_day(25 * 3600.0) == 1
+
+    def test_hour_of_day_at_midnight(self):
+        assert units.hour_of_day(units.SECONDS_PER_DAY) == 0
+
+    def test_day_index(self):
+        assert units.day_index(3.5 * units.SECONDS_PER_DAY) == 3
+
+    def test_hour_index_monotone(self):
+        values = [units.hour_index(t) for t in (0.0, 3599.0, 3600.0, 7201.0)]
+        assert values == [0, 0, 1, 2]
+
+    def test_peak_evening_hours(self):
+        seven_pm = 19 * units.SECONDS_PER_HOUR + 12 * units.SECONDS_PER_DAY
+        assert units.hour_of_day(seven_pm) == 19

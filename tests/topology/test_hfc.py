@@ -1,0 +1,80 @@
+"""HFC topology objects: plant construction and invariants."""
+
+import pytest
+
+from repro import units
+from repro.errors import TopologyError
+from repro.topology.hfc import CablePlant, Headend, Neighborhood
+
+
+def neighborhood(nid=0, users=(0, 1, 2)):
+    return Neighborhood(neighborhood_id=nid, user_ids=tuple(users))
+
+
+class TestNeighborhood:
+    def test_size(self):
+        assert neighborhood(users=range(10)).size == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(TopologyError):
+            Neighborhood(neighborhood_id=0, user_ids=())
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(TopologyError):
+            Neighborhood(neighborhood_id=-1, user_ids=(0,))
+
+    def test_default_capacities_from_paper(self):
+        n = neighborhood()
+        assert n.coax_downstream_bps == units.COAX_DOWNSTREAM_CAPACITY_BPS
+        assert n.coax_vod_bps == pytest.approx(1.6e9)
+        assert n.coax_upstream_bps == pytest.approx(215e6)
+
+
+class TestHeadend:
+    def test_pairs_one_to_one(self):
+        n = neighborhood(nid=3)
+        assert Headend(3, n).neighborhood is n
+
+    def test_rejects_mismatched_ids(self):
+        with pytest.raises(TopologyError):
+            Headend(1, neighborhood(nid=2))
+
+
+class TestCablePlant:
+    def test_basic_construction(self):
+        plant = CablePlant([
+            neighborhood(0, (0, 1)),
+            neighborhood(1, (2, 3, 4)),
+        ])
+        assert len(plant) == 2
+        assert plant.n_users == 5
+        assert plant.mean_neighborhood_size() == 2.5
+
+    def test_headends_mirror_neighborhoods(self):
+        plant = CablePlant([neighborhood(0, (0,)), neighborhood(1, (1,))])
+        assert [h.headend_id for h in plant.headends] == [0, 1]
+
+    def test_neighborhood_of(self):
+        plant = CablePlant([neighborhood(0, (5, 6)), neighborhood(1, (7,))])
+        assert plant.neighborhood_of(7).neighborhood_id == 1
+
+    def test_neighborhood_of_unknown_user(self):
+        plant = CablePlant([neighborhood(0, (0,))])
+        with pytest.raises(TopologyError):
+            plant.neighborhood_of(99)
+
+    def test_rejects_duplicate_user(self):
+        with pytest.raises(TopologyError):
+            CablePlant([neighborhood(0, (1, 2)), neighborhood(1, (2, 3))])
+
+    def test_rejects_sparse_ids(self):
+        with pytest.raises(TopologyError):
+            CablePlant([neighborhood(1, (0,))])
+
+    def test_rejects_empty_plant(self):
+        with pytest.raises(TopologyError):
+            CablePlant([])
+
+    def test_iteration_order(self):
+        plant = CablePlant([neighborhood(0, (0,)), neighborhood(1, (1,))])
+        assert [n.neighborhood_id for n in plant] == [0, 1]

@@ -1,0 +1,173 @@
+"""Distribution primitives: Zipf, inverse normal, truncated lognormal."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.trace import distributions as dist
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        assert sum(dist.zipf_weights(100, 1.0)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = dist.zipf_weights(50, 0.8)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_exponent_zero_is_uniform(self):
+        weights = dist.zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_higher_exponent_more_head_mass(self):
+        flat = dist.zipf_weights(100, 0.5)[0]
+        steep = dist.zipf_weights(100, 1.5)[0]
+        assert steep > flat
+
+    def test_shift_flattens_head(self):
+        plain = dist.zipf_weights(100, 1.0)
+        shifted = dist.zipf_weights(100, 1.0, shift=20.0)
+        assert shifted[0] < plain[0]
+        # Head-to-second ratio shrinks with shift.
+        assert shifted[0] / shifted[1] < plain[0] / plain[1]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            dist.zipf_weights(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            dist.zipf_weights(10, -1.0)
+        with pytest.raises(ConfigurationError):
+            dist.zipf_weights(10, 1.0, shift=-1.0)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.0, max_value=3.0))
+    def test_property_normalized_and_positive(self, n, exponent):
+        weights = dist.zipf_weights(n, exponent)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+
+class TestCumulative:
+    def test_last_entry_exactly_one(self):
+        cum = dist.cumulative([0.1] * 7)
+        assert cum[-1] == 1.0
+
+    def test_monotone(self):
+        cum = dist.cumulative([3.0, 1.0, 2.0])
+        assert cum == sorted(cum)
+
+    def test_normalizes_unscaled_weights(self):
+        cum = dist.cumulative([2.0, 2.0])
+        assert cum[0] == pytest.approx(0.5)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ConfigurationError):
+            dist.cumulative([1.0, -0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            dist.cumulative([])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ConfigurationError):
+            dist.cumulative([0.0, 0.0])
+
+
+class TestNormal:
+    def test_cdf_at_zero(self):
+        assert dist.normal_cdf(0.0) == pytest.approx(0.5)
+
+    def test_cdf_symmetry(self):
+        assert dist.normal_cdf(-1.3) == pytest.approx(1.0 - dist.normal_cdf(1.3))
+
+    def test_ppf_inverts_cdf(self):
+        for p in (0.001, 0.01, 0.2, 0.5, 0.9, 0.999):
+            assert dist.normal_cdf(dist.normal_ppf(p)) == pytest.approx(p, abs=1e-7)
+
+    def test_ppf_median(self):
+        assert dist.normal_ppf(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ppf_known_quantile(self):
+        # The classic 97.5% quantile.
+        assert dist.normal_ppf(0.975) == pytest.approx(1.959964, abs=1e-4)
+
+    def test_ppf_rejects_boundaries(self):
+        for p in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                dist.normal_ppf(p)
+
+    @given(st.floats(min_value=1e-9, max_value=1 - 1e-9))
+    @settings(max_examples=200)
+    def test_property_round_trip(self, p):
+        assert dist.normal_cdf(dist.normal_ppf(p)) == pytest.approx(p, abs=1e-6)
+
+
+class TestTruncatedLogNormal:
+    def test_samples_respect_bounds(self):
+        rng = random.Random(3)
+        tln = dist.TruncatedLogNormal(mu=math.log(480), sigma=1.1,
+                                      lower=30.0, upper=6000.0)
+        for _ in range(500):
+            x = tln.sample(rng)
+            assert 30.0 <= x <= 6000.0
+
+    def test_median_preserved_by_loose_truncation(self):
+        rng = random.Random(5)
+        tln = dist.TruncatedLogNormal(mu=math.log(480), sigma=1.0,
+                                      lower=1.0, upper=1e9)
+        samples = sorted(tln.sample(rng) for _ in range(4000))
+        median = samples[len(samples) // 2]
+        assert median == pytest.approx(480.0, rel=0.1)
+
+    def test_tight_truncation_concentrates(self):
+        rng = random.Random(7)
+        tln = dist.TruncatedLogNormal(mu=math.log(480), sigma=1.0,
+                                      lower=400.0, upper=500.0)
+        for _ in range(200):
+            assert 400.0 <= tln.sample(rng) <= 500.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            dist.TruncatedLogNormal(0.0, 1.0, lower=10.0, upper=10.0)
+        with pytest.raises(ConfigurationError):
+            dist.TruncatedLogNormal(0.0, 1.0, lower=0.0, upper=10.0)
+        with pytest.raises(ConfigurationError):
+            dist.TruncatedLogNormal(0.0, -1.0, lower=1.0, upper=10.0)
+
+    def test_deterministic_given_rng(self):
+        tln = dist.TruncatedLogNormal(0.0, 1.0, lower=0.1, upper=10.0)
+        a = [tln.sample(random.Random(1)) for _ in range(5)]
+        b = [tln.sample(random.Random(1)) for _ in range(5)]
+        assert a == b
+
+
+class TestCappedMean:
+    def test_matches_monte_carlo(self):
+        mu, sigma, cap = math.log(480), 1.1, 3000.0
+        analytic = dist.lognormal_capped_mean(mu, sigma, cap)
+        rng = random.Random(11)
+        empirical = sum(
+            min(rng.lognormvariate(mu, sigma), cap) for _ in range(60_000)
+        ) / 60_000
+        assert analytic == pytest.approx(empirical, rel=0.03)
+
+    def test_huge_cap_approaches_lognormal_mean(self):
+        mu, sigma = 1.0, 0.5
+        expected = math.exp(mu + sigma * sigma / 2)
+        assert dist.lognormal_capped_mean(mu, sigma, 1e12) == pytest.approx(expected)
+
+    def test_tiny_cap_approaches_cap(self):
+        assert dist.lognormal_capped_mean(5.0, 1.0, 0.01) == pytest.approx(0.01, rel=1e-3)
+
+    def test_monotone_in_cap(self):
+        values = [dist.lognormal_capped_mean(1.0, 1.0, cap) for cap in (1, 5, 25, 125)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            dist.lognormal_capped_mean(0.0, 1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            dist.lognormal_capped_mean(0.0, 0.0, 1.0)

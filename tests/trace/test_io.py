@@ -1,0 +1,71 @@
+"""Trace serialization round-trips and malformed-input handling."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace import io as trace_io
+
+
+class TestRoundTrip:
+    def test_string_round_trip_preserves_everything(self, simple_trace):
+        text = trace_io.dumps_trace(simple_trace)
+        loaded = trace_io.loads_trace(text)
+        assert len(loaded) == len(simple_trace)
+        assert loaded.n_users == simple_trace.n_users
+        assert len(loaded.catalog) == len(simple_trace.catalog)
+        for original, restored in zip(simple_trace, loaded):
+            assert restored == original
+            assert restored.duration_seconds == original.duration_seconds
+
+    def test_catalog_metadata_preserved(self, simple_trace):
+        loaded = trace_io.loads_trace(trace_io.dumps_trace(simple_trace))
+        for original, restored in zip(simple_trace.catalog, loaded.catalog):
+            assert restored.length_seconds == original.length_seconds
+            assert restored.introduced_at == original.introduced_at
+
+    def test_file_round_trip(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace_io.dump_trace(simple_trace, path)
+        loaded = trace_io.load_trace(path)
+        assert len(loaded) == len(simple_trace)
+
+    def test_synthetic_round_trip(self, tiny_trace):
+        loaded = trace_io.loads_trace(trace_io.dumps_trace(tiny_trace))
+        assert len(loaded) == len(tiny_trace)
+        assert loaded.total_bits_delivered() == pytest.approx(
+            tiny_trace.total_bits_delivered()
+        )
+
+    def test_float_precision_exact(self, simple_trace):
+        # repr-based serialization must be lossless for doubles.
+        loaded = trace_io.loads_trace(trace_io.dumps_trace(simple_trace))
+        assert [r.start_time for r in loaded] == [r.start_time for r in simple_trace]
+
+
+class TestMalformedInput:
+    def test_empty_input_rejected(self):
+        with pytest.raises(TraceFormatError):
+            trace_io.loads_trace("")
+
+    def test_content_before_section_rejected(self):
+        with pytest.raises(TraceFormatError):
+            trace_io.loads_trace("1,2,3\n#records\n")
+
+    def test_bad_header_rejected(self, simple_trace):
+        text = trace_io.dumps_trace(simple_trace).replace("start_time", "begin_time")
+        with pytest.raises(TraceFormatError):
+            trace_io.loads_trace(text)
+
+    def test_unparseable_row_rejected(self):
+        text = "#catalog\nprogram_id,length_seconds,introduced_at\nzero,60,0\n"
+        with pytest.raises(TraceFormatError):
+            trace_io.loads_trace(text)
+
+    def test_unknown_meta_key_rejected(self):
+        with pytest.raises(TraceFormatError):
+            trace_io.loads_trace("#meta\nusers,5\n")
+
+    def test_error_mentions_line_number(self):
+        text = "#catalog\nprogram_id,length_seconds,introduced_at\nbad,row,here\n"
+        with pytest.raises(TraceFormatError, match="line 3"):
+            trace_io.loads_trace(text)

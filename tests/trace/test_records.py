@@ -1,0 +1,154 @@
+"""Trace data model: validation, ordering, queries."""
+
+import pytest
+
+from repro import units
+from repro.errors import TraceError
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+from tests.conftest import make_catalog, make_record
+
+
+class TestProgram:
+    def test_size_scales_with_length(self):
+        short = Program(0, 30 * 60.0)
+        long = Program(1, 60 * 60.0)
+        assert long.size_bytes == pytest.approx(2 * short.size_bytes)
+
+    def test_hundred_minute_program_six_gb(self):
+        program = Program(0, 100 * 60.0)
+        assert program.size_bytes == pytest.approx(6.045e9, rel=1e-3)
+
+    def test_num_segments(self):
+        assert Program(0, 100 * 60.0).num_segments == 20
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(TraceError):
+            Program(-1, 60.0)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(TraceError):
+            Program(0, 0.0)
+
+    def test_backcatalog_negative_introduction_allowed(self):
+        assert Program(0, 60.0, introduced_at=-1e6).introduced_at == -1e6
+
+
+class TestCatalog:
+    def test_len_and_iteration(self):
+        catalog = make_catalog()
+        assert len(catalog) == 4
+        assert [p.program_id for p in catalog] == [0, 1, 2, 3]
+
+    def test_requires_dense_ids(self):
+        with pytest.raises(TraceError):
+            Catalog([Program(1, 60.0)])
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(TraceError):
+            make_catalog()[99]
+
+    def test_contains(self):
+        catalog = make_catalog()
+        assert 0 in catalog
+        assert 4 not in catalog
+        assert -1 not in catalog
+
+    def test_total_size(self):
+        catalog = make_catalog(lengths_minutes=(10, 20))
+        expected = units.program_size_bytes(600) + units.program_size_bytes(1200)
+        assert catalog.total_size_bytes() == pytest.approx(expected)
+
+
+class TestSessionRecord:
+    def test_end_time(self):
+        record = make_record(start=100.0, minutes=5.0)
+        assert record.end_time == 400.0
+
+    def test_bits_delivered(self):
+        record = make_record(minutes=1.0)
+        assert record.bits_delivered == pytest.approx(60 * units.STREAM_RATE_BPS)
+
+    def test_ordering_by_start_time(self):
+        early = make_record(start=1.0)
+        late = make_record(start=2.0)
+        assert early < late
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(TraceError):
+            SessionRecord(-1.0, 0, 0, 60.0)
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(TraceError):
+            SessionRecord(0.0, 0, 0, 0.0)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(TraceError):
+            SessionRecord(0.0, -1, 0, 60.0)
+        with pytest.raises(TraceError):
+            SessionRecord(0.0, 0, -1, 60.0)
+
+
+class TestTrace:
+    def test_records_sorted_regardless_of_input_order(self, catalog):
+        records = [make_record(start=t) for t in (300.0, 100.0, 200.0)]
+        trace = Trace(records, catalog)
+        assert [r.start_time for r in trace] == [100.0, 200.0, 300.0]
+
+    def test_rejects_unknown_program(self, catalog):
+        with pytest.raises(TraceError):
+            Trace([make_record(program=99)], catalog)
+
+    def test_rejects_duration_beyond_program_length(self, catalog):
+        # Program 0 is 30 minutes long.
+        with pytest.raises(TraceError):
+            Trace([make_record(program=0, minutes=31.0)], catalog)
+
+    def test_rejects_user_beyond_declared_population(self, catalog):
+        with pytest.raises(TraceError):
+            Trace([make_record(user=10)], catalog, n_users=5)
+
+    def test_infers_n_users(self, catalog):
+        trace = Trace([make_record(user=7)], catalog)
+        assert trace.n_users == 8
+
+    def test_span_days(self, catalog):
+        records = [make_record(start=0.0, minutes=10.0),
+                   make_record(start=units.SECONDS_PER_DAY, minutes=30.0, program=1)]
+        trace = Trace(records, catalog)
+        assert trace.span_days == pytest.approx(1.0 + 30.0 / (24 * 60))
+
+    def test_records_between_half_open(self, simple_trace):
+        records = simple_trace.records_between(100.0, 300.0)
+        assert [r.start_time for r in records] == [100.0, 200.0]
+
+    def test_sessions_per_program(self, simple_trace):
+        counts = simple_trace.sessions_per_program()
+        assert counts == {0: 5, 1: 5}
+
+    def test_most_popular_breaks_ties_deterministically(self, simple_trace):
+        # Both programs have 5 sessions; lower id wins.
+        assert simple_trace.most_popular_program() == 0
+
+    def test_most_popular_empty_raises(self, catalog):
+        with pytest.raises(TraceError):
+            Trace([], catalog).most_popular_program()
+
+    def test_total_bits(self, catalog):
+        trace = Trace([make_record(minutes=1.0), make_record(start=10.0, minutes=2.0)],
+                      catalog)
+        assert trace.total_bits_delivered() == pytest.approx(
+            180 * units.STREAM_RATE_BPS
+        )
+
+    def test_restricted_to_window(self, simple_trace):
+        window = simple_trace.restricted_to_window(0.0, 500.0)
+        assert len(window) == 5
+        assert window.n_users == simple_trace.n_users
+
+    def test_empty_trace_properties(self, catalog):
+        trace = Trace([], catalog)
+        assert len(trace) == 0
+        assert trace.start_time == 0.0
+        assert trace.end_time == 0.0
+        assert trace.span_days == 0.0

@@ -1,0 +1,136 @@
+"""Paper section V-A trace scaling transforms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.trace.records import Trace
+from repro.trace.scaling import scale_catalog, scale_population
+
+from tests.conftest import make_catalog, make_record
+
+
+@pytest.fixture
+def base_trace_fixture(catalog):
+    records = [
+        make_record(start=60.0 * i, user=i % 3, program=i % 4, minutes=3 + i)
+        for i in range(12)
+    ]
+    return Trace(records, catalog, n_users=3)
+
+
+class TestPopulationScaling:
+    def test_factor_one_is_identity(self, base_trace_fixture):
+        assert scale_population(base_trace_fixture, 1) is base_trace_fixture
+
+    def test_record_count_multiplies(self, base_trace_fixture):
+        scaled = scale_population(base_trace_fixture, 3)
+        assert len(scaled) == 3 * len(base_trace_fixture)
+
+    def test_user_population_multiplies(self, base_trace_fixture):
+        scaled = scale_population(base_trace_fixture, 4)
+        assert scaled.n_users == 12
+
+    def test_copies_map_to_distinct_user_ranges(self, base_trace_fixture):
+        scaled = scale_population(base_trace_fixture, 2)
+        users = {r.user_id for r in scaled}
+        assert users <= set(range(6))
+        assert any(u >= 3 for u in users)
+
+    def test_originals_preserved_verbatim(self, base_trace_fixture):
+        scaled = scale_population(base_trace_fixture, 2)
+        original_keys = {
+            (r.start_time, r.user_id, r.program_id) for r in base_trace_fixture
+        }
+        scaled_keys = {(r.start_time, r.user_id, r.program_id) for r in scaled}
+        assert original_keys <= scaled_keys
+
+    def test_copies_jittered_1_to_60_seconds(self, base_trace_fixture):
+        scaled = scale_population(base_trace_fixture, 2)
+        by_start = {r.start_time: r for r in base_trace_fixture}
+        for record in scaled:
+            if record.user_id >= base_trace_fixture.n_users:
+                base = record.user_id % base_trace_fixture.n_users
+                candidates = [
+                    o for o in base_trace_fixture
+                    if o.user_id == base and o.program_id == record.program_id
+                    and 1.0 <= record.start_time - o.start_time <= 60.0
+                ]
+                assert candidates, f"copy {record} lacks a jitter-matched original"
+
+    def test_copy_keeps_program_and_duration(self, base_trace_fixture):
+        scaled = scale_population(base_trace_fixture, 2)
+        base_durations = sorted(r.duration_seconds for r in base_trace_fixture)
+        copies = [r for r in scaled if r.user_id >= base_trace_fixture.n_users]
+        assert sorted(r.duration_seconds for r in copies) == base_durations
+
+    def test_deterministic(self, base_trace_fixture):
+        a = scale_population(base_trace_fixture, 3)
+        b = scale_population(base_trace_fixture, 3)
+        assert [r.start_time for r in a] == [r.start_time for r in b]
+
+    def test_rejects_factor_below_one(self, base_trace_fixture):
+        with pytest.raises(ConfigurationError):
+            scale_population(base_trace_fixture, 0)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_property_bits_scale_linearly(self, factor):
+        catalog = make_catalog()
+        records = [make_record(start=30.0 * i, user=i % 2, program=i % 4,
+                               minutes=2 + i % 5) for i in range(8)]
+        trace = Trace(records, catalog, n_users=2)
+        scaled = scale_population(trace, factor)
+        assert scaled.total_bits_delivered() == pytest.approx(
+            factor * trace.total_bits_delivered()
+        )
+
+
+class TestCatalogScaling:
+    def test_factor_one_is_identity(self, base_trace_fixture):
+        assert scale_catalog(base_trace_fixture, 1) is base_trace_fixture
+
+    def test_catalog_multiplies(self, base_trace_fixture):
+        scaled = scale_catalog(base_trace_fixture, 5)
+        assert len(scaled.catalog) == 5 * len(base_trace_fixture.catalog)
+
+    def test_record_count_unchanged(self, base_trace_fixture):
+        scaled = scale_catalog(base_trace_fixture, 5)
+        assert len(scaled) == len(base_trace_fixture)
+
+    def test_events_remap_to_copies_of_same_program(self, base_trace_fixture):
+        n = len(base_trace_fixture.catalog)
+        scaled = scale_catalog(base_trace_fixture, 3)
+        for original, remapped in zip(base_trace_fixture, scaled):
+            assert remapped.program_id % n == original.program_id
+            assert remapped.start_time == original.start_time
+            assert remapped.duration_seconds == original.duration_seconds
+
+    def test_copies_inherit_length(self, base_trace_fixture):
+        n = len(base_trace_fixture.catalog)
+        scaled = scale_catalog(base_trace_fixture, 2)
+        for program in scaled.catalog:
+            assert program.length_seconds == (
+                base_trace_fixture.catalog[program.program_id % n].length_seconds
+            )
+
+    def test_demand_actually_diluted(self, tiny_trace):
+        scaled = scale_catalog(tiny_trace, 4)
+        base_top = max(tiny_trace.sessions_per_program().values())
+        scaled_top = max(scaled.sessions_per_program().values())
+        assert scaled_top < base_top
+
+    def test_deterministic(self, base_trace_fixture):
+        a = scale_catalog(base_trace_fixture, 3)
+        b = scale_catalog(base_trace_fixture, 3)
+        assert [r.program_id for r in a] == [r.program_id for r in b]
+
+    def test_rejects_factor_below_one(self, base_trace_fixture):
+        with pytest.raises(ConfigurationError):
+            scale_catalog(base_trace_fixture, -1)
+
+    def test_composes_with_population_scaling(self, base_trace_fixture):
+        scaled = scale_catalog(scale_population(base_trace_fixture, 2), 3)
+        assert len(scaled) == 2 * len(base_trace_fixture)
+        assert len(scaled.catalog) == 3 * len(base_trace_fixture.catalog)
+        assert scaled.n_users == 2 * base_trace_fixture.n_users

@@ -1,0 +1,192 @@
+"""Trace statistics: ECDFs, skew, attrition, diurnal rates, decay."""
+
+import pytest
+
+from repro import units
+from repro.errors import TraceError
+from repro.trace import stats
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+from tests.conftest import make_catalog, make_record
+
+
+class TestEcdf:
+    def test_probabilities_reach_one(self):
+        cdf = stats.ecdf([3.0, 1.0, 2.0])
+        assert cdf.probabilities[-1] == pytest.approx(1.0)
+
+    def test_values_sorted_and_deduplicated(self):
+        cdf = stats.ecdf([2.0, 1.0, 2.0, 1.0])
+        assert cdf.values == (1.0, 2.0)
+        assert cdf.probabilities == (0.5, 1.0)
+
+    def test_probability_at(self):
+        cdf = stats.ecdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.probability_at(2.5) == pytest.approx(0.5)
+        assert cdf.probability_at(0.5) == 0.0
+        assert cdf.probability_at(10.0) == 1.0
+
+    def test_quantile(self):
+        cdf = stats.ecdf(list(range(1, 101)))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(1.0) == 100
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(TraceError):
+            stats.ecdf([1.0]).quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            stats.ecdf([])
+
+
+class TestPopularityTimeseries:
+    def test_fig2_shape_on_synthetic(self, tiny_trace):
+        skew = stats.popularity_timeseries(tiny_trace)
+        max_peak, q99_peak, q95_peak = skew.peak_counts()
+        assert max_peak >= q99_peak >= q95_peak
+
+    def test_window_counts_sum_to_program_sessions(self, tiny_trace):
+        skew = stats.popularity_timeseries(tiny_trace)
+        expected = sum(
+            1 for r in tiny_trace if r.program_id == skew.max_program
+        )
+        assert sum(skew.max_series) == expected
+
+    def test_respects_window_bounds(self, tiny_trace):
+        midpoint = tiny_trace.end_time / 2
+        skew = stats.popularity_timeseries(tiny_trace, start=midpoint)
+        expected_windows = -(-(tiny_trace.end_time - midpoint) // 900)
+        assert len(skew.window_starts) == int(expected_windows)
+
+    def test_empty_window_raises(self, tiny_trace):
+        with pytest.raises(TraceError):
+            stats.popularity_timeseries(tiny_trace, start=1e12, end=2e12)
+
+    def test_bad_window_size_raises(self, tiny_trace):
+        with pytest.raises(TraceError):
+            stats.popularity_timeseries(tiny_trace, window_seconds=0.0)
+
+
+class TestSessionLengths:
+    def test_cdf_for_single_program(self, simple_trace):
+        cdf = stats.session_length_cdf(simple_trace, 0)
+        expected = sorted(
+            r.duration_seconds for r in simple_trace if r.program_id == 0
+        )
+        assert cdf.values == tuple(expected)
+
+    def test_cdf_all_programs(self, simple_trace):
+        cdf = stats.session_length_cdf(simple_trace)
+        assert cdf.probabilities[-1] == 1.0
+
+    def test_unknown_program_raises(self, simple_trace):
+        with pytest.raises(TraceError):
+            stats.session_length_cdf(simple_trace, 3)
+
+    def test_attrition_summary_fields(self, tiny_trace):
+        summary = stats.attrition_summary(tiny_trace)
+        assert 0.0 <= summary.fraction_past_halfway <= 1.0
+        assert 0.0 <= summary.fraction_completing <= summary.fraction_past_halfway + 1e-9
+        assert summary.median_session_seconds > 0
+
+    def test_attrition_matches_paper_shape(self, tiny_trace):
+        summary = stats.attrition_summary(tiny_trace)
+        # Short attention: median well under half the program.
+        assert summary.median_session_seconds < summary.program_length_seconds / 2
+
+
+class TestProgramLengthInference:
+    def test_recovers_length_with_atom(self):
+        durations = [120.0, 300.0, 480.0, 500.0, 700.0] * 10 + [6000.0] * 8
+        assert stats.infer_program_length(durations) == pytest.approx(6000.0, abs=60)
+
+    def test_handles_modest_atoms(self):
+        # 13% completion atom against a smeared tail.
+        import random
+        rng = random.Random(4)
+        durations = [rng.uniform(60, 5500) for _ in range(870)]
+        durations += [6000.0 + rng.uniform(-5, 5) for _ in range(130)]
+        assert stats.infer_program_length(durations) == pytest.approx(6000.0, abs=90)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            stats.infer_program_length([])
+
+    def test_single_sample(self):
+        assert stats.infer_program_length([1800.0]) == 1800.0
+
+
+class TestHourlyRates:
+    def test_session_spanning_hours_split(self, catalog):
+        # 30-minute session from 00:45 to 01:15.
+        record = make_record(start=45 * 60.0, minutes=30.0, program=0)
+        trace = Trace([record], catalog)
+        rates = stats.hourly_data_rate(trace)
+        assert rates[0] == pytest.approx(rates[1])
+        assert rates[2] == 0.0
+
+    def test_total_energy_conserved(self, tiny_trace):
+        rates = stats.hourly_data_rate(tiny_trace)
+        n_days = max(1.0, -(-tiny_trace.end_time // units.SECONDS_PER_DAY))
+        total_bits = sum(r * units.SECONDS_PER_HOUR * n_days for r in rates)
+        assert total_bits == pytest.approx(tiny_trace.total_bits_delivered(), rel=1e-6)
+
+    def test_peak_rate_exceeds_mean(self, tiny_trace):
+        rates = stats.hourly_data_rate(tiny_trace)
+        assert stats.peak_hour_rate(tiny_trace) > sum(rates) / len(rates)
+
+    def test_empty_trace_raises(self, catalog):
+        with pytest.raises(TraceError):
+            stats.hourly_data_rate(Trace([], catalog))
+
+
+class TestPopularityDecay:
+    def _decay_trace(self):
+        """Three programs introduced on day 1, demand halving each day."""
+        day = units.SECONDS_PER_DAY
+        programs = [Program(i, 3600.0, introduced_at=day) for i in range(3)]
+        records = []
+        for pid in range(3):
+            for offset in range(6):  # days since introduction
+                for k in range(20 >> offset):  # 20, 10, 5, 2, 1, 0 sessions
+                    records.append(
+                        SessionRecord(
+                            start_time=day + offset * day + 60.0 * k,
+                            user_id=k % 7,
+                            program_id=pid,
+                            duration_seconds=600.0,
+                        )
+                    )
+        # Pad the window so day 5 is fully observable.
+        records.append(SessionRecord(8 * day, 0, 0, 600.0))
+        return Trace(records, Catalog(programs))
+
+    def test_curve_decreases(self):
+        curve = stats.popularity_decay(self._decay_trace(), max_days=5,
+                                       min_first_day_sessions=5)
+        assert curve[0] > curve[1] > curve[2]
+
+    def test_curve_values(self):
+        curve = stats.popularity_decay(self._decay_trace(), max_days=3,
+                                       min_first_day_sessions=5)
+        assert curve[0] == pytest.approx(20.0, abs=1.1)
+        assert curve[1] == pytest.approx(10.0, abs=0.1)
+
+    def test_decay_ratio(self):
+        assert stats.decay_ratio([10.0, 5.0, 2.0], day=2) == pytest.approx(0.8)
+
+    def test_decay_ratio_bounds(self):
+        with pytest.raises(TraceError):
+            stats.decay_ratio([10.0], day=7)
+        with pytest.raises(TraceError):
+            stats.decay_ratio([0.0, 1.0], day=1)
+
+    def test_no_eligible_programs_raises(self, simple_trace):
+        with pytest.raises(TraceError):
+            stats.popularity_decay(simple_trace, max_days=10)
+
+    def test_synthetic_trace_decays(self, small_trace):
+        curve = stats.popularity_decay(small_trace, max_days=4,
+                                       min_first_day_sessions=3)
+        assert curve[0] > curve[-1]

@@ -1,0 +1,187 @@
+"""Synthetic workload generator: published-statistic fidelity."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.trace import stats
+from repro.trace.synthetic import (
+    PEAK_HOURS,
+    PowerInfoModel,
+    calibrate_sessions_per_user_per_day,
+    generate_trace,
+    _build_catalog,
+    _decay_factor,
+    _mean_decay_factor,
+)
+from repro.sim.random_streams import RandomStreams
+from repro.baselines.no_cache import no_cache_peak_gbps
+
+
+class TestModelValidation:
+    def test_defaults_valid(self):
+        PowerInfoModel()
+
+    def test_rejects_nonpositive_users(self):
+        with pytest.raises(ConfigurationError):
+            PowerInfoModel(n_users=0)
+
+    def test_rejects_bad_diurnal_length(self):
+        with pytest.raises(ConfigurationError):
+            PowerInfoModel(diurnal_weights=(1.0,) * 23)
+
+    def test_rejects_probability_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            PowerInfoModel(full_view_probability=1.5)
+
+    def test_rejects_mismatched_length_weights(self):
+        with pytest.raises(ConfigurationError):
+            PowerInfoModel(length_minutes=(30.0,), length_weights=(0.5, 0.5))
+
+    def test_requires_some_rate_source(self):
+        with pytest.raises(ConfigurationError):
+            PowerInfoModel(target_peak_gbps=None)
+
+    def test_explicit_rate_allowed_without_target(self):
+        PowerInfoModel(target_peak_gbps=None, sessions_per_user_per_day=1.0)
+
+    def test_scaled_to_resizes_population(self):
+        model = PowerInfoModel().scaled_to(1000, days=3.0)
+        assert model.n_users == 1000
+        assert model.days == 3.0
+
+    def test_effective_target_scales_with_population(self):
+        model = PowerInfoModel(n_users=41_698 // 2)
+        assert model.effective_target_gbps() == pytest.approx(8.5, rel=0.01)
+
+    def test_normalized_diurnal_sums_to_one(self):
+        assert sum(PowerInfoModel().normalized_diurnal()) == pytest.approx(1.0)
+
+
+class TestDecayModel:
+    def test_before_introduction_is_zero(self, tiny_model):
+        assert _decay_factor(tiny_model, -1.0) == 0.0
+
+    def test_at_introduction_is_one(self, tiny_model):
+        assert _decay_factor(tiny_model, 0.0) == pytest.approx(1.0)
+
+    def test_week_drop_near_80_percent(self):
+        model = PowerInfoModel()
+        week = 7 * units.SECONDS_PER_DAY
+        assert _decay_factor(model, week) == pytest.approx(0.2, abs=0.05)
+
+    def test_decays_to_floor(self):
+        model = PowerInfoModel()
+        assert _decay_factor(model, 1e9) == pytest.approx(model.decay_floor)
+
+    def test_mean_decay_between_floor_and_one(self, tiny_model):
+        mean = _mean_decay_factor(tiny_model, 0.0)
+        assert tiny_model.decay_floor < mean < 1.0
+
+    def test_mean_decay_zero_for_post_window_introduction(self, tiny_model):
+        after = tiny_model.duration_seconds + 1.0
+        assert _mean_decay_factor(tiny_model, after) == 0.0
+
+
+class TestCatalogConstruction:
+    def test_catalog_size(self, tiny_model):
+        catalog, flags = _build_catalog(tiny_model, RandomStreams(1))
+        assert len(catalog) == tiny_model.n_programs
+        assert len(flags) == tiny_model.n_programs
+
+    def test_release_fraction_roughly_respected(self):
+        model = PowerInfoModel(n_users=100, n_programs=2000, days=3.0)
+        _, flags = _build_catalog(model, RandomStreams(2))
+        fraction = sum(flags) / len(flags)
+        assert fraction == pytest.approx(model.release_fraction, abs=0.08)
+
+    def test_lengths_come_from_menu(self, tiny_model):
+        catalog, _ = _build_catalog(tiny_model, RandomStreams(3))
+        allowed = {m * 60.0 for m in tiny_model.length_minutes}
+        assert {p.length_seconds for p in catalog} <= allowed
+
+
+class TestCalibration:
+    def test_anchor_hit_within_15_percent(self, tiny_trace, tiny_model):
+        measured = no_cache_peak_gbps(tiny_trace)
+        target = tiny_model.effective_target_gbps()
+        assert measured == pytest.approx(target, rel=0.15)
+
+    def test_explicit_rate_bypasses_calibration(self, tiny_model):
+        model = dataclasses.replace(
+            tiny_model, target_peak_gbps=None, sessions_per_user_per_day=0.7
+        )
+        catalog, flags = _build_catalog(model, RandomStreams(1))
+        assert calibrate_sessions_per_user_per_day(model, catalog, flags) == 0.7
+
+    def test_rate_scales_with_target(self, tiny_model):
+        catalog, flags = _build_catalog(tiny_model, RandomStreams(1))
+        base = calibrate_sessions_per_user_per_day(tiny_model, catalog, flags)
+        double = calibrate_sessions_per_user_per_day(
+            dataclasses.replace(tiny_model, target_peak_gbps=34.0), catalog, flags
+        )
+        assert double == pytest.approx(2 * base, rel=1e-6)
+
+
+class TestGeneratedTrace:
+    def test_deterministic(self, tiny_model, tiny_trace):
+        again = generate_trace(tiny_model)
+        assert len(again) == len(tiny_trace)
+        assert [r.start_time for r in again][:50] == [
+            r.start_time for r in tiny_trace
+        ][:50]
+
+    def test_seed_changes_trace(self, tiny_model, tiny_trace):
+        other = generate_trace(dataclasses.replace(tiny_model, seed=99))
+        assert [r.start_time for r in other][:50] != [
+            r.start_time for r in tiny_trace
+        ][:50]
+
+    def test_all_users_in_range(self, tiny_trace, tiny_model):
+        assert all(0 <= r.user_id < tiny_model.n_users for r in tiny_trace)
+
+    def test_all_sessions_within_window(self, tiny_trace, tiny_model):
+        assert all(
+            0 <= r.start_time < tiny_model.duration_seconds for r in tiny_trace
+        )
+
+    def test_durations_never_exceed_program_length(self, tiny_trace):
+        for record in tiny_trace:
+            assert record.duration_seconds <= (
+                tiny_trace.catalog[record.program_id].length_seconds + 1e-9
+            )
+
+    def test_peak_hours_dominate(self, tiny_trace):
+        rates = stats.hourly_data_rate(tiny_trace)
+        peak = sum(rates[h] for h in PEAK_HOURS) / len(PEAK_HOURS)
+        offpeak = rates[4]  # 4 AM trough
+        assert peak > 5 * offpeak
+
+    def test_popularity_is_skewed(self, tiny_trace):
+        counts = sorted(tiny_trace.sessions_per_program().values(), reverse=True)
+        top_tenth = sum(counts[: max(1, len(counts) // 10)])
+        assert top_tenth > 0.35 * sum(counts)
+
+    def test_full_view_atom_present(self, tiny_trace):
+        program_id = tiny_trace.most_popular_program()
+        length = tiny_trace.catalog[program_id].length_seconds
+        durations = [
+            r.duration_seconds for r in tiny_trace if r.program_id == program_id
+        ]
+        completions = sum(1 for d in durations if d >= length - 1.0)
+        assert completions / len(durations) == pytest.approx(0.13, abs=0.08)
+
+    def test_short_sessions_dominate(self, tiny_trace):
+        durations = sorted(r.duration_seconds for r in tiny_trace)
+        median = durations[len(durations) // 2]
+        # Median should be well under the ~65-minute mean program length
+        # (paper Fig 3: most sessions are a few minutes).
+        assert median < 20 * units.SECONDS_PER_MINUTE
+
+    def test_larger_population_means_more_sessions(self, tiny_model, tiny_trace):
+        bigger = generate_trace(tiny_model.scaled_to(tiny_model.n_users * 2))
+        ratio = len(bigger) / len(tiny_trace)
+        assert ratio == pytest.approx(2.0, rel=0.2)

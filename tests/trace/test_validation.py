@@ -1,0 +1,50 @@
+"""Trace validation report."""
+
+import pytest
+
+from repro.trace.records import Trace
+from repro.trace.validation import ERROR, INFO, WARNING, validate
+
+from tests.conftest import make_catalog, make_record
+
+
+class TestValidation:
+    def test_healthy_synthetic_trace_passes(self, tiny_trace):
+        report = validate(tiny_trace)
+        assert report.ok
+        assert report.n_sessions == len(tiny_trace)
+        assert report.repeat_fraction > 0.2
+
+    def test_empty_trace_is_error(self, catalog):
+        report = validate(Trace([], catalog))
+        assert not report.ok
+        assert report.errors()[0].code == "empty"
+
+    def test_too_few_sessions_flagged(self, simple_trace):
+        report = validate(simple_trace, min_sessions=100)
+        assert any(f.code == "too-few-sessions" for f in report.errors())
+
+    def test_short_span_flagged(self, simple_trace):
+        report = validate(simple_trace, min_sessions=1)
+        assert any(f.code == "short-span" for f in report.errors())
+
+    def test_few_repeats_warns(self, catalog):
+        records = [make_record(start=3600.0 * i, user=i % 5, program=i % 4,
+                               minutes=5.0) for i in range(4)]
+        trace = Trace(records, catalog)
+        report = validate(trace, min_sessions=1, min_span_days=0.0,
+                          min_repeat_fraction=0.9)
+        assert any(f.code == "few-repeats" and f.severity == WARNING
+                   for f in report.findings)
+
+    def test_tiny_population_warns(self, simple_trace):
+        report = validate(simple_trace, min_sessions=1, min_span_days=0.0)
+        assert any(f.code == "tiny-population" for f in report.findings)
+
+    def test_summary_renders(self, tiny_trace):
+        text = validate(tiny_trace).summary()
+        assert "sessions=" in text
+
+    def test_thresholds_are_tunable(self, tiny_trace):
+        strict = validate(tiny_trace, min_sessions=10**9)
+        assert not strict.ok
