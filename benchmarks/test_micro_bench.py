@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from repro.cache.base import StrategyContext
 from repro.cache.lfu import LFUStrategy
+from repro.core.config import SimulationConfig
 from repro.core.meter import HourlyMeter
+from repro.core.runner import run_simulation
 from repro.sim.engine import Simulator
 from repro.trace.synthetic import PowerInfoModel, generate_trace
 
@@ -27,6 +29,54 @@ def test_event_loop_throughput(benchmark):
 
         for _ in range(20):
             sim.at(0.0, chain, 1_000)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 20 * 1_001
+
+
+def test_event_engine_heap_chain_throughput(benchmark):
+    """Baseline: the segment workload as a per-event heap chain.
+
+    The same logical workload as ``test_event_engine_arc_throughput``
+    below -- 20 sessions x 1,000 segments on the 300 s grid -- scheduled
+    the way the legacy engine path does it: one Event allocation and one
+    heap push/pop per segment.
+    """
+
+    def run():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.after(300.0, chain, remaining - 1)
+
+        for i in range(20):
+            sim.at(float(i), chain, 1_000)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 20 * 1_001
+
+
+def test_event_engine_arc_throughput(benchmark):
+    """Fast path: the same workload as whole session arcs.
+
+    One registration per session; every subsequent segment is a tuple
+    append into a calendar bucket.  The acceptance bar for the engine
+    rebuild is >= 3x the heap-chain variant above.
+    """
+
+    def run():
+        sim = Simulator()
+
+        def step(now, index):
+            return index < 1_000
+
+        for i in range(20):
+            sim.start_arc(300.0 + float(i), step)
         sim.run()
         return sim.events_processed
 
@@ -65,6 +115,47 @@ def test_meter_throughput(benchmark):
 
     total = benchmark(run)
     assert total > 0
+
+
+def test_meter_single_bucket_throughput(benchmark):
+    """Meter 50k intervals that each fit inside one hour (the fast path).
+
+    This is the shape the simulation hot path produces: a 5-minute
+    delivery almost always lands inside a single hourly bucket.
+    """
+
+    def run():
+        meter = HourlyMeter()
+        for i in range(50_000):
+            meter.add_interval((i % 11) * 300.0, 300.0, rate_bps=8.06e6)
+        return meter.total_bits()
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_end_to_end_replay_bucket(benchmark):
+    """Full-system replay on the arc/bucket engine (the default path)."""
+    model = PowerInfoModel(n_users=500, n_programs=100, days=3.0, seed=5)
+    trace = generate_trace(model)
+    config = SimulationConfig(neighborhood_size=60, warmup_days=0.5)
+    result = benchmark.pedantic(
+        run_simulation, args=(trace, config), kwargs={"engine": "bucket"},
+        rounds=1, iterations=1,
+    )
+    assert result.counters.sessions == len(trace)
+
+
+def test_end_to_end_replay_heap(benchmark):
+    """Full-system replay on the legacy heap chain (the reference path)."""
+    model = PowerInfoModel(n_users=500, n_programs=100, days=3.0, seed=5)
+    trace = generate_trace(model)
+    config = SimulationConfig(neighborhood_size=60, warmup_days=0.5)
+    result = benchmark.pedantic(
+        run_simulation, args=(trace, config), kwargs={"engine": "heap"},
+        rounds=1, iterations=1,
+    )
+    assert result.counters.sessions == len(trace)
 
 
 def test_workload_generation(benchmark):

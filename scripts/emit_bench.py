@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Measure the simulation core and emit ``BENCH_micro.json``.
+
+Tracks the perf trajectory of the hot paths the tick-bucket engine PR
+rebuilt:
+
+* event-engine throughput -- the segment workload as a legacy heap
+  chain vs. as session arcs on the calendar queue;
+* hourly-meter throughput -- hour-spanning vs. single-bucket intervals;
+* end-to-end replay -- one full system run on each engine path;
+* sweep wall-clock -- the same config sweep serial vs. multi-worker
+  (with the worker count and CPU count recorded, since a single-CPU
+  host cannot show parallel speedup).
+
+Usage::
+
+    python scripts/emit_bench.py [--quick] [--workers N] [--output PATH]
+
+Run it from the repository root (or with ``src`` on ``PYTHONPATH``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.config import SimulationConfig  # noqa: E402
+from repro.core.meter import HourlyMeter  # noqa: E402
+from repro.core.parallel import run_many  # noqa: E402
+from repro.core.runner import run_simulation  # noqa: E402
+from repro.cache.factory import LFUSpec, LRUSpec  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.trace.synthetic import PowerInfoModel, generate_trace  # noqa: E402
+
+
+#: Baseline measured at the seed commit (e80c5fd) on the PR-1 host
+#: (1 CPU, Python 3.11): the same fast-profile run (`base_trace(FAST)`,
+#: 1000-peer nominal neighborhoods, LFU) before the engine rebuild.
+#: Kept in the report so the perf trajectory has its starting point.
+SEED_REFERENCE = {
+    "commit": "e80c5fd",
+    "fast_profile_run_s": 7.49,
+    "note": (
+        "pre-rebuild wall clock (best of 3) for one fast-profile "
+        "simulation run; the same run and seed produced bit-identical "
+        "counters and meter buckets after the rebuild"
+    ),
+}
+
+
+def best_of(fn, repeats: int = 3) -> float:
+    """Minimum wall-clock of ``repeats`` runs (noise-resistant)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def engine_heap_chain(sessions: int, segments: int) -> int:
+    sim = Simulator()
+
+    def chain(remaining):
+        if remaining:
+            sim.after(300.0, chain, remaining - 1)
+
+    for i in range(sessions):
+        sim.at(float(i), chain, segments)
+    sim.run()
+    return sim.events_processed
+
+
+def engine_arcs(sessions: int, segments: int) -> int:
+    sim = Simulator()
+
+    def step(now, index):
+        return index < segments
+
+    for i in range(sessions):
+        sim.start_arc(300.0 + float(i), step)
+    sim.run()
+    return sim.events_processed
+
+
+def meter_spanning(n: int) -> None:
+    meter = HourlyMeter()
+    for i in range(n):
+        meter.add_interval(i * 97.0, 300.0, rate_bps=8.06e6)
+
+
+def meter_single_bucket(n: int) -> None:
+    meter = HourlyMeter()
+    for i in range(n):
+        meter.add_interval((i % 11) * 300.0, 300.0, rate_bps=8.06e6)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI-friendly)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count for the sweep measurement")
+    parser.add_argument("--output", default="BENCH_micro.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    sessions, segments = (10, 500) if args.quick else (20, 1_000)
+    meter_n = 20_000 if args.quick else 50_000
+    users, days = (300, 2.0) if args.quick else (1_500, 6.0)
+
+    report: dict = {
+        "generated_unix": int(time.time()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "quick": args.quick,
+        "seed_reference": SEED_REFERENCE,
+    }
+
+    # ---- event engine --------------------------------------------------
+    events = sessions * (segments + 1)
+    heap_s = best_of(lambda: engine_heap_chain(sessions, segments), repeats=7)
+    arc_s = best_of(lambda: engine_arcs(sessions, segments), repeats=7)
+    report["engine"] = {
+        "events": events,
+        "heap_chain_s": round(heap_s, 4),
+        "arc_bucket_s": round(arc_s, 4),
+        "heap_events_per_s": round(events / heap_s),
+        "arc_events_per_s": round(events / arc_s),
+        "speedup": round(heap_s / arc_s, 2),
+    }
+
+    # ---- meter ---------------------------------------------------------
+    span_s = best_of(lambda: meter_spanning(meter_n))
+    single_s = best_of(lambda: meter_single_bucket(meter_n))
+    report["meter"] = {
+        "intervals": meter_n,
+        "hour_spanning_s": round(span_s, 4),
+        "single_bucket_s": round(single_s, 4),
+        "single_bucket_intervals_per_s": round(meter_n / single_s),
+    }
+
+    # ---- end-to-end replay --------------------------------------------
+    model = PowerInfoModel(n_users=users, n_programs=users // 5, days=days,
+                           seed=5)
+    trace = generate_trace(model)
+    config = SimulationConfig(neighborhood_size=60, warmup_days=0.5)
+    heap_e2e = best_of(lambda: run_simulation(trace, config, engine="heap"),
+                       repeats=2)
+    bucket_e2e = best_of(lambda: run_simulation(trace, config, engine="bucket"),
+                         repeats=2)
+    report["end_to_end"] = {
+        "users": users,
+        "days": days,
+        "heap_s": round(heap_e2e, 3),
+        "bucket_s": round(bucket_e2e, 3),
+        "speedup": round(heap_e2e / bucket_e2e, 2),
+    }
+
+    # ---- fast-profile run vs. the recorded seed baseline ---------------
+    if not args.quick:
+        from repro.experiments.profiles import FAST, base_trace
+
+        fast_trace = base_trace(FAST)
+        fast_config = SimulationConfig(
+            neighborhood_size=FAST.neighborhood_size(1_000),
+            warmup_days=FAST.warmup_days,
+        )
+        fast_s = best_of(lambda: run_simulation(fast_trace, fast_config),
+                         repeats=2)
+        report["fast_profile_run"] = {
+            "bucket_s": round(fast_s, 2),
+            "seed_s": SEED_REFERENCE["fast_profile_run_s"],
+            "speedup_vs_seed": round(
+                SEED_REFERENCE["fast_profile_run_s"] / fast_s, 2
+            ),
+        }
+
+    # ---- sweep (serial vs. workers) -----------------------------------
+    configs = [
+        SimulationConfig(neighborhood_size=60, warmup_days=0.5, strategy=spec)
+        for spec in (LFUSpec(), LRUSpec())
+    ]
+    serial_s = best_of(lambda: run_many(model, configs, workers=1), repeats=1)
+    parallel_s = best_of(
+        lambda: run_many(model, configs, workers=args.workers), repeats=1
+    )
+    report["sweep"] = {
+        "configs": len(configs),
+        "workers": args.workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+        "note": (
+            "parallel speedup requires >= workers physical CPUs; "
+            "with cpu_count=1 this measures multiprocessing overhead only"
+        ),
+    }
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

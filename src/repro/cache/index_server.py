@@ -20,19 +20,25 @@ physical placement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
+from repro import units
 from repro.cache.base import CacheStrategy, MembershipChange
-from repro.cache.segments import PlacementMap, segment_play_seconds
+from repro.cache.segments import PlacementMap
 from repro.errors import CacheError, PlacementError
 from repro.peers.settop import SetTopBox
 from repro.topology.hfc import Neighborhood
 from repro.trace.records import Catalog
 
 
-@dataclass(frozen=True)
 class DeliveryOutcome:
     """How one segment request was satisfied.
+
+    A plain ``__slots__`` value object rather than a dataclass: one is
+    produced per segment request (hundreds of thousands per run), and
+    the frozen-dataclass ``object.__setattr__`` constructor showed up in
+    profiles.  Treat instances as immutable; server outcomes carry no
+    per-request state and are shared singletons.
 
     Attributes
     ----------
@@ -49,10 +55,14 @@ class DeliveryOutcome:
         Peer that served a hit (``None`` for server deliveries).
     """
 
-    source: str
-    busy_miss: bool = False
-    filled: bool = False
-    serving_box: Optional[int] = None
+    __slots__ = ("source", "busy_miss", "filled", "serving_box")
+
+    def __init__(self, source: str, busy_miss: bool = False,
+                 filled: bool = False, serving_box: Optional[int] = None) -> None:
+        self.source = source
+        self.busy_miss = busy_miss
+        self.filled = filled
+        self.serving_box = serving_box
 
     @property
     def from_server(self) -> bool:
@@ -63,6 +73,32 @@ class DeliveryOutcome:
     def on_coax(self) -> bool:
         """True when the delivery consumed coax broadcast bandwidth."""
         return self.source != "local"
+
+    def _key(self):
+        return (self.source, self.busy_miss, self.filled, self.serving_box)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DeliveryOutcome):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeliveryOutcome(source={self.source!r}, "
+            f"busy_miss={self.busy_miss}, filled={self.filled}, "
+            f"serving_box={self.serving_box})"
+        )
+
+
+#: Shared allocation-free outcomes for the server miss path (the most
+#: common deliveries early in a run, and the only ones with no
+#: per-request payload).
+_SERVER_MISS = DeliveryOutcome("server")
+_SERVER_MISS_FILLED = DeliveryOutcome("server", filled=True)
+_SERVER_BUSY = DeliveryOutcome("server", busy_miss=True)
 
 
 @dataclass
@@ -121,6 +157,11 @@ class IndexServer:
         self._catalog = catalog
         #: program_id -> set of segment indices physically captured.
         self._stored: Dict[int, Set[int]] = {}
+        #: Per-program segment counts and lengths, flattened out of the
+        #: catalog once: the fill path would otherwise recompute
+        #: ``Program.num_segments`` (a divmod) per delivery.
+        self._segment_counts: List[int] = [p.num_segments for p in catalog]
+        self._lengths: List[float] = [p.length_seconds for p in catalog]
         self.stats = IndexServerStats()
 
     @property
@@ -196,14 +237,13 @@ class IndexServer:
         """
         self.stats.segment_requests += 1
         stored = self._stored.get(program_id)
-        cached = (
-            stored is not None
-            and segment_index in stored
-            and self._placement.is_placed(program_id)
-        )
+        if stored is not None and segment_index in stored:
+            assignment = self._placement.holders(program_id)
+        else:
+            assignment = None
 
-        if cached:
-            holder = self._placement.holder_of(program_id, segment_index)
+        if assignment is not None:
+            holder = assignment[segment_index]
             if holder.box_id == user_id:
                 # The viewer's own disk: no broadcast, no channel use.
                 self.stats.local_hits += 1
@@ -215,14 +255,15 @@ class IndexServer:
             # Holder saturated: the paper's rule is that this *is* a miss.
             self.stats.busy_misses += 1
             self.stats.server_deliveries += 1
-            return DeliveryOutcome(source="server", busy_miss=True)
+            return _SERVER_BUSY
 
         # Not in cache: central server broadcast (Fig 4), with an
         # opportunistic fill if the program is admitted.
         self.stats.cold_misses += 1
         self.stats.server_deliveries += 1
-        filled = self._try_fill(now, program_id, segment_index, watch_seconds)
-        return DeliveryOutcome(source="server", filled=filled)
+        if self._try_fill(now, program_id, segment_index, watch_seconds):
+            return _SERVER_MISS_FILLED
+        return _SERVER_MISS
 
     def _try_fill(
         self, now: float, program_id: int, segment_index: int, watch_seconds: float
@@ -236,16 +277,24 @@ class IndexServer:
         """
         if program_id not in self._strategy:
             return False
-        if not self._placement.is_placed(program_id):
+        assignment = self._placement.holders(program_id)
+        if assignment is None:
             return False
         stored = self._stored.setdefault(program_id, set())
         if segment_index in stored:  # pragma: no cover - guarded by caller
             return False
-        program = self._catalog[program_id]
-        if watch_seconds + 1e-9 < segment_play_seconds(program, segment_index):
+        # Inlined segment_play_seconds(): every segment holds a full
+        # SEGMENT_SECONDS except the last, which holds the remainder --
+        # same floats, minus a catalog lookup and divmod per delivery.
+        if segment_index < self._segment_counts[program_id] - 1:
+            play_seconds = units.SEGMENT_SECONDS
+        else:
+            play_seconds = (self._lengths[program_id]
+                            - segment_index * units.SEGMENT_SECONDS)
+        if watch_seconds + 1e-9 < play_seconds:
             self.stats.fill_skips += 1
             return False
-        box = self._placement.holder_of(program_id, segment_index)
+        box = assignment[segment_index]
         if not box.can_open_stream(now):
             self.stats.fill_skips += 1
             return False

@@ -123,6 +123,15 @@ class PlacementMap:
         """Whether ``program_id`` currently has a placement."""
         return program_id in self._assignments
 
+    def holders(self, program_id: int):
+        """Per-segment peer assignment tuple, or ``None`` if not placed.
+
+        The hot-path combination of :meth:`is_placed` + :meth:`holder_of`
+        as a single dict lookup with no range check -- callers index the
+        returned tuple with segment indices they already validated.
+        """
+        return self._assignments.get(program_id)
+
     def place_program(self, program: Program) -> Tuple[SetTopBox, ...]:
         """Assign every segment of ``program`` to a least-loaded peer.
 

@@ -44,6 +44,17 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append an ASCII bar chart under each table",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run config sweeps across N worker processes "
+            "(0 = one per CPU; default 1 = serial). Results are "
+            "bit-identical to a serial run."
+        ),
+    )
     return parser
 
 
@@ -57,6 +68,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     try:
+        if args.workers != 1:
+            from repro.experiments.base import set_default_workers
+
+            set_default_workers(args.workers)
         profile = get_profile(args.profile)
         if args.experiment == "all":
             targets = list(all_experiments().values())

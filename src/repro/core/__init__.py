@@ -16,6 +16,7 @@ Public entry point::
 
 from repro.core.config import SimulationConfig
 from repro.core.meter import HourlyMeter
+from repro.core.parallel import run_many
 from repro.core.results import SimulationCounters, SimulationResult
 from repro.core.runner import run_simulation
 from repro.core.system import CableVoDSystem
@@ -26,5 +27,6 @@ __all__ = [
     "SimulationCounters",
     "SimulationResult",
     "run_simulation",
+    "run_many",
     "CableVoDSystem",
 ]

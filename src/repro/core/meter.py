@@ -11,10 +11,13 @@ bucket reflects exactly the bits that crossed the wire during it.
 from __future__ import annotations
 
 import math
+from collections import defaultdict
 from typing import Dict, Iterable, List, Tuple
 
 from repro import units
 from repro.errors import SimulationError
+
+_SECONDS_PER_HOUR = units.SECONDS_PER_HOUR
 
 
 class HourlyMeter:
@@ -23,14 +26,17 @@ class HourlyMeter:
     __slots__ = ("_bits",)
 
     def __init__(self) -> None:
-        self._bits: Dict[int, float] = {}
+        self._bits: Dict[int, float] = defaultdict(float)
 
     def add_interval(self, start: float, duration_seconds: float,
                      rate_bps: float = units.STREAM_RATE_BPS) -> None:
         """Meter a constant-rate transfer over ``[start, start+duration)``.
 
         Splits the transfer across hour boundaries so hourly rates are
-        exact regardless of where deliveries fall.
+        exact regardless of where deliveries fall.  A 5-minute segment
+        delivery usually sits inside one hour, so the single-bucket case
+        is a branch and one dict update; the split loop only runs for
+        genuinely boundary-crossing transfers.
         """
         if duration_seconds < 0:
             raise SimulationError(
@@ -38,14 +44,27 @@ class HourlyMeter:
             )
         if rate_bps < 0:
             raise SimulationError(f"cannot meter a negative rate ({rate_bps})")
+        if duration_seconds == 0:
+            # The split loop below never iterates for zero durations, so
+            # the fast path must not materialize an empty bucket either.
+            return
+        hour = int(start // _SECONDS_PER_HOUR)
+        span = (hour + 1) * _SECONDS_PER_HOUR - start
+        if duration_seconds <= span:
+            # Fast path: the whole transfer lands in one hour bucket.
+            # ``span * rate`` with span == duration is the exact same
+            # float product the split loop would compute, so fast and
+            # slow paths are bit-identical.
+            self._bits[hour] += duration_seconds * rate_bps
+            return
+        bits = self._bits
         remaining = duration_seconds
         cursor = start
-        bits = self._bits
         while remaining > 0:
-            hour = int(cursor // units.SECONDS_PER_HOUR)
-            hour_end = (hour + 1) * units.SECONDS_PER_HOUR
+            hour = int(cursor // _SECONDS_PER_HOUR)
+            hour_end = (hour + 1) * _SECONDS_PER_HOUR
             span = min(remaining, hour_end - cursor)
-            bits[hour] = bits.get(hour, 0.0) + span * rate_bps
+            bits[hour] += span * rate_bps
             cursor += span
             remaining -= span
 
@@ -53,8 +72,11 @@ class HourlyMeter:
         """Meter an instantaneous transfer of ``bits`` at ``time``."""
         if bits < 0:
             raise SimulationError(f"cannot meter negative bits ({bits})")
-        hour = int(time // units.SECONDS_PER_HOUR)
-        self._bits[hour] = self._bits.get(hour, 0.0) + bits
+        self._bits[int(time // _SECONDS_PER_HOUR)] += bits
+
+    def buckets(self) -> Dict[int, float]:
+        """Plain ``{absolute hour: bits}`` snapshot (for tests/serialization)."""
+        return dict(self._bits)
 
     # ------------------------------------------------------------------
     # Reading
@@ -133,7 +155,7 @@ class HourlyMeter:
         """A new meter holding the sum of both meters' buckets."""
         merged = HourlyMeter()
         for hour, bits in self._bits.items():
-            merged._bits[hour] = merged._bits.get(hour, 0.0) + bits
+            merged._bits[hour] += bits
         for hour, bits in other._bits.items():
-            merged._bits[hour] = merged._bits.get(hour, 0.0) + bits
+            merged._bits[hour] += bits
         return merged

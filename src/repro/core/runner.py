@@ -8,13 +8,16 @@ from repro.core.system import CableVoDSystem
 from repro.trace.records import Trace
 
 
-def run_simulation(trace: Trace, config: SimulationConfig) -> SimulationResult:
+def run_simulation(trace: Trace, config: SimulationConfig,
+                   engine: str = "bucket") -> SimulationResult:
     """Replay ``trace`` through a freshly built system under ``config``.
 
     This is the function every experiment and example calls.  It is
     deterministic: the same trace and config always produce identical
     results (placement, strategies, and the event loop contain no
-    unseeded randomness).
+    unseeded randomness).  ``engine`` selects the event-engine path:
+    ``"bucket"`` (default, tick-bucketed session arcs) or ``"heap"``
+    (legacy per-segment heap chain); both produce bit-identical results.
 
     Examples
     --------
@@ -27,4 +30,4 @@ def run_simulation(trace: Trace, config: SimulationConfig) -> SimulationResult:
     >>> result.counters.sessions == len(trace)
     True
     """
-    return CableVoDSystem(trace, config).run()
+    return CableVoDSystem(trace, config, engine=engine).run()

@@ -3,14 +3,37 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
+from repro.core.parallel import resolve_workers, run_many
 from repro.core.results import SimulationResult
 from repro.core.runner import run_simulation
 from repro.errors import ConfigurationError
 from repro.experiments.profiles import ExperimentProfile
 from repro.trace.records import Trace
+from repro.trace.synthetic import PowerInfoModel
+
+#: Process count used when ``strategy_rows`` is called without an
+#: explicit ``workers`` argument; the CLI's ``--workers`` flag sets it.
+_default_workers: int = 1
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the sweep parallelism experiments use by default.
+
+    ``1`` (the initial value) keeps everything serial and in-process;
+    ``0`` means one worker per CPU.
+    """
+    global _default_workers
+    if workers < 0:
+        raise ConfigurationError(f"workers must be non-negative, got {workers}")
+    _default_workers = workers
+
+
+def get_default_workers() -> int:
+    """The sweep parallelism used when callers do not pass ``workers``."""
+    return _default_workers
 
 
 @dataclass
@@ -80,16 +103,41 @@ def strategy_rows(
     trace: Trace,
     configs: Sequence[SimulationConfig],
     profile: ExperimentProfile,
+    workers: Optional[int] = None,
+    trace_model: Optional[PowerInfoModel] = None,
 ) -> List[Dict[str, Any]]:
     """Run a list of configs, returning standard per-run result rows.
 
     Each row carries the extrapolated peak server load with its 5%/95%
     quantile band, the reduction vs. no cache, and the hit ratio --
     the quantities the paper's bar charts encode.
+
+    Parameters
+    ----------
+    workers:
+        Sweep parallelism; defaults to :func:`get_default_workers` (the
+        CLI's ``--workers`` flag).  Parallel execution requires
+        ``trace_model`` -- workers regenerate the trace from the seeded
+        model rather than pickling it -- and produces bit-identical
+        rows in identical order to the serial path.
+    trace_model:
+        The seeded model ``trace`` was generated from.  Only pass it
+        when that is literally true (experiments that replay a
+        *transformed* trace must stay serial).
     """
+    if workers is None:
+        workers = _default_workers
+    configs = list(configs)
+    # Resolve "0 = one per CPU" up front: if that lands on one worker
+    # (single-CPU host), stay serial against the caller's (memoized)
+    # trace instead of having run_many regenerate it.
+    effective_workers = min(resolve_workers(workers), len(configs))
+    if effective_workers > 1 and trace_model is not None:
+        results = run_many(trace_model, configs, workers=effective_workers)
+    else:
+        results = [run_simulation(trace, config) for config in configs]
     rows: List[Dict[str, Any]] = []
-    for config in configs:
-        result = run_simulation(trace, config)
+    for config, result in zip(configs, results):
         low, high = result.peak_server_quantiles_gbps()
         rows.append(
             {

@@ -46,7 +46,7 @@ def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
                     warmup_days=profile.warmup_days,
                 )
             )
-    rows = strategy_rows(trace, configs, profile)
+    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
     for row in rows:
         row["total_cache_tb"] = row["per_peer_gb"] * NOMINAL_NEIGHBORHOOD / 1_000.0
     baseline = profile.extrapolate(

@@ -44,7 +44,7 @@ def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
                     warmup_days=profile.warmup_days,
                 )
             )
-    rows = strategy_rows(trace, configs, profile)
+    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
     index = 0
     for nominal in NOMINAL_NEIGHBORHOODS:
         for _ in range(3):

@@ -54,7 +54,7 @@ def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
                     warmup_days=profile.warmup_days,
                 )
             )
-    rows = strategy_rows(trace, configs, profile)
+    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
     for row, label in zip(rows, labels):
         row["feed"] = label
     return ExperimentResult(

@@ -127,18 +127,37 @@ class SetTopBox:
     # ------------------------------------------------------------------
 
     def active_streams(self, now: float) -> int:
-        """Streams still active at time ``now`` (expired leases purged)."""
-        if self._lease_ends:
-            self._lease_ends = [end for end in self._lease_ends if end > now]
-        return len(self._lease_ends)
+        """Streams still active at time ``now`` (expired leases purged).
+
+        The lease list never exceeds a couple of entries (the channel
+        limit plus the viewer's own stream), so an in-place sweep beats
+        rebuilding the list -- this is called several times per segment
+        delivery on the simulation hot path.
+        """
+        leases = self._lease_ends
+        count = len(leases)
+        if not count:
+            return 0
+        kept = 0
+        for end in leases:
+            if end > now:
+                leases[kept] = end
+                kept += 1
+        if kept != count:
+            del leases[kept:]
+        return kept
 
     def can_open_stream(self, now: float) -> bool:
         """Whether a new stream may be opened without exceeding the limit."""
         return self.active_streams(now) < self.max_streams
 
     def open_stream(self, now: float, duration_seconds: float,
-                    enforce_limit: bool = True) -> StreamLease:
+                    enforce_limit: bool = True) -> float:
         """Occupy one channel for ``duration_seconds`` starting at ``now``.
+
+        Returns the lease end time.  (Callers never retained the old
+        :class:`StreamLease` wrapper, and allocating one per delivery
+        showed up in profiles.)
 
         Parameters
         ----------
@@ -158,9 +177,9 @@ class SetTopBox:
             raise CapacityError(
                 f"box {self.box_id}: all {self.max_streams} channels busy at t={now:.1f}"
             )
-        lease = StreamLease(end_time=now + duration_seconds)
-        self._lease_ends.append(lease.end_time)
-        return lease
+        end_time = now + duration_seconds
+        self._lease_ends.append(end_time)
+        return end_time
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

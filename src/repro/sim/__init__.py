@@ -8,6 +8,10 @@ loop but purpose-built for trace-driven network simulations:
   queue drains (or until a horizon).
 * :class:`~repro.sim.events.Event` -- a scheduled callback with stable
   FIFO tie-breaking so runs are reproducible.
+* :class:`~repro.sim.tickqueue.TickBucketQueue` /
+  :class:`~repro.sim.tickqueue.SessionArc` -- the tick-bucketed fast
+  path for the per-segment event storm: O(1) tuple-slab scheduling and
+  whole-session arcs, merged with the heap in exact FIFO order.
 * :class:`~repro.sim.random_streams.RandomStreams` -- named, independently
   seeded random generators so that changing how much randomness one
   subsystem consumes does not perturb any other subsystem.
@@ -16,5 +20,13 @@ loop but purpose-built for trace-driven network simulations:
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.random_streams import RandomStreams
+from repro.sim.tickqueue import SessionArc, TickBucketQueue
 
-__all__ = ["Simulator", "Event", "EventQueue", "RandomStreams"]
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "RandomStreams",
+    "SessionArc",
+    "TickBucketQueue",
+]

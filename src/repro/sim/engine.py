@@ -1,8 +1,21 @@
 """The discrete-event simulation loop.
 
-:class:`Simulator` owns the clock and the event queue.  Model components
-schedule callbacks (absolute via :meth:`Simulator.at`, relative via
-:meth:`Simulator.after`) and the loop executes them in chronological order.
+:class:`Simulator` owns the clock and two complementary event stores:
+
+* a binary heap (:class:`~repro.sim.events.EventQueue`) for arbitrary
+  events scheduled with :meth:`Simulator.at` / :meth:`Simulator.after`,
+  which return cancellable :class:`~repro.sim.events.Event` handles;
+* a tick-bucketed calendar queue
+  (:class:`~repro.sim.tickqueue.TickBucketQueue`) for the hot path:
+  fire-and-forget entries (:meth:`Simulator.at_fast`) and *session
+  arcs* (:meth:`Simulator.start_arc`) whose steps land on the fixed
+  ``SEGMENT_SECONDS`` grid.  These are stored as plain tuples -- no
+  per-event object allocation, no per-event heap sift.
+
+Both stores draw sequence numbers from one shared counter and the run
+loop merges them by ``(time, seq)``, so the execution order is exactly
+what a single global heap would produce: chronological with FIFO
+tie-breaking within an instant.  A simulation may freely mix both APIs.
 
 Design notes
 ------------
@@ -19,10 +32,14 @@ Design notes
 
 from __future__ import annotations
 
+import itertools
+import math
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, EventCallback, EventQueue
+from repro.sim.tickqueue import DEFAULT_TICK_SECONDS, SessionArc, TickBucketQueue
 
 
 class Simulator:
@@ -32,6 +49,10 @@ class Simulator:
     ----------
     start_time:
         Initial clock value in simulated seconds (default ``0.0``).
+    tick_seconds:
+        Bucket width of the calendar queue (default: the 5-minute
+        segment grid).  Only affects the fast path's storage layout,
+        never execution order.
 
     Examples
     --------
@@ -46,9 +67,14 @@ class Simulator:
     10.0
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    __slots__ = ("_now", "_queue", "_buckets", "_events_processed", "_running")
+
+    def __init__(self, start_time: float = 0.0,
+                 tick_seconds: float = DEFAULT_TICK_SECONDS) -> None:
         self._now = float(start_time)
-        self._queue = EventQueue()
+        counter = itertools.count()
+        self._queue = EventQueue(counter)
+        self._buckets = TickBucketQueue(counter, tick_seconds)
         self._events_processed = 0
         self._running = False
 
@@ -68,8 +94,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live events still scheduled."""
-        return len(self._queue)
+        """Number of live events still scheduled (heap + buckets)."""
+        return len(self._queue) + len(self._buckets)
+
+    @property
+    def tick_seconds(self) -> float:
+        """Width of one calendar-queue bucket."""
+        return self._buckets.width
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -96,34 +127,147 @@ class Simulator:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self._queue.push(self._now + delay, callback, *args)
 
+    def at_fast(self, time: float, callback: EventCallback, *args: Any) -> None:
+        """Schedule ``callback(*args)`` at ``time`` without a cancel handle.
+
+        O(1) append into a calendar bucket instead of a heap sift, with
+        no :class:`Event` allocation.  Execution order relative to every
+        other event is identical to :meth:`at`.  Times that fall inside
+        the bucket currently draining fall back to the heap (the bucket
+        walk never revisits a sorted bucket).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.6f}, clock is already "
+                f"at t={self._now:.6f}"
+            )
+        if self._buckets.accepts(time):
+            self._buckets.push(time, callback, args)
+        else:
+            self._queue.push(time, callback, *args)
+
+    def start_arc(self, time: float, fn, *args: Any) -> SessionArc:
+        """Register a session arc whose first step fires at ``time``.
+
+        The engine calls ``fn(now, index, *args)`` at ``time`` and then
+        every :attr:`tick_seconds` for as long as ``fn`` returns truthy;
+        ``index`` counts steps from 0.  The whole arc costs one
+        registration plus one tuple append per step -- the pattern for
+        "one event per video segment until the viewer stops".
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is in the past or falls inside the bucket
+            currently draining (arcs live on the forward bucket walk).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot start an arc at t={time:.6f}, clock is already "
+                f"at t={self._now:.6f}"
+            )
+        if not self._buckets.accepts(time):
+            raise SimulationError(
+                f"arc start t={time:.6f} falls in the bucket currently "
+                f"draining; schedule the first step at least one tick ahead"
+            )
+        return self._buckets.start_arc(time, fn, args)
+
     def cancel(self, event: Event) -> None:
         """Retract a scheduled event before it fires (idempotent)."""
         self._queue.cancel(event)
+
+    def cancel_arc(self, arc: SessionArc) -> None:
+        """Retract an in-flight session arc (idempotent)."""
+        self._buckets.cancel_arc(arc)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
+    def _dispatch(self, limit: float) -> bool:
+        """Execute the single next event with time <= ``limit``.
+
+        Returns ``True`` if an event was executed.  The next event is
+        the ``(time, seq)`` minimum across the heap and the calendar
+        buckets -- the merge that keeps mixed-API schedules in exact
+        global FIFO order.
+        """
+        queue = self._queue
+        buckets = self._buckets
+        while True:
+            bucket_entry = buckets.peek_entry()
+            heap_entry = queue.peek_entry()
+            if bucket_entry is None:
+                if heap_entry is None:
+                    return False
+                use_bucket = False
+            elif heap_entry is None:
+                use_bucket = True
+            else:
+                use_bucket = (
+                    bucket_entry[0] < heap_entry[0]
+                    or (bucket_entry[0] == heap_entry[0]
+                        and bucket_entry[1] < heap_entry[1])
+                )
+
+            if not use_bucket:
+                time = heap_entry[0]
+                if time > limit:
+                    return False
+                event = queue.pop()
+                self._now = time
+                self._events_processed += 1
+                event.fire()
+                return True
+
+            time = bucket_entry[0]
+            if time > limit:
+                return False
+            buckets.advance()
+            if len(bucket_entry) == 3:
+                arc = bucket_entry[2]
+                if not arc.active:
+                    continue  # lazily-deleted cancelled step
+                arc.pending = False
+                buckets._live -= 1
+                self._now = time
+                self._events_processed += 1
+                index = arc.index
+                arc.index = index + 1
+                if arc.fn(time, index, *arc.args) and arc.active:
+                    buckets.continue_arc(arc, time + buckets.width)
+                else:
+                    arc.active = False
+                return True
+            buckets._live -= 1
+            self._now = time
+            self._events_processed += 1
+            bucket_entry[2](*bucket_entry[3])
+            return True
+
     def step(self) -> bool:
         """Execute the single next event.
 
-        Returns ``True`` if an event was executed, ``False`` if the queue
-        was empty (clock unchanged).
+        Returns ``True`` if an event was executed, ``False`` if nothing
+        is scheduled (clock unchanged).
+
+        Raises
+        ------
+        SimulationError
+            If called from inside a running :meth:`run` loop: the run
+            loop keeps its bucket cursor in locals for speed, so a
+            re-entrant step would re-execute the entry currently being
+            dispatched.
         """
-        event = self._queue.pop()
-        if event is None:
-            return False
-        if event.time < self._now:  # pragma: no cover - guarded by at()
+        if self._running:
             raise SimulationError(
-                f"event queue returned past event t={event.time} < now={self._now}"
+                "simulator is not reentrant: step() called from a callback"
             )
-        self._now = event.time
-        self._events_processed += 1
-        event.fire()
-        return True
+        return self._dispatch(math.inf)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run events in order until the queue drains or the horizon.
+        """Run events in order until the queues drain or the horizon.
 
         Parameters
         ----------
@@ -137,18 +281,150 @@ class Simulator:
         self._running = True
         try:
             if until is None:
-                while self.step():
-                    pass
-                return
-            if until < self._now:
-                raise SimulationError(
-                    f"horizon t={until} precedes current time t={self._now}"
-                )
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > until:
-                    break
-                self.step()
-            self._now = max(self._now, until)
+                limit = math.inf
+            else:
+                if until < self._now:
+                    raise SimulationError(
+                        f"horizon t={until} precedes current time t={self._now}"
+                    )
+                limit = until
+            # Inlined merge of _dispatch(): this loop executes one
+            # iteration per simulated event (hundreds of thousands per
+            # run), so structure access is flattened into locals -- the
+            # bucket cursor lives in `front`/`pos` and is only written
+            # back when the front bucket changes or the loop exits, and
+            # arc continuation appends straight into the target bucket.
+            # Any semantic change here must be mirrored in _dispatch().
+            queue = self._queue
+            buckets = self._buckets
+            heap = queue._heap
+            bucket_map = buckets._buckets
+            tick_heap = buckets._tick_heap
+            counter = buckets._counter
+            width = buckets.width
+            heappop = _heappop
+            heappush = _heappush
+            processed = 0
+            front = buckets._front
+            pos = buckets._front_pos
+            front_len = len(front) if front is not None else 0
+            # The bucket one tick past the front, pre-created so arc
+            # continuations are a bounds check + append.  Safe because a
+            # front bucket never grows once activated (deposits into it
+            # are routed to the heap) and arcs step exactly one tick.
+            next_lo = next_hi = -1.0
+            next_bucket: Optional[list] = None
+            try:
+                while True:
+                    if front is None or pos >= front_len:
+                        buckets._front_pos = pos
+                        buckets._activate_next_bucket()
+                        front = buckets._front
+                        pos = buckets._front_pos
+                        if front is not None:
+                            front_len = len(front)
+                            next_tick = buckets._front_tick + 1
+                            next_lo = next_tick * width
+                            next_hi = next_lo + width
+                            next_bucket = bucket_map.get(next_tick)
+                        else:
+                            front_len = 0
+                            next_bucket = None
+                            next_lo = next_hi = -1.0
+                    if heap:
+                        while heap and heap[0][2].cancelled:
+                            heappop(heap)
+                        if front is not None and pos < len(front):
+                            entry = front[pos]
+                            if heap:
+                                head = heap[0]
+                                use_bucket = (entry[0] < head[0]
+                                              or (entry[0] == head[0]
+                                                  and entry[1] < head[1]))
+                            else:
+                                use_bucket = True
+                        else:
+                            if not heap:
+                                break
+                            use_bucket = False
+                    elif front is not None and pos < len(front):
+                        entry = front[pos]
+                        use_bucket = True
+                    else:
+                        break
+
+                    if use_bucket:
+                        time = entry[0]
+                        if time > limit:
+                            break
+                        pos += 1
+                        if len(entry) == 3:
+                            arc = entry[2]
+                            if not arc.active:
+                                continue  # lazily-deleted cancelled step
+                            arc.pending = False
+                            buckets._live -= 1
+                            self._now = time
+                            processed += 1
+                            index = arc.index
+                            arc.index = index + 1
+                            if arc.fn(time, index, *arc.args) and arc.active:
+                                # Inlined continue_arc()/_deposit().  An
+                                # arc steps exactly one tick, so nearly
+                                # every deposit lands in the cached
+                                # next-door bucket; float rounding can
+                                # (rarely) push it one further, handled
+                                # by the general branch.
+                                next_time = time + width
+                                arc.time = next_time
+                                arc.pending = True
+                                if next_lo <= next_time < next_hi:
+                                    if next_bucket is None:
+                                        # A callback may have created
+                                        # this bucket via at_fast()
+                                        # since activation cached it.
+                                        next_bucket = bucket_map.get(next_tick)
+                                        if next_bucket is None:
+                                            next_bucket = []
+                                            bucket_map[next_tick] = next_bucket
+                                            heappush(tick_heap, next_tick)
+                                    next_bucket.append(
+                                        (next_time, next(counter), arc)
+                                    )
+                                else:
+                                    tick = int(next_time // width)
+                                    bucket = bucket_map.get(tick)
+                                    if bucket is None:
+                                        bucket_map[tick] = [
+                                            (next_time, next(counter), arc)
+                                        ]
+                                        heappush(tick_heap, tick)
+                                    else:
+                                        bucket.append(
+                                            (next_time, next(counter), arc)
+                                        )
+                                buckets._live += 1
+                            else:
+                                arc.active = False
+                        else:
+                            buckets._live -= 1
+                            self._now = time
+                            processed += 1
+                            entry[2](*entry[3])
+                    else:
+                        head = heap[0]
+                        time = head[0]
+                        if time > limit:
+                            break
+                        heappop(heap)
+                        queue._live -= 1
+                        self._now = time
+                        processed += 1
+                        head[2].fire()
+            finally:
+                buckets._front_pos = pos
+                self._events_processed += processed
+            if until is not None:
+                self._now = max(self._now, until)
         finally:
             self._running = False

@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import SimulationError
 
@@ -35,10 +35,22 @@ class Event:
     callback: EventCallback
     args: tuple = field(default_factory=tuple)
     cancelled: bool = False
+    #: Owning queue, set by :meth:`EventQueue.push`.  Routing
+    #: cancellation through it keeps the queue's live-event accounting
+    #: exact no matter which handle a caller cancels through.
+    queue: Optional["EventQueue"] = field(default=None, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the engine will skip it when it surfaces."""
-        self.cancelled = True
+        """Retract the event before it fires (idempotent).
+
+        Delegates to the owning queue so ``len(queue)`` and
+        ``Simulator.pending_events`` stay exact; a detached event (built
+        outside any queue) just marks itself.
+        """
+        if self.queue is not None:
+            self.queue.cancel(self)
+        else:
+            self.cancelled = True
 
     def fire(self) -> None:
         """Invoke the callback with its stored arguments."""
@@ -62,9 +74,14 @@ class EventQueue:
     counter keeps emptiness checks exact under lazy deletion.
     """
 
-    def __init__(self) -> None:
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self, counter: Optional[Iterator[int]] = None) -> None:
         self._heap: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        #: Sequence source; the simulator passes a counter shared with
+        #: its tick-bucket queue so both structures draw from one global
+        #: FIFO numbering and can be merged by ``(time, seq)``.
+        self._counter = itertools.count() if counter is None else counter
         self._live = 0
 
     def __len__(self) -> int:
@@ -80,7 +97,7 @@ class EventQueue:
         to retract it before it fires.
         """
         seq = next(self._counter)
-        event = Event(time=time, seq=seq, callback=callback, args=args)
+        event = Event(time=time, seq=seq, callback=callback, args=args, queue=self)
         heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
@@ -112,6 +129,16 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        entry = self.peek_entry()
+        return entry[0] if entry is not None else None
+
+    def peek_entry(self) -> Optional[tuple[float, int, Event]]:
+        """The next live ``(time, seq, event)`` heap entry, unconsumed.
+
+        Cancelled events surfacing at the head are discarded, so after a
+        successful peek the very next :meth:`pop` returns this event.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0] if heap else None

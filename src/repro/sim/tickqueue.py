@@ -1,0 +1,181 @@
+"""Tick-bucketed calendar queue for the on-grid event storm.
+
+Trace replay schedules one delivery per 5-minute video segment, so the
+overwhelming majority of events land ``SEGMENT_SECONDS`` apart.  Pushing
+each of them through the binary heap costs an :class:`~repro.sim.events.Event`
+allocation plus two O(log n) sift passes.  This module stores them as
+plain tuples in per-tick *buckets* instead: scheduling is an O(1) list
+append, and each bucket is sorted once (a single C-level ``list.sort``
+over mostly-ordered data) when the clock reaches it.
+
+Two entry shapes share a bucket:
+
+* ``(time, seq, callback, args)`` -- a fire-and-forget callback
+  scheduled with :meth:`TickBucketQueue.push`;
+* ``(time, seq, arc)`` -- one step of a :class:`SessionArc`.
+
+``seq`` values come from the same monotonic counter as the heap's, so
+merging bucket entries with heap events by ``(time, seq)`` reproduces
+exactly the global FIFO-within-an-instant order a single heap would
+give.  Sequence numbers are unique, so sorting never compares the
+mismatched tails of the two tuple shapes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro import units
+
+#: Default bucket width: the segment grid the workload runs on.
+DEFAULT_TICK_SECONDS = units.SEGMENT_SECONDS
+
+
+class SessionArc:
+    """A self-perpetuating run of callbacks one tick apart.
+
+    A session's segment flow is fully determined at session start: one
+    delivery every ``SEGMENT_SECONDS`` until the viewer walks away.
+    Registering the whole arc once replaces the per-segment
+    schedule-one-event chain; each step costs a single tuple append.
+
+    The engine calls ``fn(now, index, *args)`` per step; the callback
+    returns ``True`` to continue (the next step is deposited one tick
+    later) or ``False`` to end the arc.  ``index`` counts fired steps
+    from 0.  :meth:`TickBucketQueue.cancel_arc` retracts an in-flight
+    arc; its already-deposited entry is skipped when its bucket drains.
+    """
+
+    __slots__ = ("fn", "args", "time", "index", "active", "pending")
+
+    def __init__(self, time: float, fn: Callable[..., bool], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.index = 0
+        self.active = True
+        #: Whether a bucket entry for the next step is outstanding
+        #: (False exactly while the arc's callback is executing or after
+        #: the arc ends) -- keeps live-event accounting exact on cancel.
+        self.pending = False
+
+
+class TickBucketQueue:
+    """Calendar queue of tick-wide buckets merged with the event heap.
+
+    The queue does not own a clock; :class:`~repro.sim.engine.Simulator`
+    drives it and interleaves its entries with the binary heap by
+    ``(time, seq)``.  ``counter`` must be the same sequence source the
+    heap uses -- shared numbering is what makes the merge a total order.
+    """
+
+    __slots__ = ("width", "_counter", "_buckets", "_tick_heap",
+                 "_front", "_front_pos", "_front_tick", "_live")
+
+    def __init__(self, counter: Iterator[int],
+                 tick_seconds: float = DEFAULT_TICK_SECONDS) -> None:
+        if tick_seconds <= 0:
+            raise ValueError(f"tick width must be positive, got {tick_seconds}")
+        self.width = float(tick_seconds)
+        self._counter = counter
+        self._buckets: dict[int, List[tuple]] = {}
+        self._tick_heap: List[int] = []
+        #: Sorted entries of the bucket currently being drained.
+        self._front: Optional[List[tuple]] = None
+        self._front_pos = 0
+        #: Tick index of ``_front`` (-1 before any bucket is activated).
+        self._front_tick = -1
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def tick_of(self, time: float) -> int:
+        """Bucket index covering ``time``."""
+        return int(time // self.width)
+
+    def accepts(self, time: float) -> bool:
+        """Whether ``time`` falls in a bucket not yet activated.
+
+        Entries may only join buckets strictly later than the one being
+        drained; anything earlier must go to the heap so ordering never
+        depends on a bucket the walk already sorted.
+        """
+        return int(time // self.width) > self._front_tick
+
+    def push(self, time: float, callback: Callable[..., None],
+             args: Tuple[Any, ...]) -> None:
+        """Append a fire-and-forget entry (caller checked :meth:`accepts`)."""
+        self._deposit((time, next(self._counter), callback, args))
+
+    def start_arc(self, time: float, fn: Callable[..., bool],
+                  args: Tuple[Any, ...]) -> SessionArc:
+        """Register an arc whose first step fires at ``time``."""
+        arc = SessionArc(time, fn, args)
+        arc.pending = True
+        self._deposit((time, next(self._counter), arc))
+        return arc
+
+    def continue_arc(self, arc: SessionArc, time: float) -> None:
+        """Deposit the arc's next step (engine-internal)."""
+        arc.time = time
+        arc.pending = True
+        self._deposit((time, next(self._counter), arc))
+
+    def cancel_arc(self, arc: SessionArc) -> None:
+        """Retract an in-flight arc (idempotent).
+
+        The arc's pending bucket entry stays where it is and is skipped
+        when its bucket drains -- the same lazy deletion the heap uses.
+        """
+        if arc.active:
+            arc.active = False
+            if arc.pending:
+                arc.pending = False
+                self._live -= 1
+
+    def _deposit(self, entry: tuple) -> None:
+        tick = int(entry[0] // self.width)
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            self._buckets[tick] = [entry]
+            heapq.heappush(self._tick_heap, tick)
+        else:
+            bucket.append(entry)
+        self._live += 1
+
+    # ------------------------------------------------------------------
+    # Draining (driven by the simulator)
+    # ------------------------------------------------------------------
+
+    def _activate_next_bucket(self) -> None:
+        """Advance ``_front`` to the earliest pending bucket, sorted."""
+        while self._tick_heap:
+            tick = heapq.heappop(self._tick_heap)
+            entries = self._buckets.pop(tick)
+            entries.sort()
+            self._front = entries
+            self._front_pos = 0
+            self._front_tick = tick
+            return
+        self._front = None
+        self._front_pos = 0
+
+    def peek_entry(self) -> Optional[tuple]:
+        """The next entry in ``(time, seq)`` order, without consuming it."""
+        front, pos = self._front, self._front_pos
+        if front is None or pos >= len(front):
+            self._activate_next_bucket()
+            front, pos = self._front, self._front_pos
+            if front is None:
+                return None
+        return front[pos]
+
+    def advance(self) -> None:
+        """Consume the entry :meth:`peek_entry` returned."""
+        self._front_pos += 1

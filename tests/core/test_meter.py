@@ -43,6 +43,15 @@ class TestAccumulation:
         with pytest.raises(SimulationError):
             meter.add_bits(0.0, -5.0)
 
+    def test_zero_duration_records_nothing(self):
+        """Regression: the single-bucket fast path must not materialize
+        an empty 0.0 bucket for zero-duration intervals."""
+        meter = HourlyMeter()
+        meter.add_interval(100.0, 0.0)
+        assert meter.buckets() == {}
+        assert meter.hours() == []
+        assert meter.total_bits() == 0.0
+
     @given(st.lists(st.tuples(st.floats(0, 1e6), st.floats(0, 1e4)),
                     min_size=1, max_size=50))
     @settings(max_examples=50, deadline=None)

@@ -85,6 +85,47 @@ class TestCancellation:
         queue.cancel(first)
         assert queue.peek_time() == 2.0
 
+    def test_event_cancel_routes_through_queue(self):
+        """Regression: ``event.cancel()`` must keep queue accounting exact.
+
+        It used to mark the event without decrementing the queue's live
+        counter, so ``len(queue)`` / ``bool(queue)`` (and through them
+        ``Simulator.pending_events``) over-counted.
+        """
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop() is None
+
+    def test_event_cancel_and_queue_cancel_are_interchangeable(self):
+        queue = EventQueue()
+        a = queue.push(1.0, lambda: None)
+        b = queue.push(2.0, lambda: None)
+        a.cancel()
+        queue.cancel(b)
+        queue.cancel(a)  # idempotent across both entry points
+        b.cancel()
+        assert len(queue) == 0
+
+    def test_simulator_pending_events_after_event_cancel(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+        event = sim.at(5.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_detached_event_cancel_still_works(self):
+        from repro.sim.events import Event
+
+        event = Event(time=1.0, seq=0, callback=lambda: None)
+        event.cancel()
+        assert event.cancelled
+
 
 class TestPeekAndFire:
     def test_peek_empty_returns_none(self):
