@@ -104,6 +104,34 @@ def test_lfu_access_throughput(benchmark):
     assert members == 50
 
 
+def test_policy_engine_lfu_access_throughput(benchmark):
+    """The same LFU workload on the policy engine's deferred heap.
+
+    PR 2's acceptance bar: at parity with the classic push-on-change
+    ``test_lfu_access_throughput`` above -- the deferred dirty-set heap
+    buys back the engine's composition dispatch and bounds heap memory
+    at O(members); the wall-clock win lives in the request path
+    (``emit_bench.py``'s cache section).
+    """
+    from repro.cache.policies import AlwaysAdmit, LFUEviction, PolicyStrategy
+
+    def run():
+        strategy = PolicyStrategy(AlwaysAdmit(), LFUEviction(history_hours=1.0))
+        strategy.bind(
+            StrategyContext(
+                neighborhood_id=0,
+                capacity_bytes=5_000.0,
+                footprint_of=lambda pid: 100.0,
+            )
+        )
+        for i in range(10_000):
+            strategy.on_access(float(i), (i * 7919) % 200)
+        return len(strategy.members)
+
+    members = benchmark(run)
+    assert members == 50
+
+
 def test_meter_throughput(benchmark):
     """Meter 50k hour-spanning intervals."""
 

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Append a BENCH_micro.json report to the trend log and gate regressions.
+
+Usage::
+
+    python scripts/bench_trend.py [--report BENCH_micro.json]
+                                  [--history BENCH_history.jsonl]
+                                  [--max-regression 0.25]
+
+Reads the freshly emitted ``BENCH_micro.json``, appends one compact
+line to ``BENCH_history.jsonl`` (so the perf trajectory accumulates
+across CI runs via the artifact), and exits non-zero when the
+end-to-end metric regressed more than ``--max-regression`` (default
+25%) against the previous history entry.  The first run of a metric
+never fails -- there is nothing to compare against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metrics recorded per run: (history key, report path).  Lower is
+#: better for all of them (they are wall-clock seconds).
+RECORDED_METRICS = (
+    ("end_to_end_s", ("end_to_end", "bucket_s")),
+    ("cache_lfu_s", ("cache", "lfu_decisions_s")),
+    ("cache_requests_s", ("cache", "index_requests_s")),
+)
+
+#: Only the end-to-end replay gates CI.  The cache micro metrics are
+#: millisecond-scale in --quick mode -- pure noise fodder across
+#: heterogeneous shared runners -- so they are recorded for the trend
+#: chart but never fail the build.
+GATED_KEYS = ("end_to_end_s",)
+
+
+def _dig(report: dict, path: tuple) -> float | None:
+    node = report
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def summarize(report: dict) -> dict:
+    """One history line: provenance plus the gated metrics."""
+    entry = {
+        "generated_unix": report.get("generated_unix"),
+        "python": report.get("python"),
+        "cpu_count": report.get("cpu_count"),
+        "cpu_model": report.get("cpu_model"),
+        "quick": report.get("quick"),
+    }
+    for key, path in RECORDED_METRICS:
+        value = _dig(report, path)
+        if value is not None:
+            entry[key] = value
+    return entry
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", default="BENCH_micro.json",
+                        help="bench report to ingest")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="trend log to append to")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fail when end-to-end slows by more than this "
+                             "fraction vs. the previous entry (default 0.25)")
+    args = parser.parse_args()
+
+    report_path = Path(args.report)
+    if not report_path.exists():
+        print(f"error: no bench report at {report_path}", file=sys.stderr)
+        return 2
+    report = json.loads(report_path.read_text())
+    entry = summarize(report)
+
+    # Only an entry measured on the same workload shape AND the same
+    # hardware is a valid baseline: quick and full runs differ ~4x in
+    # raw seconds, and shared-runner fleets span CPU generations whose
+    # single-thread speed differs by more than the gate threshold.
+    # Entries that themselves failed the gate are skipped too --
+    # otherwise a regression becomes the next run's baseline and the
+    # gate only ever fires once.
+    history_path = Path(args.history)
+    previous: dict | None = None
+    if history_path.exists():
+        lines = [line for line in history_path.read_text().splitlines() if line.strip()]
+        for line in reversed(lines):
+            candidate = json.loads(line)
+            if (candidate.get("quick") == entry.get("quick")
+                    and candidate.get("cpu_count") == entry.get("cpu_count")
+                    and candidate.get("cpu_model") == entry.get("cpu_model")
+                    and not candidate.get("regressed")):
+                previous = candidate
+                break
+
+    failures = []
+    if previous is not None:
+        for key, _ in RECORDED_METRICS:
+            now, then = entry.get(key), previous.get(key)
+            if now is None or then is None or then <= 0:
+                continue
+            change = now / then - 1.0
+            gated = key in GATED_KEYS
+            if change > args.max_regression and gated:
+                marker = "REGRESSION"
+                failures.append(key)
+            elif change > args.max_regression:
+                marker = "slower, not gated"
+            else:
+                marker = "ok"
+            print(f"bench-trend: {key}: {then:.4f}s -> {now:.4f}s "
+                  f"({change:+.1%}) [{marker}]")
+        if failures:
+            entry["regressed"] = failures
+
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    if previous is None:
+        print(f"bench-trend: no comparable entry in {history_path}; "
+              f"recorded without gating")
+        return 0
+    if failures:
+        print(
+            f"error: {', '.join(failures)} regressed beyond "
+            f"{args.max_regression:.0%} vs. the last healthy run",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,15 @@
 #!/usr/bin/env python
 """Measure the simulation core and emit ``BENCH_micro.json``.
 
-Tracks the perf trajectory of the hot paths the tick-bucket engine PR
+Tracks the perf trajectory of the hot paths the engine and cache PRs
 rebuilt:
 
 * event-engine throughput -- the segment workload as a legacy heap
   chain vs. as session arcs on the calendar queue;
 * hourly-meter throughput -- hour-spanning vs. single-bucket intervals;
+* cache-path throughput -- windowed-LFU membership decisions and the
+  index server's full request/fill path, both on the policy engine
+  (PR 2), compared against the recorded PR-1 classic-path baseline;
 * end-to-end replay -- one full system run on each engine path;
 * sweep wall-clock -- the same config sweep serial vs. multi-worker
   (with the worker count and CPU count recorded, since a single-CPU
@@ -17,6 +20,8 @@ Usage::
     python scripts/emit_bench.py [--quick] [--workers N] [--output PATH]
 
 Run it from the repository root (or with ``src`` on ``PYTHONPATH``).
+``scripts/bench_trend.py`` appends the emitted report to
+``BENCH_history.jsonl`` and gates CI on end-to-end regressions.
 """
 
 from __future__ import annotations
@@ -31,12 +36,23 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import units  # noqa: E402
+from repro.cache.base import StrategyContext  # noqa: E402
+from repro.cache.factory import BuildInputs, LFUSpec, LRUSpec  # noqa: E402
+from repro.cache.index_server import IndexServer  # noqa: E402
+from repro.cache.segments import (  # noqa: E402
+    PlacementMap,
+    cache_footprint_bytes,
+    segment_bytes,
+)
 from repro.core.config import SimulationConfig  # noqa: E402
 from repro.core.meter import HourlyMeter  # noqa: E402
 from repro.core.parallel import run_many  # noqa: E402
 from repro.core.runner import run_simulation  # noqa: E402
-from repro.cache.factory import LFUSpec, LRUSpec  # noqa: E402
+from repro.peers.settop import SetTopBox  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
+from repro.topology.hfc import Neighborhood  # noqa: E402
+from repro.trace.records import Catalog, Program  # noqa: E402
 from repro.trace.synthetic import PowerInfoModel, generate_trace  # noqa: E402
 
 
@@ -53,6 +69,43 @@ SEED_REFERENCE = {
         "counters and meter buckets after the rebuild"
     ),
 }
+
+#: Cache-path baseline measured at the PR-1 commit (b2e1956): identical
+#: workloads driven through the classic push-on-change LFU and the
+#: pre-batching index server.  Measured *interleaved* with the PR-2
+#: code (alternating processes, median of 4 best-of-3 runs) because
+#: this container's absolute wall clock drifts ~1.5x between phases --
+#: only same-phase A/B numbers are comparable.  The policy-engine
+#: equivalence suite proves the refactored path makes the same
+#: decisions; this records how much faster it makes them (PR 2:
+#: index_requests ~1.34x, end_to_end ~1.11x, lfu_decisions at parity
+#: with heap memory bounded O(members) instead of O(accesses)).
+PR1_CACHE_REFERENCE = {
+    "commit": "b2e1956",
+    "lfu_decisions_s": 0.1296,
+    "index_requests_s": 0.0930,
+    "end_to_end_s": 0.484,
+    "note": (
+        "median-of-4 interleaved best-of-3 wall clocks: 40k LFU(2h) "
+        "membership decisions over 400 programs (3/4 of accesses to a "
+        "resident 40-program head, the simulator's steady-state shape), "
+        "40k index-server segment requests (50 peers, 60 programs) "
+        "including session starts and fills, and one 1500-user/6-day "
+        "replay (the end_to_end section's workload)"
+    ),
+}
+
+
+def _cpu_model() -> str:
+    """Host CPU model, so trend baselines compare like with like."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
 
 
 def best_of(fn, repeats: int = 3) -> float:
@@ -90,6 +143,69 @@ def engine_arcs(sessions: int, segments: int) -> int:
     return sim.events_processed
 
 
+def _default_lfu(history_hours: float = 2.0):
+    """One default-build LFU strategy (the policy-engine path)."""
+    spec = LFUSpec(history_hours=history_hours)
+    return spec.build(BuildInputs(n_neighborhoods=1)).strategies[0]
+
+
+def cache_lfu_decisions(n_accesses: int, n_programs: int = 400) -> None:
+    """Drive a deterministic stream of membership decisions.
+
+    Three quarters of accesses go to a 40-program hot head that stays
+    resident (member touches -- the simulator's steady-state shape at
+    its ~60-70% hit ratios); the rest scan the cold tail and exercise
+    the plan/eviction path.
+    """
+    strategy = _default_lfu()
+    strategy.bind(StrategyContext(
+        neighborhood_id=0,
+        capacity_bytes=100.0 * (n_programs // 8),
+        footprint_of=lambda pid: 100.0,
+    ))
+    on_access = strategy.on_access
+    t = 0.0
+    for i in range(n_accesses):
+        t += 37.0
+        if i % 4:
+            pid = (i * i) % 40
+        else:
+            pid = 40 + (i * 7 + i // 11) % (n_programs - 40)
+        on_access(t, pid)
+
+
+def cache_index_requests(n_requests: int, n_users: int = 50,
+                         n_programs: int = 60) -> None:
+    """The full request/fill path through one index server."""
+    catalog = Catalog([
+        Program(i, units.SEGMENT_SECONDS * (3 + i % 5))
+        for i in range(n_programs)
+    ])
+    neighborhood = Neighborhood(0, tuple(range(n_users)))
+    boxes = {
+        uid: SetTopBox(uid, storage_bytes=20 * segment_bytes())
+        for uid in neighborhood.user_ids
+    }
+    placement = PlacementMap(list(boxes.values()))
+    strategy = _default_lfu()
+    initial = strategy.bind(StrategyContext(
+        neighborhood_id=0,
+        capacity_bytes=n_users * 20 * segment_bytes(),
+        footprint_of=lambda pid: cache_footprint_bytes(catalog[pid]),
+    ))
+    server = IndexServer(neighborhood, boxes, strategy, placement, catalog)
+    server.apply_initial_membership(initial)
+    t = 0.0
+    for i in range(n_requests):
+        t += 41.0
+        uid = (i * 7 + 3) % n_users
+        pid = (i * i + i // 5) % n_programs
+        if i % 3 == 0:
+            server.on_session_start(t, uid, pid)
+        server.request_segment(t, uid, pid, i % (3 + pid % 5),
+                               units.SEGMENT_SECONDS)
+
+
 def meter_spanning(n: int) -> None:
     meter = HourlyMeter()
     for i in range(n):
@@ -120,6 +236,7 @@ def main() -> int:
         "generated_unix": int(time.time()),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
         "quick": args.quick,
         "seed_reference": SEED_REFERENCE,
     }
@@ -147,6 +264,32 @@ def main() -> int:
         "single_bucket_intervals_per_s": round(meter_n / single_s),
     }
 
+    # ---- cache path ----------------------------------------------------
+    cache_n = 10_000 if args.quick else 40_000
+    lfu_s = best_of(lambda: cache_lfu_decisions(cache_n))
+    requests_s = best_of(lambda: cache_index_requests(cache_n))
+    report["cache"] = {
+        "accesses": cache_n,
+        "lfu_decisions_s": round(lfu_s, 4),
+        "index_requests_s": round(requests_s, 4),
+        "lfu_decisions_per_s": round(cache_n / lfu_s),
+        "index_requests_per_s": round(cache_n / requests_s),
+        "pr1_reference": PR1_CACHE_REFERENCE,
+    }
+    if not args.quick:
+        # The reference was measured at the full workload size only.
+        # Same-phase caveat applies (see PR1_CACHE_REFERENCE note): on a
+        # drifting host these ratios are only indicative; the recorded
+        # interleaved A/B medians are the trustworthy comparison.
+        report["cache"]["speedup_vs_pr1"] = {
+            "lfu_decisions": round(
+                PR1_CACHE_REFERENCE["lfu_decisions_s"] / lfu_s, 2
+            ),
+            "index_requests": round(
+                PR1_CACHE_REFERENCE["index_requests_s"] / requests_s, 2
+            ),
+        }
+
     # ---- end-to-end replay --------------------------------------------
     model = PowerInfoModel(n_users=users, n_programs=users // 5, days=days,
                            seed=5)
@@ -163,6 +306,13 @@ def main() -> int:
         "bucket_s": round(bucket_e2e, 3),
         "speedup": round(heap_e2e / bucket_e2e, 2),
     }
+    if not args.quick:
+        # Same workload (1500 users / 6 days / seed 5) as the recorded
+        # PR-1 interleaved baseline.
+        report["end_to_end"]["pr1_bucket_s"] = PR1_CACHE_REFERENCE["end_to_end_s"]
+        report["end_to_end"]["speedup_vs_pr1"] = round(
+            PR1_CACHE_REFERENCE["end_to_end_s"] / bucket_e2e, 2
+        )
 
     # ---- fast-profile run vs. the recorded seed baseline ---------------
     if not args.quick:

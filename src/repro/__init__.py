@@ -21,7 +21,8 @@ Package map
 ``repro.trace``       workload model: records, synthesis, scaling, stats
 ``repro.topology``    HFC plant: headends, coax neighborhoods, placement
 ``repro.peers``       set-top boxes: disk budget, two-channel limit
-``repro.cache``       LRU / LFU / Oracle / Global-LFU strategies, index server
+``repro.cache``       the cache policy engine (LRU / LFU / Oracle /
+                      Global-LFU / GDSF / ARC / threshold), index server
 ``repro.core``        the assembled system, config, metering, results
 ``repro.baselines``   no-cache and multicast comparison models
 ``repro.analysis``    figure-level analyses (skew, attrition, feasibility)
@@ -29,11 +30,15 @@ Package map
 """
 
 from repro.cache import (
+    ARCSpec,
+    GDSFSpec,
     GlobalLFUSpec,
     LFUSpec,
     LRUSpec,
     NoCacheSpec,
     OracleSpec,
+    ThresholdSpec,
+    spec_from_name,
 )
 from repro.core import SimulationConfig, SimulationResult, run_simulation
 from repro.trace import (
@@ -66,5 +71,9 @@ __all__ = [
     "LFUSpec",
     "OracleSpec",
     "GlobalLFUSpec",
+    "GDSFSpec",
+    "ARCSpec",
+    "ThresholdSpec",
+    "spec_from_name",
     "__version__",
 ]

@@ -6,6 +6,18 @@ around, serialize into experiment labels, and instantiate once per
 neighborhood at system-build time.  Specs isolate the simulator from
 policy constructor signatures (the oracle needs future knowledge, the
 global LFU needs a shared feed, ...).
+
+Every spec registers itself in the policy registry
+(:mod:`repro.cache.policies.registry`) via the ``@policy`` decorator;
+:func:`spec_from_name` and the CLI's ``list-strategies`` subcommand
+resolve that table dynamically, so adding a spec here is all it takes
+to make a strategy runnable everywhere.
+
+Default builds run on the policy engine
+(:class:`~repro.cache.policies.api.PolicyStrategy`); the paper-era
+specs also accept ``classic=True`` to build the original push-on-change
+implementations, kept as the bit-identical reference the equivalence
+tests compare against.
 """
 
 from __future__ import annotations
@@ -20,6 +32,19 @@ from repro.cache.global_lfu import GlobalLFUStrategy, GlobalPopularityFeed
 from repro.cache.lfu import LFUStrategy
 from repro.cache.lru import LRUStrategy
 from repro.cache.oracle import OracleStrategy
+from repro.cache.policies import (
+    ARCEviction,
+    AlwaysAdmit,
+    GDSFEviction,
+    GlobalLFUEviction,
+    LFUEviction,
+    LRUEviction,
+    PolicyStrategy,
+    ThresholdAdmission,
+    get_policy,
+    named_eviction,
+    policy,
+)
 from repro.errors import ConfigurationError
 
 
@@ -70,6 +95,7 @@ class StrategySpec(ABC):
         """Instantiate one strategy per neighborhood."""
 
 
+@policy("none", summary="no cache: the paper's 17 Gb/s reference line")
 @dataclass(frozen=True)
 class NoCacheSpec(StrategySpec):
     """The paper's no-cache reference line."""
@@ -82,23 +108,37 @@ class NoCacheSpec(StrategySpec):
         return BuiltStrategies([NullStrategy() for _ in range(inputs.n_neighborhoods)])
 
 
+@policy("lru", summary="recency queue, unconditional admission (IV-B.2)")
 @dataclass(frozen=True)
 class LRUSpec(StrategySpec):
     """Least-recently-used membership (paper section IV-B.2)."""
+
+    #: Build the pre-policy-engine implementation (equivalence reference).
+    classic: bool = False
 
     @property
     def label(self) -> str:
         return "lru"
 
     def build(self, inputs: BuildInputs) -> BuiltStrategies:
-        return BuiltStrategies([LRUStrategy() for _ in range(inputs.n_neighborhoods)])
+        if self.classic:
+            return BuiltStrategies(
+                [LRUStrategy() for _ in range(inputs.n_neighborhoods)]
+            )
+        return BuiltStrategies([
+            PolicyStrategy(AlwaysAdmit(), LRUEviction())
+            for _ in range(inputs.n_neighborhoods)
+        ])
 
 
+@policy("lfu", summary="windowed frequency ranking, LRU tie-break (IV-B.2)")
 @dataclass(frozen=True)
 class LFUSpec(StrategySpec):
     """Sliding-window LFU (paper section IV-B.2, swept in Fig 11)."""
 
     history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS
+    #: Build the pre-policy-engine implementation (equivalence reference).
+    classic: bool = False
 
     @property
     def label(self) -> str:
@@ -107,11 +147,17 @@ class LFUSpec(StrategySpec):
         return f"lfu({self.history_hours:g}h)"
 
     def build(self, inputs: BuildInputs) -> BuiltStrategies:
-        return BuiltStrategies(
-            [LFUStrategy(self.history_hours) for _ in range(inputs.n_neighborhoods)]
-        )
+        if self.classic:
+            return BuiltStrategies(
+                [LFUStrategy(self.history_hours) for _ in range(inputs.n_neighborhoods)]
+            )
+        return BuiltStrategies([
+            PolicyStrategy(AlwaysAdmit(), LFUEviction(self.history_hours))
+            for _ in range(inputs.n_neighborhoods)
+        ])
 
 
+@policy("oracle", summary="future-knowledge ideal benchmark (VI-A)")
 @dataclass(frozen=True)
 class OracleSpec(StrategySpec):
     """Future-knowledge benchmark (paper section VI-A)."""
@@ -146,6 +192,7 @@ class OracleSpec(StrategySpec):
         return BuiltStrategies(strategies)
 
 
+@policy("global-lfu", summary="LFU blending the system-wide feed (Fig 13)")
 @dataclass(frozen=True)
 class GlobalLFUSpec(StrategySpec):
     """LFU with system-wide popularity data (paper Fig 13).
@@ -156,6 +203,8 @@ class GlobalLFUSpec(StrategySpec):
 
     history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS
     lag_seconds: float = 0.0
+    #: Build the pre-policy-engine implementation (equivalence reference).
+    classic: bool = False
 
     @property
     def label(self) -> str:
@@ -171,29 +220,91 @@ class GlobalLFUSpec(StrategySpec):
             else self.history_hours * units.SECONDS_PER_HOUR
         )
         feed = GlobalPopularityFeed(window_seconds=window, lag_seconds=self.lag_seconds)
-        strategies: List[CacheStrategy] = [
-            GlobalLFUStrategy(feed, neighborhood_id, self.history_hours)
-            for neighborhood_id in range(inputs.n_neighborhoods)
-        ]
+        if self.classic:
+            strategies: List[CacheStrategy] = [
+                GlobalLFUStrategy(feed, neighborhood_id, self.history_hours)
+                for neighborhood_id in range(inputs.n_neighborhoods)
+            ]
+        else:
+            strategies = [
+                PolicyStrategy(
+                    AlwaysAdmit(),
+                    GlobalLFUEviction(feed, neighborhood_id, self.history_hours),
+                )
+                for neighborhood_id in range(inputs.n_neighborhoods)
+            ]
         return BuiltStrategies(strategies, feed=feed)
 
 
-def spec_from_name(name: str) -> StrategySpec:
-    """Build a default-parameter spec from a short name.
+@policy("gdsf", summary="size-aware frequency: small-and-popular wins")
+@dataclass(frozen=True)
+class GDSFSpec(StrategySpec):
+    """Greedy-Dual-Size-Frequency over the sliding history window."""
 
-    Accepted names: ``none``, ``lru``, ``lfu``, ``oracle``,
-    ``global-lfu``.  Used by the CLI.
+    history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS
+
+    @property
+    def label(self) -> str:
+        if self.history_hours is None:
+            return "gdsf(inf)"
+        return f"gdsf({self.history_hours:g}h)"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        return BuiltStrategies([
+            PolicyStrategy(AlwaysAdmit(), GDSFEviction(self.history_hours))
+            for _ in range(inputs.n_neighborhoods)
+        ])
+
+
+@policy("arc", summary="adaptive recency/frequency split with ghost lists")
+@dataclass(frozen=True)
+class ARCSpec(StrategySpec):
+    """ARC-style adaptive policy: no history-length knob to tune."""
+
+    @property
+    def label(self) -> str:
+        return "arc"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        return BuiltStrategies([
+            PolicyStrategy(AlwaysAdmit(), ARCEviction())
+            for _ in range(inputs.n_neighborhoods)
+        ])
+
+
+@policy("threshold", summary="popularity-gated admission over any eviction")
+@dataclass(frozen=True)
+class ThresholdSpec(StrategySpec):
+    """Admission filtered by a popularity threshold, any eviction family.
+
+    ``eviction`` names the family that owns the ranking (``lru``,
+    ``lfu``, ``gdsf`` or ``arc``); admission waits for ``min_accesses``
+    inside ``window_hours`` before a program may enter.
     """
-    table = {
-        "none": NoCacheSpec,
-        "lru": LRUSpec,
-        "lfu": LFUSpec,
-        "oracle": OracleSpec,
-        "global-lfu": GlobalLFUSpec,
-    }
-    try:
-        return table[name]()
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown strategy {name!r}; choose from {sorted(table)}"
-        ) from None
+
+    min_accesses: int = 2
+    window_hours: Optional[float] = 24.0
+    eviction: str = "lru"
+
+    @property
+    def label(self) -> str:
+        window = "inf" if self.window_hours is None else f"{self.window_hours:g}h"
+        return f"thr({self.min_accesses}@{window})+{self.eviction}"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        return BuiltStrategies([
+            PolicyStrategy(
+                ThresholdAdmission(self.min_accesses, self.window_hours),
+                named_eviction(self.eviction),
+            )
+            for _ in range(inputs.n_neighborhoods)
+        ])
+
+
+def spec_from_name(name: str) -> StrategySpec:
+    """Build a default-parameter spec from a registered short name.
+
+    The accepted names are exactly the policy registry's contents (see
+    ``repro-vod list-strategies``); unknown names raise with that list.
+    """
+    return get_policy(name).spec_class()

@@ -88,7 +88,14 @@ class GlobalPopularityFeed:
         self._pending.append((self._release_time(now), now, program_id, neighborhood_id))
 
     def advance(self, now: float) -> None:
-        """Publish due batches and expire events that left the window."""
+        """Publish due batches and expire events that left the window.
+
+        Like :meth:`repro.cache.lfu.WindowedCounts.advance`, the whole
+        release/expiry backlog is drained in one pass and listeners are
+        notified once per changed program, not once per event -- counts
+        at decision time are identical, downstream heap churn is not.
+        """
+        changed: Dict[int, None] = {}
         pending = self._pending
         while pending and pending[0][0] <= now:
             _, event_time, program_id, neighborhood_id = pending.popleft()
@@ -96,25 +103,27 @@ class GlobalPopularityFeed:
             self._global_counts[program_id] = self._global_counts.get(program_id, 0) + 1
             own = self._own_counts.setdefault(neighborhood_id, {})
             own[program_id] = own.get(program_id, 0) + 1
-            self._notify(program_id)
-        if self._window is None:
-            return
-        threshold = now - self._window
-        released = self._released
-        while released and released[0][0] <= threshold:
-            _, program_id, neighborhood_id = released.popleft()
-            remaining = self._global_counts[program_id] - 1
-            if remaining:
-                self._global_counts[program_id] = remaining
-            else:
-                del self._global_counts[program_id]
-            own = self._own_counts[neighborhood_id]
-            own_remaining = own[program_id] - 1
-            if own_remaining:
-                own[program_id] = own_remaining
-            else:
-                del own[program_id]
-            self._notify(program_id)
+            changed[program_id] = None
+        if self._window is not None:
+            threshold = now - self._window
+            released = self._released
+            while released and released[0][0] <= threshold:
+                _, program_id, neighborhood_id = released.popleft()
+                remaining = self._global_counts[program_id] - 1
+                if remaining:
+                    self._global_counts[program_id] = remaining
+                else:
+                    del self._global_counts[program_id]
+                own = self._own_counts[neighborhood_id]
+                own_remaining = own[program_id] - 1
+                if own_remaining:
+                    own[program_id] = own_remaining
+                else:
+                    del own[program_id]
+                changed[program_id] = None
+        if changed and self._listeners:
+            for program_id in changed:
+                self._notify(program_id)
 
     def remote_count(self, neighborhood_id: int, program_id: int) -> int:
         """Published accesses to ``program_id`` from *other* neighborhoods."""

@@ -194,12 +194,24 @@ class IndexServer:
         self._apply_change(change)
 
     def _apply_change(self, change: MembershipChange) -> None:
+        """Apply one decision's deltas to physical placement, batched.
+
+        Evictions are released through one
+        :meth:`~repro.cache.segments.PlacementMap.remove_programs` call
+        per decision (the placement map hoists its heap bookkeeping
+        across the whole batch) and stats are bumped once per batch --
+        a multi-victim LFU admission or an oracle recompute used to pay
+        the full per-program call chain for every delta.
+        """
         if change.empty:
             return
-        for program_id in change.evicted:
-            self._placement.remove_program(program_id)
-            self._stored.pop(program_id, None)
-            self.stats.evictions += 1
+        evicted = change.evicted
+        if evicted:
+            self._placement.remove_programs(evicted)
+            stored = self._stored
+            for program_id in evicted:
+                stored.pop(program_id, None)
+            self.stats.evictions += len(evicted)
         for program_id in change.admitted:
             try:
                 program = self._catalog[program_id]
@@ -248,8 +260,7 @@ class IndexServer:
                 # The viewer's own disk: no broadcast, no channel use.
                 self.stats.local_hits += 1
                 return DeliveryOutcome(source="local", serving_box=holder.box_id)
-            if holder.can_open_stream(now):
-                holder.open_stream(now, watch_seconds)
+            if holder.try_open_stream(now, watch_seconds):
                 self.stats.peer_hits += 1
                 return DeliveryOutcome(source="peer", serving_box=holder.box_id)
             # Holder saturated: the paper's rule is that this *is* a miss.
@@ -295,10 +306,9 @@ class IndexServer:
             self.stats.fill_skips += 1
             return False
         box = assignment[segment_index]
-        if not box.can_open_stream(now):
+        if not box.try_open_stream(now, watch_seconds):
             self.stats.fill_skips += 1
             return False
-        box.open_stream(now, watch_seconds)
         stored.add(segment_index)
         self.stats.fills += 1
         return True

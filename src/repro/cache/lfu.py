@@ -10,13 +10,20 @@ strategy."
 Data structures
 ---------------
 * :class:`WindowedCounts` -- a deque of (time, program) events plus a
-  count dict; expiry walks the deque front.  Listeners are notified on
-  every count change so dependants can keep derived structures exact.
+  count dict; expiry drains the deque front in one batched pass and
+  notifies listeners once per changed program.  This is the shared
+  count source for every frequency-based policy (classic and engine).
 * The eviction order inside :class:`LFUStrategy` is a *push-on-change*
   min-heap keyed ``(count, last_access, program)``: every time a member's
   key changes, the new key is pushed; stale entries are discarded on pop
   by comparing against the live dicts.  Pops therefore always return the
   true minimum -- this is an exact LFU, not an approximation.
+
+:class:`LFUStrategy` is the *classic reference implementation*: the
+default build since PR 2 is the policy engine's
+:class:`~repro.cache.policies.eviction.LFUEviction` (same decisions,
+proven bit-identical in :mod:`tests.cache.test_policy_engine`, with a
+deferred dirty-set heap and compaction for the hot path).
 
 ``history_hours=0`` degenerates to LRU exactly as the paper states
 (Fig 11): every count has expired by decision time, so ordering reduces
@@ -67,19 +74,35 @@ class WindowedCounts:
         self._notify(program_id)
 
     def advance(self, now: float) -> None:
-        """Expire events older than the window relative to ``now``."""
+        """Expire events older than the window relative to ``now``.
+
+        Expiry is *batched*: the whole backlog up to ``now`` is drained
+        in one pass and listeners are notified once per changed program
+        (insertion-ordered) rather than once per expired event.  Counts
+        at decision time are identical either way; batching only trims
+        redundant notifications -- a program losing k events in one
+        advance used to trigger k heap re-pushes downstream, k-1 of
+        which were stale on arrival.
+        """
         if self._window is None:
             return
         threshold = now - self._window
         events = self._events
+        if not events or events[0][0] > threshold:
+            return
+        counts = self._counts
+        changed: Dict[int, None] = {}
         while events and events[0][0] <= threshold:
             _, program_id = events.popleft()
-            remaining = self._counts[program_id] - 1
+            remaining = counts[program_id] - 1
             if remaining:
-                self._counts[program_id] = remaining
+                counts[program_id] = remaining
             else:
-                del self._counts[program_id]
-            self._notify(program_id)
+                del counts[program_id]
+            changed[program_id] = None
+        if self._listeners:
+            for program_id in changed:
+                self._notify(program_id)
 
     def count(self, program_id: int) -> int:
         """Accesses to ``program_id`` currently inside the window."""

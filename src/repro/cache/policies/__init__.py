@@ -1,0 +1,62 @@
+"""The cache policy engine: composable admission + eviction policies.
+
+Layering (bottom up):
+
+* :mod:`repro.cache.policies.api` -- the ``Policy`` protocol split into
+  :class:`~repro.cache.policies.api.AdmissionPolicy` and
+  :class:`~repro.cache.policies.api.EvictionPolicy`, plus the
+  :class:`~repro.cache.policies.api.PolicyStrategy` engine that drives
+  one of each through the shared byte accounting.
+* :mod:`repro.cache.policies.admission` / ``eviction`` / ``arc`` -- the
+  policy families themselves (always/threshold admission; LRU, windowed
+  LFU, global LFU, GDSF, ARC eviction).
+* :mod:`repro.cache.policies.registry` -- the decorator-based name
+  registry the specs in :mod:`repro.cache.factory` publish themselves
+  through; ``spec_from_name`` and the CLI resolve it dynamically.
+
+``named_eviction`` is the composition seam: admission filters take an
+eviction family by registry name, so ``threshold`` composes with any of
+them without bespoke glue.
+"""
+
+from __future__ import annotations
+
+from repro.cache.policies.admission import AlwaysAdmit, ThresholdAdmission
+from repro.cache.policies.api import AdmissionPolicy, EvictionPolicy, PolicyStrategy
+from repro.cache.policies.arc import ARCEviction
+from repro.cache.policies.eviction import (
+    GDSFEviction,
+    GlobalLFUEviction,
+    LFUEviction,
+    LRUEviction,
+)
+from repro.cache.policies.registry import (
+    PolicyInfo,
+    eviction_names,
+    get_policy,
+    iter_policies,
+    named_eviction,
+    policy,
+    policy_names,
+)
+
+
+__all__ = [
+    "AdmissionPolicy",
+    "EvictionPolicy",
+    "PolicyStrategy",
+    "AlwaysAdmit",
+    "ThresholdAdmission",
+    "LRUEviction",
+    "LFUEviction",
+    "GlobalLFUEviction",
+    "GDSFEviction",
+    "ARCEviction",
+    "PolicyInfo",
+    "policy",
+    "policy_names",
+    "get_policy",
+    "iter_policies",
+    "named_eviction",
+    "eviction_names",
+]

@@ -1,0 +1,61 @@
+"""Admission policy families for the policy engine.
+
+Admission is the cheap half of the split protocol: a yes/no gate in
+front of whatever eviction family owns the ranking.  The paper's
+algorithms all admit unconditionally (the LFU plan discipline rejects
+via *eviction* economics instead), so :class:`AlwaysAdmit` is the
+default; :class:`ThresholdAdmission` adds the classic one-hit-wonder
+filter the paper does not explore -- composable with any eviction
+policy via :class:`~repro.cache.factory.ThresholdSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.cache.lfu import WindowedCounts
+from repro.cache.policies.api import AdmissionPolicy, _AlwaysAdmitMarker
+from repro.errors import ConfigurationError
+
+
+class AlwaysAdmit(AdmissionPolicy, _AlwaysAdmitMarker):
+    """Admit every candidate (the paper's implicit admission rule)."""
+
+    name = "always"
+
+    def should_admit(self, now: float, program_id: int) -> bool:
+        return True
+
+
+class ThresholdAdmission(AdmissionPolicy):
+    """Admit only programs with ``min_accesses`` in a sliding window.
+
+    VoD popularity is heavy-tailed: most programs are watched once and
+    never again, yet an unconditional policy caches (and places!) every
+    one of them, churning peers' disks for zero future hits.  This gate
+    keeps the tail out: a program becomes admissible at its
+    ``min_accesses``-th access inside ``window_hours``.  Composable with
+    any eviction family -- the gate only vetoes entry, it never touches
+    the ranking.
+    """
+
+    name = "threshold"
+
+    def __init__(self, min_accesses: int = 2,
+                 window_hours: Optional[float] = 24.0) -> None:
+        if min_accesses < 1:
+            raise ConfigurationError(
+                f"min_accesses must be at least 1, got {min_accesses}"
+            )
+        self._min_accesses = min_accesses
+        window = (None if window_hours is None
+                  else window_hours * units.SECONDS_PER_HOUR)
+        self._counts = WindowedCounts(window)
+
+    def observe(self, now: float, program_id: int) -> None:
+        self._counts.advance(now)
+        self._counts.record(now, program_id)
+
+    def should_admit(self, now: float, program_id: int) -> bool:
+        return self._counts.count(program_id) >= self._min_accesses

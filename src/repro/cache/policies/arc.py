@@ -1,0 +1,158 @@
+"""ARC-style adaptive recency/frequency eviction.
+
+Adapted from the classic Adaptive Replacement Cache (Megiddo & Modha,
+FAST '03) to this simulator's world: program-granularity members with
+heterogeneous byte footprints, driven through the policy engine's
+plan/commit protocol.
+
+Structure: members split into ``T1`` (seen once recently) and ``T2``
+(seen at least twice); ghosts of recently evicted members live in
+``B1``/``B2``.  A byte-denominated target ``p`` says how much of the
+cache recency (``T1``) deserves: a ghost hit in ``B1`` means "we
+evicted a recency victim too early" and grows ``p``; a ghost hit in
+``B2`` shrinks it.  Replacement takes from ``T1`` while it holds more
+than ``p`` bytes, else from ``T2`` -- so the split *learns* whether the
+neighborhood's viewing is drifting (recency-friendly) or stable
+(frequency-friendly) without a history-length parameter to tune.
+
+All queues are insertion-ordered dicts; behaviour is deterministic for
+a given access sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.cache.policies.api import EvictionPolicy
+from repro.cache.policies.registry import eviction_family
+
+
+@eviction_family("arc")
+class ARCEviction(EvictionPolicy):
+    """Adaptive recency/frequency split with ghost-directed tuning."""
+
+    def __init__(self) -> None:
+        #: Members seen once since admission (recency side), LRU first.
+        self._t1: "OrderedDict[int, None]" = OrderedDict()
+        #: Members seen twice or more (frequency side), LRU first.
+        self._t2: "OrderedDict[int, None]" = OrderedDict()
+        #: Ghosts: recently evicted from T1 / T2, with their footprints
+        #: (footprint_of needs no context after eviction this way).
+        self._b1: "OrderedDict[int, float]" = OrderedDict()
+        self._b2: "OrderedDict[int, float]" = OrderedDict()
+        self._t1_bytes = 0.0
+        self._b1_bytes = 0.0
+        self._b2_bytes = 0.0
+        #: Byte target for T1 (the adaptive knob).
+        self._p = 0.0
+        #: Ghost hit being serviced by the current access: the program
+        #: id and which list it came from (1 or 2).  Consumed at
+        #: admission so a re-admitted ghost lands in T2; reset on the
+        #: next observe either way.
+        self._ghost_hit: Optional[Tuple[int, int]] = None
+
+    # -- bookkeeping helpers --------------------------------------------
+
+    def _footprint(self, program_id: int) -> float:
+        return self._host.context.footprint_of(program_id)
+
+    def _capacity(self) -> float:
+        return self._host.context.capacity_bytes
+
+    def _trim_ghosts(self) -> None:
+        """Bound ghost memory to one cache's worth of bytes per list."""
+        capacity = self._capacity()
+        while self._b1 and self._b1_bytes > capacity:
+            _, footprint = self._b1.popitem(last=False)
+            self._b1_bytes -= footprint
+        while self._b2 and self._b2_bytes > capacity:
+            _, footprint = self._b2.popitem(last=False)
+            self._b2_bytes -= footprint
+
+    # -- policy interface ------------------------------------------------
+
+    def observe(self, now: float, program_id: int) -> None:
+        """Adapt the target on ghost hits (the ARC learning rule).
+
+        The ghost is *consumed* here, not at admission: one eviction
+        mistake adjusts ``p`` exactly once, even when a composed
+        admission policy (e.g. the threshold gate) vetoes re-admission
+        and the program keeps getting accessed -- canonical ARC never
+        faces that case because it admits unconditionally.
+        """
+        if program_id in self._b1:
+            footprint = self._b1.pop(program_id)
+            ratio = max(1.0, self._b2_bytes / self._b1_bytes) if self._b1_bytes else 1.0
+            self._b1_bytes -= footprint
+            self._p = min(self._capacity(), self._p + ratio * footprint)
+            self._ghost_hit = (program_id, 1)
+        elif program_id in self._b2:
+            footprint = self._b2.pop(program_id)
+            ratio = max(1.0, self._b1_bytes / self._b2_bytes) if self._b2_bytes else 1.0
+            self._b2_bytes -= footprint
+            self._p = max(0.0, self._p - ratio * footprint)
+            self._ghost_hit = (program_id, 2)
+        else:
+            self._ghost_hit = None
+
+    def touch(self, now: float, program_id: int) -> None:
+        """Second access promotes T1 -> T2; T2 hits refresh recency."""
+        if program_id in self._t1:
+            del self._t1[program_id]
+            self._t1_bytes -= self._footprint(program_id)
+            self._t2[program_id] = None
+        else:
+            self._t2.move_to_end(program_id)
+
+    def plan(self, now: float, program_id: int,
+             need_bytes: float) -> Optional[List[int]]:
+        """REPLACE: drain T1 down to the target, then T2, until it fits."""
+        victims: List[int] = []
+        freed = 0.0
+        t1_bytes = self._t1_bytes
+        from_b2 = self._ghost_hit == (program_id, 2)
+        t1 = iter(self._t1)
+        t2 = iter(self._t2)
+        while freed < need_bytes:
+            victim_id: Optional[int] = None
+            # Prefer T1 while it exceeds the adaptive target (or exactly
+            # meets it on a B2 ghost hit, per the original REPLACE rule).
+            if self._t1 and (t1_bytes > self._p
+                             or (from_b2 and t1_bytes == self._p)):
+                victim_id = next(t1, None)
+                if victim_id is not None:
+                    t1_bytes -= self._footprint(victim_id)
+            if victim_id is None:
+                victim_id = next(t2, None)
+            if victim_id is None:
+                victim_id = next(t1, None)
+            if victim_id is None:
+                return None  # pragma: no cover - footprint <= capacity
+            victims.append(victim_id)
+            freed += self._footprint(victim_id)
+        return victims
+
+    def on_admit(self, now: float, program_id: int) -> None:
+        footprint = self._footprint(program_id)
+        if self._ghost_hit is not None and self._ghost_hit[0] == program_id:
+            # Readmission after an eviction mistake: straight to the
+            # frequency side, per the original ARC cases II/III.
+            self._t2[program_id] = None
+            self._ghost_hit = None
+        else:
+            self._t1[program_id] = None
+            self._t1_bytes += footprint
+
+    def on_evict(self, program_id: int) -> None:
+        footprint = self._footprint(program_id)
+        if program_id in self._t1:
+            del self._t1[program_id]
+            self._t1_bytes -= footprint
+            self._b1[program_id] = footprint
+            self._b1_bytes += footprint
+        elif program_id in self._t2:
+            del self._t2[program_id]
+            self._b2[program_id] = footprint
+            self._b2_bytes += footprint
+        self._trim_ghosts()

@@ -191,12 +191,30 @@ class PlacementMap:
         Idempotent: removing an unplaced program is a no-op, because
         strategies may evict a program whose placement previously failed.
         """
-        assignment = self._assignments.pop(program_id, None)
-        if assignment is None:
-            return
-        # dict.fromkeys deduplicates while preserving assignment order;
-        # iterating a set here would vary with object identity hashes and
-        # break run-to-run determinism of the placement heap.
-        for box in dict.fromkeys(assignment):
-            box.release(program_id)
-            heapq.heappush(self._heap, (-box.free_bytes, next(self._counter), box))
+        self.remove_programs((program_id,))
+
+    def remove_programs(self, program_ids) -> None:
+        """Release a whole decision's evictions in one batched call.
+
+        Performs exactly the per-program release/heap-push sequence of
+        :meth:`remove_program` in order -- placement tie-breaking, and
+        therefore every downstream delivery, is bit-identical to the
+        serial calls -- but hoists the heap, counter and assignment
+        lookups out of the loop.  Multi-victim admissions and oracle
+        recomputes hit this with dozens of programs per decision.
+        """
+        assignments = self._assignments
+        heap = self._heap
+        counter = self._counter
+        heappush = heapq.heappush
+        for program_id in program_ids:
+            assignment = assignments.pop(program_id, None)
+            if assignment is None:
+                continue
+            # dict.fromkeys deduplicates while preserving assignment
+            # order; iterating a set here would vary with object identity
+            # hashes and break run-to-run determinism of the placement
+            # heap.
+            for box in dict.fromkeys(assignment):
+                box.release(program_id)
+                heappush(heap, (-box.free_bytes, next(counter), box))

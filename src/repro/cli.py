@@ -3,12 +3,17 @@
 Usage::
 
     repro-vod list
+    repro-vod list-strategies
     repro-vod fig08 [--profile fast|medium|paper]
     repro-vod all --profile medium
+    repro-vod policies --workers 0
     python -m repro.cli fig15
 
 Each experiment prints its paper-style table plus the paper's expected
-shape for eyeball comparison.
+shape for eyeball comparison.  ``list-strategies`` prints every cache
+policy registered in the policy engine (name, label, parameters);
+sweeps parallelize automatically (``REPRO_WORKERS`` or one worker per
+CPU) unless ``--workers`` pins a count.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig08), 'all', or 'list'",
+        help="experiment id (e.g. fig08), 'all', 'list', or 'list-strategies'",
     )
     parser.add_argument(
         "--profile",
@@ -47,15 +52,34 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help=(
-            "run config sweeps across N worker processes "
-            "(0 = one per CPU; default 1 = serial). Results are "
-            "bit-identical to a serial run."
+            "run config sweeps across N worker processes (0 = one per "
+            "CPU; 1 = serial; default: the REPRO_WORKERS environment "
+            "variable, else one per CPU). Results are bit-identical to "
+            "a serial run."
         ),
     )
     return parser
+
+
+def _print_strategies() -> None:
+    """Render the policy registry as an aligned table."""
+    from repro.cache.policies import iter_policies
+
+    rows = []
+    for info in iter_policies():
+        params = ", ".join(
+            f"{name}={default!r}" for name, default in info.parameters()
+        ) or "-"
+        rows.append((info.name, info.label, params, info.summary))
+    name_width = max(len(row[0]) for row in rows)
+    label_width = max(len(row[1]) for row in rows)
+    param_width = max(len(row[2]) for row in rows)
+    for name, label, params, summary in rows:
+        print(f"{name:<{name_width}}  {label:<{label_width}}  "
+              f"{params:<{param_width}}  {summary}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -67,8 +91,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{experiment_id:10s} {module.TITLE}")
         return 0
 
+    if args.experiment == "list-strategies":
+        _print_strategies()
+        return 0
+
     try:
-        if args.workers != 1:
+        if args.workers is not None:
             from repro.experiments.base import set_default_workers
 
             set_default_workers(args.workers)

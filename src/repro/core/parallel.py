@@ -47,13 +47,56 @@ def _run_one(config: SimulationConfig) -> SimulationResult:
     return run_simulation(_worker_trace, config, engine=_worker_engine)
 
 
+def _cpu_workers() -> int:
+    """One worker per CPU available to this process.
+
+    ``os.process_cpu_count()`` (Python 3.13+) respects affinity masks --
+    the honest number inside containers; older interpreters fall back
+    to ``os.cpu_count()``.
+    """
+    process_cpus = getattr(os, "process_cpu_count", None)
+    count = process_cpus() if process_cpus is not None else None
+    return count or os.cpu_count() or 1
+
+
+def default_workers() -> int:
+    """The sweep parallelism used when nobody asks for a specific count.
+
+    The ``REPRO_WORKERS`` environment variable wins (``0`` = one per
+    CPU), so CI and batch hosts can pin parallelism without threading a
+    flag through every entry point; otherwise one worker per CPU.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            requested = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if requested < 0:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be non-negative, got {requested}"
+            )
+        if requested:
+            return requested
+        return _cpu_workers()
+    return _cpu_workers()
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a worker-count request.
 
-    ``None`` or 0 means "one per CPU"; negative values are rejected.
+    ``None`` means "use the default" (:func:`default_workers`:
+    ``REPRO_WORKERS`` if set, else one per CPU); an explicit ``0``
+    always means one per CPU -- a caller asking for per-CPU
+    parallelism is not overridden by the ambient environment.
+    Negative values are rejected.
     """
-    if workers is None or workers == 0:
-        return os.cpu_count() or 1
+    if workers is None:
+        return default_workers()
+    if workers == 0:
+        return _cpu_workers()
     if workers < 0:
         raise ConfigurationError(f"workers must be non-negative, got {workers}")
     return workers

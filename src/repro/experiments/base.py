@@ -15,15 +15,19 @@ from repro.trace.records import Trace
 from repro.trace.synthetic import PowerInfoModel
 
 #: Process count used when ``strategy_rows`` is called without an
-#: explicit ``workers`` argument; the CLI's ``--workers`` flag sets it.
-_default_workers: int = 1
+#: explicit ``workers`` argument.  ``None`` (the initial value) defers
+#: to :func:`repro.core.parallel.default_workers` -- the
+#: ``REPRO_WORKERS`` environment variable if set, else one worker per
+#: CPU -- so sweeps parallelize on capable hosts without anyone passing
+#: ``--workers``.  The CLI flag overrides it for one invocation.
+_default_workers: Optional[int] = None
 
 
 def set_default_workers(workers: int) -> None:
-    """Set the sweep parallelism experiments use by default.
+    """Pin the sweep parallelism experiments use by default.
 
-    ``1`` (the initial value) keeps everything serial and in-process;
-    ``0`` means one worker per CPU.
+    ``1`` keeps everything serial and in-process; ``0`` means one
+    worker per CPU.
     """
     global _default_workers
     if workers < 0:
@@ -31,8 +35,12 @@ def set_default_workers(workers: int) -> None:
     _default_workers = workers
 
 
-def get_default_workers() -> int:
-    """The sweep parallelism used when callers do not pass ``workers``."""
+def get_default_workers() -> Optional[int]:
+    """The sweep parallelism used when callers do not pass ``workers``.
+
+    ``None`` means "auto": resolve through
+    :func:`repro.core.parallel.default_workers` at sweep time.
+    """
     return _default_workers
 
 

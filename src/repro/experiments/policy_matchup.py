@@ -1,0 +1,69 @@
+"""Policy matchup -- every registered cache policy on one workload.
+
+Not a paper exhibit: this is the scenario-diversity experiment the
+policy engine unlocks.  Every strategy in the registry (the paper's
+five plus the new GDSF, ARC and threshold-gated families) runs against
+the same trace and neighborhood configuration, so one table answers
+"which policy family wins at this cache size?" -- and, because rows are
+independent simulator executions, the sweep parallelizes across workers
+like any figure sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cache.policies import iter_policies
+from repro.core.config import SimulationConfig
+from repro.experiments.base import ExperimentResult, strategy_rows
+from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+from repro.baselines.no_cache import no_cache_peak_gbps
+
+EXPERIMENT_ID = "policies"
+TITLE = "Policy matchup: every registered strategy, one workload"
+PAPER_EXPECTATION = (
+    "not a paper exhibit; expect oracle best, LFU/GDSF close, "
+    "LRU/ARC mid-pack, threshold gating near its inner policy, none worst"
+)
+
+NOMINAL_NEIGHBORHOOD = 1_000
+
+
+def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+    """Run every registered policy at default parameters."""
+    profile = profile or get_profile()
+    trace = base_trace(profile)
+    size = profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
+
+    configs: List[SimulationConfig] = [
+        SimulationConfig(
+            neighborhood_size=size,
+            strategy=info.spec_class(),
+            warmup_days=profile.warmup_days,
+        )
+        for info in iter_policies()
+    ]
+    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
+    for info, row in zip(iter_policies(), rows):
+        row["policy"] = info.name
+    baseline = profile.extrapolate(
+        no_cache_peak_gbps(trace, warmup_seconds=profile.warmup_days * 86_400.0)
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        profile_name=profile.name,
+        columns=[
+            "policy",
+            "strategy",
+            "server_gbps",
+            "server_gbps_p5",
+            "server_gbps_p95",
+            "reduction_pct",
+            "hit_pct",
+        ],
+        rows=rows,
+        paper_expectation=PAPER_EXPECTATION,
+        notes=f"no-cache baseline (extrapolated): {baseline:.1f} Gb/s",
+        extras={"no_cache_gbps": baseline},
+    )

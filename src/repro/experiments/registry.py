@@ -23,6 +23,7 @@ from repro.experiments import (
     fig16b_population,
     fig16c_catalog,
     multicast_comparison,
+    policy_matchup,
 )
 
 _MODULES: List[ModuleType] = [
@@ -42,6 +43,7 @@ _MODULES: List[ModuleType] = [
     fig16c_catalog,
     multicast_comparison,
     ablation_tuners,
+    policy_matchup,
 ]
 
 

@@ -151,6 +151,25 @@ class SetTopBox:
         """Whether a new stream may be opened without exceeding the limit."""
         return self.active_streams(now) < self.max_streams
 
+    def try_open_stream(self, now: float, duration_seconds: float) -> bool:
+        """Open a stream if a channel is free; one lease sweep total.
+
+        The delivery hot path used to pay two sweeps per decision --
+        ``can_open_stream`` followed by ``open_stream`` re-checking the
+        limit it had just verified.  No simulated time passes between
+        the two, so the second sweep can never change the answer; this
+        fuses them.  Returns whether the lease was granted.
+        """
+        if duration_seconds <= 0:
+            raise CapacityError(
+                f"box {self.box_id}: stream duration must be positive, "
+                f"got {duration_seconds}"
+            )
+        if self.active_streams(now) >= self.max_streams:
+            return False
+        self._lease_ends.append(now + duration_seconds)
+        return True
+
     def open_stream(self, now: float, duration_seconds: float,
                     enforce_limit: bool = True) -> float:
         """Occupy one channel for ``duration_seconds`` starting at ``now``.

@@ -3,18 +3,27 @@
 import pytest
 
 from repro.cache.factory import (
+    ARCSpec,
     BuildInputs,
+    GDSFSpec,
     GlobalLFUSpec,
     LFUSpec,
     LRUSpec,
     NoCacheSpec,
     OracleSpec,
+    ThresholdSpec,
     spec_from_name,
 )
 from repro.cache.global_lfu import GlobalLFUStrategy
 from repro.cache.lfu import LFUStrategy
 from repro.cache.lru import LRUStrategy
 from repro.cache.oracle import OracleStrategy
+from repro.cache.policies import (
+    GlobalLFUEviction,
+    LFUEviction,
+    LRUEviction,
+    PolicyStrategy,
+)
 from repro.errors import ConfigurationError
 
 
@@ -26,11 +35,22 @@ class TestBuild:
 
     def test_lru_builds_independent_instances(self):
         built = LRUSpec().build(BuildInputs(n_neighborhoods=2))
-        assert all(isinstance(s, LRUStrategy) for s in built.strategies)
+        assert all(isinstance(s, PolicyStrategy) for s in built.strategies)
+        assert all(isinstance(s.eviction, LRUEviction) for s in built.strategies)
         assert built.strategies[0] is not built.strategies[1]
+        assert built.strategies[0].eviction is not built.strategies[1].eviction
+
+    def test_lru_classic_builds_reference_implementation(self):
+        built = LRUSpec(classic=True).build(BuildInputs(n_neighborhoods=2))
+        assert all(isinstance(s, LRUStrategy) for s in built.strategies)
 
     def test_lfu_passes_history(self):
         built = LFUSpec(history_hours=12.0).build(BuildInputs(n_neighborhoods=1))
+        assert isinstance(built.strategies[0], PolicyStrategy)
+        assert isinstance(built.strategies[0].eviction, LFUEviction)
+
+    def test_lfu_classic_builds_reference_implementation(self):
+        built = LFUSpec(classic=True).build(BuildInputs(n_neighborhoods=1))
         assert isinstance(built.strategies[0], LFUStrategy)
 
     def test_oracle_requires_futures(self):
@@ -53,6 +73,14 @@ class TestBuild:
     def test_global_lfu_shares_feed(self):
         built = GlobalLFUSpec(lag_seconds=60.0).build(BuildInputs(n_neighborhoods=3))
         assert built.feed is not None
+        assert all(isinstance(s, PolicyStrategy) for s in built.strategies)
+        assert all(isinstance(s.eviction, GlobalLFUEviction) for s in built.strategies)
+        assert all(s.eviction._feed is built.feed for s in built.strategies)
+
+    def test_global_lfu_classic_shares_feed(self):
+        built = GlobalLFUSpec(lag_seconds=60.0, classic=True).build(
+            BuildInputs(n_neighborhoods=2)
+        )
         assert all(isinstance(s, GlobalLFUStrategy) for s in built.strategies)
         assert all(s._feed is built.feed for s in built.strategies)
 
@@ -66,8 +94,12 @@ class TestLabels:
             OracleSpec().label,
             GlobalLFUSpec().label,
             GlobalLFUSpec(lag_seconds=1800.0).label,
+            GDSFSpec().label,
+            ARCSpec().label,
+            ThresholdSpec().label,
+            ThresholdSpec(eviction="lfu").label,
         }
-        assert len(labels) == 6
+        assert len(labels) == 10
 
     def test_lfu_label_mentions_history(self):
         assert "24" in LFUSpec(history_hours=24.0).label
@@ -83,6 +115,9 @@ class TestSpecFromName:
         assert isinstance(spec_from_name("lfu"), LFUSpec)
         assert isinstance(spec_from_name("oracle"), OracleSpec)
         assert isinstance(spec_from_name("global-lfu"), GlobalLFUSpec)
+        assert isinstance(spec_from_name("gdsf"), GDSFSpec)
+        assert isinstance(spec_from_name("arc"), ARCSpec)
+        assert isinstance(spec_from_name("threshold"), ThresholdSpec)
 
     def test_unknown_name_lists_choices(self):
         with pytest.raises(ConfigurationError, match="lru"):

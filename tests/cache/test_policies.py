@@ -1,0 +1,279 @@
+"""Policy registry, new policy families, and engine-wide invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.cache.base import StrategyContext
+from repro.cache.factory import BuildInputs, spec_from_name
+from repro.cache.policies import (
+    ARCEviction,
+    AlwaysAdmit,
+    GDSFEviction,
+    LFUEviction,
+    LRUEviction,
+    PolicyStrategy,
+    ThresholdAdmission,
+    eviction_names,
+    get_policy,
+    iter_policies,
+    named_eviction,
+    policy_names,
+)
+from repro.cache.segments import segment_bytes
+from repro.errors import ConfigurationError
+
+from tests.cache.helpers import bind
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        names = policy_names()
+        for expected in ("none", "lru", "lfu", "oracle", "global-lfu",
+                         "gdsf", "arc", "threshold"):
+            assert expected in names
+
+    def test_unknown_name_lists_registered_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_policy("clock")
+        message = str(excinfo.value)
+        for name in policy_names():
+            assert name in message
+
+    def test_spec_from_name_error_comes_from_registry(self):
+        with pytest.raises(ConfigurationError, match="gdsf"):
+            spec_from_name("clock")
+
+    def test_parameters_reflect_dataclass_fields(self):
+        params = dict(get_policy("lfu").parameters())
+        assert params["history_hours"] == 72.0
+        assert dict(get_policy("threshold").parameters())["min_accesses"] == 2
+
+    def test_every_policy_has_label_and_summary(self):
+        for info in iter_policies():
+            assert info.label
+            assert info.summary
+
+    def test_named_eviction_families(self):
+        assert set(eviction_names()) == {"lru", "lfu", "gdsf", "arc"}
+        with pytest.raises(ConfigurationError):
+            named_eviction("fifo")
+
+
+def _build_one(info, futures):
+    """One bound-ready strategy instance for any registered policy."""
+    spec = info.spec_class()
+    inputs = BuildInputs(
+        n_neighborhoods=1,
+        future_accesses=[futures] if spec.requires_future_knowledge else None,
+    )
+    return spec.build(inputs).strategies[0]
+
+
+class TestCapacityInvariant:
+    """Every registered policy respects capacity on random streams."""
+
+    @pytest.mark.parametrize("info", iter_policies(),
+                             ids=[i.name for i in iter_policies()])
+    @pytest.mark.parametrize("seed", [3, 41])
+    def test_used_bytes_never_exceed_capacity(self, info, seed):
+        rng = random.Random(seed)
+        accesses = []
+        t = 0.0
+        for _ in range(500):
+            t += rng.uniform(1.0, 2 * units.SECONDS_PER_HOUR)
+            accesses.append((t, rng.randrange(30)))
+        futures = {}
+        for when, pid in accesses:
+            futures.setdefault(pid, []).append(when)
+
+        strategy = _build_one(info, futures)
+        capacity = 750.0
+        sizes = {pid: 50.0 + 50.0 * (pid % 4) for pid in range(30)}
+        bind(strategy, capacity=capacity, sizes=sizes)
+        members = set(strategy.members)  # oracle pre-warms at bind
+        for now, program_id in accesses:
+            change = strategy.on_access(now, program_id)
+            for evicted in change.evicted:
+                assert evicted in members
+                members.discard(evicted)
+            for admitted in change.admitted:
+                assert admitted not in members
+                members.add(admitted)
+            assert members == set(strategy.members)
+            assert strategy.used_bytes <= capacity + 1e-9
+            assert strategy.used_bytes == pytest.approx(
+                sum(sizes[pid] for pid in members)
+            )
+
+
+class TestZeroHistoryDegeneratesToLRU:
+    """Fig 11's claim, proven on the policy engine itself."""
+
+    @given(st.lists(st.tuples(st.integers(1, 30), st.integers(0, 25)),
+                    min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_property_zero_history_lfu_equals_lru(self, steps):
+        lfu = PolicyStrategy(AlwaysAdmit(), LFUEviction(history_hours=0.0))
+        lru = PolicyStrategy(AlwaysAdmit(), LRUEviction())
+        bind(lfu, capacity=400.0)
+        bind(lru, capacity=400.0)
+        t = 0.0
+        for gap, pid in steps:
+            t += gap  # strictly increasing: ties are tested elsewhere
+            lfu_change = lfu.on_access(t, pid)
+            lru_change = lru.on_access(t, pid)
+            assert lfu_change.admitted == lru_change.admitted
+            assert lfu_change.evicted == lru_change.evicted
+        assert lfu.members == lru.members
+
+
+class TestGDSF:
+    def _bind(self, capacity_segments=4.0, sizes=None):
+        strategy = PolicyStrategy(AlwaysAdmit(), GDSFEviction(history_hours=24.0))
+        seg = segment_bytes()
+        sizes = sizes or {}
+        strategy.bind(StrategyContext(
+            neighborhood_id=0,
+            capacity_bytes=capacity_segments * seg,
+            footprint_of=lambda pid: sizes.get(pid, 1.0) * seg,
+        ))
+        return strategy
+
+    def test_small_popular_program_outranks_large_lukewarm(self):
+        # Program 1 is large (3 segments, one access); program 2 is
+        # small (1 segment) and hot.  A newcomer needing the large
+        # program's bytes evicts it, not the small hot one.
+        strategy = self._bind(capacity_segments=4.0, sizes={1: 3.0, 2: 1.0, 3: 3.0})
+        strategy.on_access(0.0, 1)
+        for t in (10.0, 20.0, 30.0):
+            strategy.on_access(t, 2)
+        change = strategy.on_access(40.0, 3)
+        assert change.admitted == [3]
+        assert change.evicted == [1]
+        assert 2 in strategy
+
+    def test_eviction_inflates_clock(self):
+        strategy = self._bind(capacity_segments=2.0, sizes={pid: 1.0 for pid in range(9)})
+        evictor = strategy.eviction
+        t = 0.0
+        for pid in range(6):
+            t += 10.0
+            strategy.on_access(t, pid)
+        assert evictor._clock > 0.0
+
+    def test_heap_stays_bounded_on_stable_workloads(self):
+        # A stable member-heavy stream must not accumulate one heap
+        # entry per touch (the deferred dirty-set + compaction
+        # discipline shared with LFU).
+        strategy = self._bind(capacity_segments=12.0,
+                              sizes={pid: 1.0 for pid in range(40)})
+        evictor = strategy.eviction
+        t = 0.0
+        for i in range(20_000):
+            t += 7.0
+            strategy.on_access(t, (i * i + i // 9) % 40)
+        assert len(evictor._heap) < 2_000
+
+    def test_cold_newcomer_cannot_displace_hot_members(self):
+        strategy = self._bind(capacity_segments=2.0, sizes={pid: 1.0 for pid in range(9)})
+        for t, pid in ((0.0, 1), (1.0, 1), (2.0, 1), (3.0, 2), (4.0, 2), (5.0, 2)):
+            strategy.on_access(t, pid)
+        change = strategy.on_access(6.0, 7)  # count 1 vs count-3 members
+        assert change.empty
+        assert 7 not in strategy
+
+
+class TestARC:
+    def _bind(self, capacity=300.0):
+        strategy = PolicyStrategy(AlwaysAdmit(), ARCEviction())
+        bind(strategy, capacity=capacity)
+        return strategy
+
+    def test_second_access_promotes_to_frequency_side(self):
+        strategy = self._bind()
+        evictor = strategy.eviction
+        strategy.on_access(0.0, 1)
+        assert 1 in evictor._t1
+        strategy.on_access(1.0, 1)
+        assert 1 in evictor._t2
+        assert 1 not in evictor._t1
+
+    def test_one_hit_wonders_evict_before_frequent_members(self):
+        strategy = self._bind(capacity=300.0)
+        strategy.on_access(0.0, 1)
+        strategy.on_access(1.0, 1)  # 1 promoted to T2
+        strategy.on_access(2.0, 2)
+        strategy.on_access(3.0, 3)  # cache full: {1, 2, 3}
+        change = strategy.on_access(4.0, 4)
+        assert change.admitted == [4]
+        assert change.evicted == [2]  # oldest one-hit wonder, not the T2 member
+        assert 1 in strategy
+
+    def test_ghost_hit_readmits_into_t2_and_adapts(self):
+        strategy = self._bind(capacity=300.0)
+        evictor = strategy.eviction
+        strategy.on_access(0.0, 1)
+        strategy.on_access(1.0, 2)
+        strategy.on_access(2.0, 3)
+        strategy.on_access(3.0, 4)   # evicts 1 into the B1 ghost
+        assert 1 in evictor._b1
+        target_before = evictor._p
+        strategy.on_access(4.0, 1)   # ghost hit: readmit, grow the target
+        assert 1 in evictor._t2
+        assert evictor._p > target_before
+
+    def test_ghost_lists_stay_bounded(self):
+        strategy = self._bind(capacity=300.0)
+        evictor = strategy.eviction
+        t = 0.0
+        for pid in range(200):
+            t += 1.0
+            strategy.on_access(t, pid)
+        assert evictor._b1_bytes <= 300.0 + 1e-9
+        assert evictor._b2_bytes <= 300.0 + 1e-9
+
+
+class TestThresholdAdmission:
+    def test_first_access_is_filtered(self):
+        strategy = PolicyStrategy(ThresholdAdmission(min_accesses=2),
+                                  LRUEviction())
+        bind(strategy)
+        assert strategy.on_access(0.0, 1).empty
+        change = strategy.on_access(10.0, 1)
+        assert change.admitted == [1]
+
+    def test_window_expiry_resets_the_gate(self):
+        strategy = PolicyStrategy(
+            ThresholdAdmission(min_accesses=2, window_hours=1.0),
+            LRUEviction(),
+        )
+        bind(strategy)
+        strategy.on_access(0.0, 1)
+        # Second access lands outside the window: still below threshold.
+        late = 2 * units.SECONDS_PER_HOUR
+        assert strategy.on_access(late, 1).empty
+        assert strategy.on_access(late + 60.0, 1).admitted == [1]
+
+    def test_composes_with_any_eviction_family(self):
+        for eviction in eviction_names():
+            strategy = PolicyStrategy(ThresholdAdmission(min_accesses=2),
+                                      named_eviction(eviction))
+            bind(strategy)
+            assert strategy.on_access(0.0, 5).empty
+            assert strategy.on_access(1.0, 5).admitted == [5]
+
+    def test_min_accesses_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdAdmission(min_accesses=0)
+
+    def test_threshold_spec_builds_composition(self):
+        spec = spec_from_name("threshold")
+        built = spec.build(BuildInputs(n_neighborhoods=2))
+        assert all(isinstance(s, PolicyStrategy) for s in built.strategies)
+        assert all(isinstance(s.admission, ThresholdAdmission)
+                   for s in built.strategies)

@@ -61,6 +61,54 @@ class TestHeapBucketEquivalence:
         assert_identical(default, bucket)
 
 
+class TestWorkerDefaults:
+    def test_repro_workers_env_overrides(self, monkeypatch):
+        from repro.core.parallel import (
+            _cpu_workers,
+            default_workers,
+            resolve_workers,
+        )
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        assert resolve_workers(None) == 3
+        assert resolve_workers(2) == 2  # explicit request wins
+        # An explicit 0 is a *request* for per-CPU parallelism; the
+        # ambient environment must not override it.
+        assert resolve_workers(0) == _cpu_workers()
+
+    def test_env_zero_means_one_per_cpu(self, monkeypatch):
+        import os
+
+        from repro.core.parallel import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        process_cpus = getattr(os, "process_cpu_count", None)
+        expected = (process_cpus() if process_cpus else None) or os.cpu_count() or 1
+        assert default_workers() == expected
+
+    def test_default_is_cpu_derived(self, monkeypatch):
+        import os
+
+        from repro.core.parallel import default_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        process_cpus = getattr(os, "process_cpu_count", None)
+        expected = (process_cpus() if process_cpus else None) or os.cpu_count() or 1
+        assert default_workers() == expected
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        from repro.core.parallel import default_workers
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ConfigurationError):
+            default_workers()
+
+
 class TestParallelEquivalence:
     def test_two_workers_match_serial_rows(self, tiny_model):
         configs = [_config(LFUSpec()), _config(LRUSpec())]

@@ -27,8 +27,9 @@ def results():
 
 class TestRegistry:
     def test_all_exhibits_registered(self):
-        # 15 paper exhibits plus the tuner-budget ablation.
-        assert len(all_experiments()) == 16
+        # 15 paper exhibits, the tuner-budget ablation, and the
+        # policy-engine matchup.
+        assert len(all_experiments()) == 17
 
     def test_lookup_by_id(self):
         assert get_experiment("fig08").EXPERIMENT_ID == "fig08"
@@ -219,6 +220,24 @@ class TestAblationTuners:
     def test_busy_miss_share_small_at_two_channels(self, results):
         rows = {r["channels"]: r for r in results["ablation-tuners"].rows}
         assert rows[2]["busy_miss_pct"] < 5.0
+
+
+class TestPolicyMatchup:
+    def test_every_registered_policy_produces_a_row(self, results):
+        from repro.cache.policies import policy_names
+
+        rows = {row["policy"] for row in results["policies"].rows}
+        assert rows == set(policy_names())
+
+    def test_no_cache_is_worst_and_caching_helps(self, results):
+        rows = {row["policy"]: row for row in results["policies"].rows}
+        worst = max(r["server_gbps"] for r in rows.values())
+        assert rows["none"]["server_gbps"] == pytest.approx(worst)
+        # Every real policy family relieves the central server.
+        for name, row in rows.items():
+            if name != "none":
+                assert row["server_gbps"] < rows["none"]["server_gbps"]
+                assert row["hit_pct"] > 0.0
 
 
 class TestMulticastComparison:

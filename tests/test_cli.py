@@ -12,6 +12,18 @@ class TestCli:
         for experiment_id in ("fig02", "fig08", "fig15", "multicast"):
             assert experiment_id in out
 
+    def test_list_strategies_prints_registry(self, capsys):
+        from repro.cache.policies import iter_policies
+
+        assert main(["list-strategies"]) == 0
+        out = capsys.readouterr().out
+        for info in iter_policies():
+            assert info.name in out
+            assert info.label in out
+        # Parameters come from the real spec surface.
+        assert "history_hours" in out
+        assert "min_accesses" in out
+
     def test_unknown_experiment_fails_cleanly(self, capsys):
         assert main(["fig99"]) == 2
         assert "error" in capsys.readouterr().err
