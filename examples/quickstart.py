@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: cache a synthetic VoD workload and measure the saving.
 
-Generates a small PowerInfo-like workload, runs the cooperative set-top
-cache with the paper's default configuration (LFU strategy, 10 GB per
-peer), and prints the peak server load against the no-cache baseline --
+Builds a :class:`repro.Scenario` -- the declarative unit every run in
+this library shares -- for a small PowerInfo-like workload under the
+paper's default configuration (LFU strategy, 10 GB per peer), runs it
+next to the no-cache baseline, and prints the peak server load saving:
 a miniature of the paper's headline Fig 8 result.
+
+The same scenario serialized to JSON (``scenario.to_json()``) runs
+through the CLI: ``repro-vod run examples/scenarios/quickstart.json``.
 
 Run with::
 
@@ -17,9 +21,9 @@ from repro import (
     LFUSpec,
     NoCacheSpec,
     PowerInfoModel,
+    Scenario,
     SimulationConfig,
-    generate_trace,
-    run_simulation,
+    run_scenario,
 )
 
 #: A scaled-down PowerInfo deployment: ~2,000 subscribers, ~400-program
@@ -27,24 +31,26 @@ from repro import (
 #: the library preserves the paper's geometry at reduced scale.
 MODEL = PowerInfoModel(n_users=2_000, n_programs=400, days=10.0, seed=42)
 
-
-def main() -> None:
-    print("generating workload...")
-    trace = generate_trace(MODEL)
-    print(f"  {len(trace):,} sessions from {trace.n_users:,} subscribers "
-          f"over {trace.span_days:.1f} days\n")
-
-    config = SimulationConfig(
+SCENARIO = Scenario(
+    trace=MODEL,
+    config=SimulationConfig(
         neighborhood_size=200,       # subscribers per coax segment
         per_peer_storage_gb=10.0,    # each set-top box contributes 10 GB
         strategy=LFUSpec(),          # 3-day-history LFU at each headend
         warmup_days=4.0,             # exclude the cold-cache prefix
-    )
+    ),
+    label="quickstart",
+)
 
+
+def main() -> None:
     print("running the cooperative cache...")
-    cached = run_simulation(trace, config)
+    cached = run_scenario(SCENARIO)
     print("running the no-cache baseline...")
-    baseline = run_simulation(trace, config.with_strategy(NoCacheSpec()))
+    baseline_config = SCENARIO.config.with_strategy(NoCacheSpec())
+    baseline = run_scenario(
+        Scenario(trace=MODEL, config=baseline_config, label="no-cache")
+    )
 
     print()
     print(cached.summary())

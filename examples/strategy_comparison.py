@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
 """Compare every caching strategy the paper evaluates on one workload.
 
-Runs LRU, windowed LFU (several histories), global LFU with propagation
-lag, the impossible Oracle, and the no-cache baseline on an identical
-trace and deployment, printing the paper's headline metrics side by
-side.  A compact tour of the section VI-A design space.
+One declarative :class:`repro.Sweep` does what a hand-written loop used
+to: a strategy axis over a shared base scenario, executed with one
+generated trace and (on multi-core hosts) parallel workers.  Runs LRU,
+windowed LFU (several histories), global LFU with propagation lag, the
+impossible Oracle, and the no-cache baseline on an identical trace and
+deployment -- a compact tour of the section VI-A design space.
+
+``SWEEP.to_json()`` is a ready-made scenario file for ``repro-vod
+sweep``; ``repro-vod describe fig08`` prints the real figures in the
+same schema.
 
 Run with::
 
@@ -13,50 +19,49 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    GlobalLFUSpec,
-    LFUSpec,
-    LRUSpec,
-    NoCacheSpec,
-    OracleSpec,
-    PowerInfoModel,
-    SimulationConfig,
-    generate_trace,
-    run_simulation,
-)
+from repro import PowerInfoModel, Scenario, Sweep, SimulationConfig, run_sweep
 
 MODEL = PowerInfoModel(n_users=2_000, n_programs=400, days=10.0, seed=13)
 
-STRATEGIES = (
-    NoCacheSpec(),
-    LRUSpec(),
-    LFUSpec(history_hours=24.0),
-    LFUSpec(history_hours=72.0),
-    LFUSpec(history_hours=168.0),
-    GlobalLFUSpec(lag_seconds=0.0),
-    GlobalLFUSpec(lag_seconds=1_800.0),
-    OracleSpec(),
+SWEEP = Sweep(
+    base=Scenario(
+        trace=MODEL,
+        config=SimulationConfig(
+            neighborhood_size=200,
+            per_peer_storage_gb=4.0,
+            warmup_days=4.0,
+        ),
+        label="strategy-comparison",
+    ),
+    sweep_id="strategy-comparison",
+    title="Every paper strategy, one workload",
+    axes={
+        # Registry names with parameters -- the same strings the CLI
+        # and scenario files accept.
+        "config.strategy": [
+            "none",
+            "lru",
+            "lfu:24",
+            "lfu:72",
+            "lfu:168",
+            "global-lfu",
+            "global-lfu:lag_seconds=1800",
+            "oracle",
+        ],
+    },
 )
 
 
 def main() -> None:
-    trace = generate_trace(MODEL)
-    print(f"workload: {len(trace):,} sessions over {trace.span_days:.1f} days\n")
+    print(f"workload: {MODEL.n_users:,} users, {MODEL.n_programs} programs, "
+          f"{MODEL.days:g} days\n")
+    rows = run_sweep(SWEEP)
     print(f"{'strategy':<26} {'server Gb/s':>11} {'reduction':>9} "
-          f"{'hit ratio':>9} {'evictions':>9}")
-
-    for spec in STRATEGIES:
-        config = SimulationConfig(
-            neighborhood_size=200,
-            per_peer_storage_gb=4.0,
-            strategy=spec,
-            warmup_days=4.0,
-        )
-        result = run_simulation(trace, config)
-        print(f"{spec.label:<26} {result.peak_server_gbps():>11.3f} "
-              f"{result.peak_reduction():>9.0%} "
-              f"{result.counters.hit_ratio:>9.0%} "
-              f"{result.counters.evictions:>9}")
+          f"{'hit ratio':>9}")
+    for row in rows:
+        print(f"{row['strategy']:<26} {row['server_gbps']:>11.3f} "
+              f"{row['reduction_pct'] / 100:>9.0%} "
+              f"{row['hit_pct'] / 100:>9.0%}")
 
     print("\nExpected ordering (paper section VI-A): oracle best, "
           "LFU >= LRU, global knowledge a small extra win.")

@@ -9,7 +9,9 @@ Usage::
 
 Reads the freshly emitted ``BENCH_micro.json``, appends one compact
 line to ``BENCH_history.jsonl`` (so the perf trajectory accumulates
-across CI runs via the artifact), and exits non-zero when the
+across CI runs via the artifact), renders an ASCII trend chart of the
+comparable history (also into ``$GITHUB_STEP_SUMMARY`` when set, so the
+trajectory shows up on the CI run page), and exits non-zero when the
 end-to-end metric regressed more than ``--max-regression`` (default
 25%) against the previous history entry.  The first run of a metric
 never fails -- there is nothing to compare against.
@@ -19,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -62,6 +65,51 @@ def summarize(report: dict) -> dict:
     return entry
 
 
+def comparable_entries(lines: list, entry: dict) -> list:
+    """History entries measured on the same workload shape and hardware."""
+    matches = []
+    for line in lines:
+        candidate = json.loads(line)
+        if (candidate.get("quick") == entry.get("quick")
+                and candidate.get("cpu_count") == entry.get("cpu_count")
+                and candidate.get("cpu_model") == entry.get("cpu_model")):
+            matches.append(candidate)
+    return matches
+
+
+def render_trend(entries: list, key: str = "end_to_end_s",
+                 width: int = 40, last: int = 20) -> str:
+    """An ASCII bar chart of one metric's trajectory, oldest first.
+
+    Bars scale to the slowest run in view; regressions that were gated
+    are marked so the trend stays honest about which entries the
+    baseline selection skipped.
+    """
+    points = [(e.get(key), bool(e.get("regressed"))) for e in entries[-last:]]
+    points = [(v, flagged) for v, flagged in points if isinstance(v, (int, float))]
+    if not points:
+        return ""
+    top = max(v for v, _ in points)
+    lines = [f"{key} trend ({len(points)} comparable runs, "
+             f"latest last; full bar = {top:.4f}s)"]
+    for index, (value, flagged) in enumerate(points, 1):
+        bar = "#" * max(1, round(width * value / top)) if top > 0 else ""
+        marker = "  <- gated regression" if flagged else ""
+        lines.append(f"  {index:>3}  {value:8.4f}s  {bar}{marker}")
+    return "\n".join(lines)
+
+
+def _publish_summary(chart: str) -> None:
+    """Print the chart; mirror it into the CI job summary when present."""
+    if not chart:
+        return
+    print(chart)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write("### Bench trend\n\n```text\n" + chart + "\n```\n")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--report", default="BENCH_micro.json",
@@ -88,17 +136,15 @@ def main() -> int:
     # otherwise a regression becomes the next run's baseline and the
     # gate only ever fires once.
     history_path = Path(args.history)
-    previous: dict | None = None
+    earlier: list = []
     if history_path.exists():
         lines = [line for line in history_path.read_text().splitlines() if line.strip()]
-        for line in reversed(lines):
-            candidate = json.loads(line)
-            if (candidate.get("quick") == entry.get("quick")
-                    and candidate.get("cpu_count") == entry.get("cpu_count")
-                    and candidate.get("cpu_model") == entry.get("cpu_model")
-                    and not candidate.get("regressed")):
-                previous = candidate
-                break
+        earlier = comparable_entries(lines, entry)
+    previous: dict | None = next(
+        (candidate for candidate in reversed(earlier)
+         if not candidate.get("regressed")),
+        None,
+    )
 
     failures = []
     if previous is not None:
@@ -123,6 +169,8 @@ def main() -> int:
     history_path.parent.mkdir(parents=True, exist_ok=True)
     with history_path.open("a") as fh:
         fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    _publish_summary(render_trend(earlier + [entry]))
 
     if previous is None:
         print(f"bench-trend: no comparable entry in {history_path}; "

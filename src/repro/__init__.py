@@ -24,13 +24,17 @@ Package map
 ``repro.cache``       the cache policy engine (LRU / LFU / Oracle /
                       Global-LFU / GDSF / ARC / threshold), index server
 ``repro.core``        the assembled system, config, metering, results
+``repro.scenario``    declarative scenarios/sweeps: one serializable
+                      schema for traces, configs, and config grids
 ``repro.baselines``   no-cache and multicast comparison models
 ``repro.analysis``    figure-level analyses (skew, attrition, feasibility)
-``repro.experiments`` one module per paper table/figure
+``repro.experiments`` one module per paper table/figure (the sweepable
+                      ones are thin ``repro.scenario`` definitions)
 """
 
 from repro.cache import (
     ARCSpec,
+    FrequencySketchSpec,
     GDSFSpec,
     GlobalLFUSpec,
     LFUSpec,
@@ -38,9 +42,21 @@ from repro.cache import (
     NoCacheSpec,
     OracleSpec,
     ThresholdSpec,
+    spec_from_dict,
     spec_from_name,
+    spec_to_dict,
 )
 from repro.core import SimulationConfig, SimulationResult, run_simulation
+from repro.scenario import (
+    Scenario,
+    Sweep,
+    load_scenario,
+    load_sweep,
+    run_scenario,
+    run_scenarios,
+    run_sweep,
+    scenario_row,
+)
 from repro.trace import (
     Catalog,
     PowerInfoModel,
@@ -52,7 +68,7 @@ from repro.trace import (
     scale_population,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PowerInfoModel",
@@ -66,6 +82,14 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "run_simulation",
+    "Scenario",
+    "Sweep",
+    "run_scenario",
+    "run_scenarios",
+    "run_sweep",
+    "scenario_row",
+    "load_scenario",
+    "load_sweep",
     "NoCacheSpec",
     "LRUSpec",
     "LFUSpec",
@@ -74,6 +98,9 @@ __all__ = [
     "GDSFSpec",
     "ARCSpec",
     "ThresholdSpec",
+    "FrequencySketchSpec",
     "spec_from_name",
+    "spec_from_dict",
+    "spec_to_dict",
     "__version__",
 ]

@@ -40,6 +40,7 @@ policy engine:
 from repro.cache.base import CacheStrategy, MembershipChange, StrategyContext
 from repro.cache.factory import (
     ARCSpec,
+    FrequencySketchSpec,
     GDSFSpec,
     GlobalLFUSpec,
     LFUSpec,
@@ -48,7 +49,9 @@ from repro.cache.factory import (
     OracleSpec,
     StrategySpec,
     ThresholdSpec,
+    spec_from_dict,
     spec_from_name,
+    spec_to_dict,
 )
 from repro.cache.index_server import DeliveryOutcome, IndexServer
 from repro.cache.lru import LRUStrategy
@@ -87,7 +90,10 @@ __all__ = [
     "GDSFSpec",
     "ARCSpec",
     "ThresholdSpec",
+    "FrequencySketchSpec",
     "spec_from_name",
+    "spec_from_dict",
+    "spec_to_dict",
     "policy_names",
     "iter_policies",
 ]

@@ -22,6 +22,7 @@ tests compare against.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -35,6 +36,7 @@ from repro.cache.oracle import OracleStrategy
 from repro.cache.policies import (
     ARCEviction,
     AlwaysAdmit,
+    FrequencySketchAdmission,
     GDSFEviction,
     GlobalLFUEviction,
     LFUEviction,
@@ -259,15 +261,24 @@ class GDSFSpec(StrategySpec):
 @policy("arc", summary="adaptive recency/frequency split with ghost lists")
 @dataclass(frozen=True)
 class ARCSpec(StrategySpec):
-    """ARC-style adaptive policy: no history-length knob to tune."""
+    """ARC-style adaptive policy: no history-length knob to tune.
+
+    ``ghost_budget`` caps each ghost list at that fraction of cache
+    capacity (1.0 = canonical ARC); it is the family's one sweepable
+    parameter (see ``examples/scenarios/arc_ghost_sweep.json``).
+    """
+
+    ghost_budget: float = 1.0
 
     @property
     def label(self) -> str:
-        return "arc"
+        if self.ghost_budget == 1.0:
+            return "arc"
+        return f"arc(g={self.ghost_budget:g})"
 
     def build(self, inputs: BuildInputs) -> BuiltStrategies:
         return BuiltStrategies([
-            PolicyStrategy(AlwaysAdmit(), ARCEviction())
+            PolicyStrategy(AlwaysAdmit(), ARCEviction(self.ghost_budget))
             for _ in range(inputs.n_neighborhoods)
         ])
 
@@ -301,10 +312,162 @@ class ThresholdSpec(StrategySpec):
         ])
 
 
+@policy("frequency-sketch",
+        summary="TinyLFU-style sketch-gated admission over any eviction")
+@dataclass(frozen=True)
+class FrequencySketchSpec(StrategySpec):
+    """Admission gated by a count-min sketch estimate (TinyLFU-style).
+
+    The O(1)-memory cousin of :class:`ThresholdSpec`: a program enters
+    once its sketch estimate reaches ``min_estimate``; all counters
+    halve every ``decay_accesses`` observations so stale popularity
+    fades.  ``eviction`` names the family that owns the ranking.
+    """
+
+    min_estimate: int = 2
+    width: int = 1024
+    depth: int = 4
+    decay_accesses: int = 8192
+    eviction: str = "lru"
+
+    @property
+    def label(self) -> str:
+        return f"sketch({self.min_estimate})+{self.eviction}"
+
+    def build(self, inputs: BuildInputs) -> BuiltStrategies:
+        return BuiltStrategies([
+            PolicyStrategy(
+                FrequencySketchAdmission(
+                    min_estimate=self.min_estimate,
+                    width=self.width,
+                    depth=self.depth,
+                    decay_accesses=self.decay_accesses,
+                ),
+                named_eviction(self.eviction),
+            )
+            for _ in range(inputs.n_neighborhoods)
+        ])
+
+
+# ---------------------------------------------------------------------------
+# Name / dict serialization (the scenario layer's strategy wire format)
+# ---------------------------------------------------------------------------
+
+
+def _spec_fields(spec_class: type) -> List[dataclasses.Field]:
+    """The spec's tunable dataclass fields, in declaration order.
+
+    ``classic`` (the pre-engine reference build used by the equivalence
+    tests) is excluded exactly as the registry's parameter listing
+    excludes it: it selects an implementation, not a policy.
+    """
+    return [
+        field for field in dataclasses.fields(spec_class)
+        if field.init and field.name != "classic"
+    ]
+
+
+def _coerce_arg(raw: str) -> object:
+    """Interpret one ``name:arg`` token (int, float, None, or string)."""
+    lowered = raw.lower()
+    if lowered in ("none", "null", "inf"):
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
 def spec_from_name(name: str) -> StrategySpec:
-    """Build a default-parameter spec from a registered short name.
+    """Build a spec from a registered short name, with optional args.
 
     The accepted names are exactly the policy registry's contents (see
-    ``repro-vod list-strategies``); unknown names raise with that list.
+    ``repro-vod list-strategies``); unknown names raise with that list
+    and a close-match suggestion.  A ``:`` introduces parameters --
+    positional (in dataclass field order) or ``key=value``, comma
+    separated::
+
+        spec_from_name("lfu")                      # LFUSpec()
+        spec_from_name("lfu:72")                   # LFUSpec(history_hours=72)
+        spec_from_name("lfu:inf")                  # LFUSpec(history_hours=None)
+        spec_from_name("threshold:3,24,gdsf")      # positional
+        spec_from_name("threshold:eviction=gdsf")  # keyword
     """
-    return get_policy(name).spec_class()
+    base, _, argstr = name.partition(":")
+    info = get_policy(base.strip())
+    if not argstr.strip():
+        return info.spec_class()
+    fields = _spec_fields(info.spec_class)
+    names = [field.name for field in fields]
+    kwargs: Dict[str, object] = {}
+    for position, token in enumerate(argstr.split(",")):
+        token = token.strip()
+        if "=" in token:
+            key, _, raw = token.partition("=")
+            key = key.strip()
+            if key not in names:
+                raise ConfigurationError(
+                    f"strategy {base!r} has no parameter {key!r} "
+                    f"(have {names})"
+                )
+        else:
+            if position >= len(fields):
+                raise ConfigurationError(
+                    f"strategy {base!r} takes at most {len(fields)} "
+                    f"parameters ({names}), got extra {token!r}"
+                )
+            key, raw = fields[position].name, token
+        if key in kwargs:
+            raise ConfigurationError(
+                f"strategy {base!r} parameter {key!r} given twice in {name!r}"
+            )
+        kwargs[key] = _coerce_arg(raw.strip())
+    return info.spec_class(**kwargs)
+
+
+def spec_to_dict(spec: StrategySpec) -> Dict[str, object]:
+    """Serialize a spec to a plain dict: registry name + non-default fields.
+
+    The inverse of :func:`spec_from_dict` (and of :func:`spec_from_name`
+    for default parameters): reconstructing from the dict yields an
+    equal spec for every registered family, which is what makes
+    scenario/sweep JSON files lossless.
+    """
+    name = getattr(spec, "policy_name", None)
+    if name is None:
+        raise ConfigurationError(
+            f"{type(spec).__name__} is not a registered policy spec; "
+            f"register it with @policy to make it serializable"
+        )
+    payload: Dict[str, object] = {"name": name}
+    for field in dataclasses.fields(spec):
+        if not field.init:
+            continue
+        value = getattr(spec, field.name)
+        if field.default is not dataclasses.MISSING and value == field.default:
+            continue
+        payload[field.name] = value
+    return payload
+
+
+def spec_from_dict(payload: Dict[str, object]) -> StrategySpec:
+    """Rebuild a spec from its :func:`spec_to_dict` form."""
+    if not isinstance(payload, dict) or "name" not in payload:
+        raise ConfigurationError(
+            f"a strategy dict needs a 'name' key, got {payload!r}"
+        )
+    params = dict(payload)
+    info = get_policy(str(params.pop("name")))
+    valid = {field.name for field in dataclasses.fields(info.spec_class)
+             if field.init}
+    unknown = sorted(set(params) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"strategy {info.name!r} has no parameters {unknown} "
+            f"(have {sorted(valid)})"
+        )
+    return info.spec_class(**params)

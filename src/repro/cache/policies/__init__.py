@@ -21,7 +21,11 @@ them without bespoke glue.
 
 from __future__ import annotations
 
-from repro.cache.policies.admission import AlwaysAdmit, ThresholdAdmission
+from repro.cache.policies.admission import (
+    AlwaysAdmit,
+    FrequencySketchAdmission,
+    ThresholdAdmission,
+)
 from repro.cache.policies.api import AdmissionPolicy, EvictionPolicy, PolicyStrategy
 from repro.cache.policies.arc import ARCEviction
 from repro.cache.policies.eviction import (
@@ -47,6 +51,7 @@ __all__ = [
     "PolicyStrategy",
     "AlwaysAdmit",
     "ThresholdAdmission",
+    "FrequencySketchAdmission",
     "LRUEviction",
     "LFUEviction",
     "GlobalLFUEviction",

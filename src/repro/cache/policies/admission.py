@@ -6,12 +6,15 @@ algorithms all admit unconditionally (the LFU plan discipline rejects
 via *eviction* economics instead), so :class:`AlwaysAdmit` is the
 default; :class:`ThresholdAdmission` adds the classic one-hit-wonder
 filter the paper does not explore -- composable with any eviction
-policy via :class:`~repro.cache.factory.ThresholdSpec`.
+policy via :class:`~repro.cache.factory.ThresholdSpec` -- and
+:class:`FrequencySketchAdmission` is its O(1)-memory cousin: a
+TinyLFU-style count-min sketch with periodic halving instead of exact
+windowed counts.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro import units
 from repro.cache.lfu import WindowedCounts
@@ -59,3 +62,97 @@ class ThresholdAdmission(AdmissionPolicy):
 
     def should_admit(self, now: float, program_id: int) -> bool:
         return self._counts.count(program_id) >= self._min_accesses
+
+
+#: Multiplicative hash constants per sketch row (odd, well-mixed 64-bit
+#: constants derived from the golden ratio / SplitMix64 increments).
+#: Fixed here -- not drawn from ``hash()`` -- so sketch decisions are
+#: deterministic across processes and PYTHONHASHSEED values.
+_SKETCH_MIX = (
+    0x9E3779B97F4A7C15,
+    0xBF58476D1CE4E5B9,
+    0x94D049BB133111EB,
+    0xD6E8FEB86659FD93,
+    0xA0761D6478BD642F,
+    0xE7037ED1A0B428DB,
+)
+
+
+class FrequencySketchAdmission(AdmissionPolicy):
+    """TinyLFU-style admission gate over a count-min sketch.
+
+    Same idea as :class:`ThresholdAdmission` -- keep one-hit wonders out
+    of the cache -- but with O(width x depth) memory independent of the
+    catalog and access rate, the way production caches (Caffeine's
+    W-TinyLFU) actually track popularity.  Each access increments
+    ``depth`` hashed counters; a program is admissible once its sketch
+    estimate (the minimum over its counters) reaches ``min_estimate``.
+
+    Freshness comes from TinyLFU's *reset* operation instead of an
+    exact sliding window: after every ``decay_accesses`` observations
+    all counters halve, so a program must keep earning accesses to stay
+    admissible.  Collisions can only over-estimate, so the gate errs on
+    the side of admitting -- never on silently locking content out.
+    """
+
+    name = "sketch"
+
+    def __init__(self, min_estimate: int = 2, width: int = 1024,
+                 depth: int = 4, decay_accesses: int = 8192) -> None:
+        if min_estimate < 1:
+            raise ConfigurationError(
+                f"min_estimate must be at least 1, got {min_estimate}"
+            )
+        if width < 1 or depth < 1:
+            raise ConfigurationError(
+                f"sketch dimensions must be positive, got {width}x{depth}"
+            )
+        if not 1 <= depth <= len(_SKETCH_MIX):
+            raise ConfigurationError(
+                f"depth must be in 1..{len(_SKETCH_MIX)}, got {depth}"
+            )
+        if decay_accesses < 1:
+            raise ConfigurationError(
+                f"decay_accesses must be positive, got {decay_accesses}"
+            )
+        self._min_estimate = min_estimate
+        self._width = width
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._mix = _SKETCH_MIX[:depth]
+        self._decay_accesses = decay_accesses
+        self._since_decay = 0
+        #: One-entry memo: the engine hashes the same program twice per
+        #: candidate admission (observe, then should_admit), so the
+        #: second lookup reuses the bucket indices instead of remixing.
+        self._last_program: Optional[int] = None
+        self._last_buckets: List[int] = []
+
+    def _buckets(self, program_id: int) -> List[int]:
+        if program_id == self._last_program:
+            return self._last_buckets
+        key = program_id & 0xFFFFFFFFFFFFFFFF
+        buckets = [((key * mix) >> 17) % self._width for mix in self._mix]
+        self._last_program = program_id
+        self._last_buckets = buckets
+        return buckets
+
+    def estimate(self, program_id: int) -> int:
+        """The sketch's (over-)estimate of this program's frequency."""
+        return min(
+            row[bucket]
+            for row, bucket in zip(self._rows, self._buckets(program_id))
+        )
+
+    def observe(self, now: float, program_id: int) -> None:
+        for row, bucket in zip(self._rows, self._buckets(program_id)):
+            row[bucket] += 1
+        self._since_decay += 1
+        if self._since_decay >= self._decay_accesses:
+            self._since_decay = 0
+            for row in self._rows:
+                for i, count in enumerate(row):
+                    if count:
+                        row[i] = count >> 1
+
+    def should_admit(self, now: float, program_id: int) -> bool:
+        return self.estimate(program_id) >= self._min_estimate

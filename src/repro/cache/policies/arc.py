@@ -26,13 +26,25 @@ from typing import List, Optional, Tuple
 
 from repro.cache.policies.api import EvictionPolicy
 from repro.cache.policies.registry import eviction_family
+from repro.errors import ConfigurationError
 
 
 @eviction_family("arc")
 class ARCEviction(EvictionPolicy):
-    """Adaptive recency/frequency split with ghost-directed tuning."""
+    """Adaptive recency/frequency split with ghost-directed tuning.
 
-    def __init__(self) -> None:
+    ``ghost_budget`` bounds each ghost list at that fraction of the
+    cache's byte capacity (canonical ARC keeps one cache's worth per
+    side, the 1.0 default).  Smaller budgets forget eviction mistakes
+    sooner -- the knob the ghost-budget sweep explores.
+    """
+
+    def __init__(self, ghost_budget: float = 1.0) -> None:
+        if ghost_budget < 0:
+            raise ConfigurationError(
+                f"ghost_budget must be non-negative, got {ghost_budget}"
+            )
+        self._ghost_budget = ghost_budget
         #: Members seen once since admission (recency side), LRU first.
         self._t1: "OrderedDict[int, None]" = OrderedDict()
         #: Members seen twice or more (frequency side), LRU first.
@@ -61,8 +73,8 @@ class ARCEviction(EvictionPolicy):
         return self._host.context.capacity_bytes
 
     def _trim_ghosts(self) -> None:
-        """Bound ghost memory to one cache's worth of bytes per list."""
-        capacity = self._capacity()
+        """Bound ghost memory to the budgeted bytes per list."""
+        capacity = self._capacity() * self._ghost_budget
         while self._b1 and self._b1_bytes > capacity:
             _, footprint = self._b1.popitem(last=False)
             self._b1_bytes -= footprint

@@ -23,7 +23,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple, Type, TypeVar
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, suggest
 
 SpecClass = TypeVar("SpecClass", bound=type)
 
@@ -101,7 +101,8 @@ def get_policy(name: str) -> PolicyInfo:
         return _REGISTRY[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown strategy {name!r}; choose from {policy_names()}"
+            f"unknown strategy {name!r}{suggest(name, policy_names())} "
+            f"(choose from {policy_names()})"
         ) from None
 
 
@@ -142,8 +143,9 @@ def named_eviction(name: str):
         family = _EVICTION_FAMILIES[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown eviction policy {name!r}; choose from "
-            f"{eviction_names()}"
+            f"unknown eviction policy {name!r}"
+            f"{suggest(name, eviction_names())} "
+            f"(choose from {eviction_names()})"
         ) from None
     return family()
 

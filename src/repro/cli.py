@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper exhibit.
+"""Command-line interface: paper exhibits and scenario files.
 
 Usage::
 
@@ -7,24 +7,35 @@ Usage::
     repro-vod fig08 [--profile fast|medium|paper]
     repro-vod all --profile medium
     repro-vod policies --workers 0
+    repro-vod run examples/scenarios/quickstart.json
+    repro-vod sweep examples/scenarios/gdsf_history_sweep.json --out rows.csv
+    repro-vod describe fig08 --profile fast
     python -m repro.cli fig15
 
-Each experiment prints its paper-style table plus the paper's expected
-shape for eyeball comparison.  ``list-strategies`` prints every cache
-policy registered in the policy engine (name, label, parameters);
-sweeps parallelize automatically (``REPRO_WORKERS`` or one worker per
-CPU) unless ``--workers`` pins a count.
+Experiments print their paper-style table plus the paper's expected
+shape for eyeball comparison.  ``run`` and ``sweep`` execute scenario /
+sweep JSON files (see :mod:`repro.scenario`); ``describe`` prints any
+scenario-backed built-in experiment in that same JSON schema -- the
+fastest way to start a custom sweep is to describe the nearest figure
+and edit the file.  ``list-strategies`` prints every cache policy
+registered in the policy engine (name, label, parameters); sweeps
+parallelize automatically (``REPRO_WORKERS`` or one worker per CPU)
+unless ``--workers`` pins a count.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.experiments import all_experiments, get_experiment, get_profile
+
+#: Scenario-file subcommands (everything else is an experiment id).
+_SUBCOMMANDS = ("run", "sweep", "describe")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,12 +43,20 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-vod",
         description=(
             "Regenerate the tables and figures of 'Deploying Video-on-Demand "
-            "Services on Cable Networks' (ICDCS 2007)."
+            "Services on Cable Networks' (ICDCS 2007), or run declarative "
+            "scenario/sweep JSON files."
+        ),
+        epilog=(
+            "subcommands: run <scenario.json>, sweep <sweep.json> "
+            "[--out rows.csv], describe <experiment-id>"
         ),
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig08), 'all', 'list', or 'list-strategies'",
+        help=(
+            "experiment id (e.g. fig08), 'all', 'list', 'list-strategies', "
+            "or a subcommand: run / sweep / describe"
+        ),
     )
     parser.add_argument(
         "--profile",
@@ -49,6 +68,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append an ASCII bar chart under each table",
     )
+    _add_workers_flag(parser)
+    return parser
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
         type=int,
@@ -61,7 +85,13 @@ def _build_parser() -> argparse.ArgumentParser:
             "a serial run."
         ),
     )
-    return parser
+
+
+def _apply_workers(workers: Optional[int]) -> None:
+    if workers is not None:
+        from repro.core.parallel import set_default_workers
+
+        set_default_workers(workers)
 
 
 def _print_strategies() -> None:
@@ -82,8 +112,123 @@ def _print_strategies() -> None:
               f"{params:<{param_width}}  {summary}")
 
 
+# ---------------------------------------------------------------------------
+# Scenario-file subcommands
+# ---------------------------------------------------------------------------
+
+
+def _row_table(title: str, columns: Sequence[str],
+               rows: List[Dict[str, Any]]) -> str:
+    """Render rows through the standard experiment table formatter."""
+    from repro.experiments.base import ExperimentResult
+
+    ordered = list(columns)
+    for row in rows:
+        for key in row:
+            if key not in ordered:
+                ordered.append(key)
+    result = ExperimentResult(
+        experiment_id=title or "scenario",
+        title="",
+        profile_name="file",
+        columns=ordered,
+        rows=rows,
+    )
+    return result.format_table()
+
+
+def _write_csv(path: str, rows: List[Dict[str, Any]]) -> None:
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
+    """``run``/``sweep``: execute a scenario or sweep JSON file."""
+    parser = argparse.ArgumentParser(
+        prog=f"repro-vod {subcommand}",
+        description=(
+            "Execute a scenario or sweep JSON file and print the standard "
+            "result table (see repro-vod describe for the schema)."
+        ),
+    )
+    parser.add_argument("file", help="path to a scenario/sweep JSON file")
+    parser.add_argument("--out", default=None, metavar="CSV",
+                        help="also write the result rows as CSV")
+    _add_workers_flag(parser)
+    args = parser.parse_args(argv)
+
+    from repro.scenario import Scenario, load, run_sweep
+
+    _apply_workers(args.workers)
+    loaded = load(args.file)
+    started = time.perf_counter()
+    rows = run_sweep(loaded)
+    elapsed = time.perf_counter() - started
+    if isinstance(loaded, Scenario):
+        title, columns = loaded.label or "scenario", ()
+        points = 1
+    else:
+        title, columns = loaded.sweep_id, loaded.columns
+        points = len(loaded)
+    print(_row_table(title, columns, rows))
+    print(f"({points} run{'s' if points != 1 else ''}, {elapsed:.1f}s)")
+    if args.out:
+        _write_csv(args.out, rows)
+        print(f"wrote {len(rows)} rows to {args.out}")
+    return 0
+
+
+def _cmd_describe(argv: List[str]) -> int:
+    """``describe``: print a built-in experiment as scenario/sweep JSON."""
+    parser = argparse.ArgumentParser(
+        prog="repro-vod describe",
+        description=(
+            "Print a scenario-backed experiment's sweep as JSON -- a "
+            "ready-made starting point for custom scenario files."
+        ),
+    )
+    parser.add_argument("experiment", help="experiment id (e.g. fig08)")
+    parser.add_argument("--profile", default=None,
+                        help="scale profile the JSON is snapshotted at")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.registry import describable_experiments
+
+    module = get_experiment(args.experiment)
+    if not hasattr(module, "sweep"):
+        raise ReproError(
+            f"experiment {args.experiment!r} is not scenario-backed; "
+            f"describable ids: {describable_experiments()}"
+        )
+    profile = get_profile(args.profile)
+    print(module.sweep(profile).to_json())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] in _SUBCOMMANDS:
+            if argv[0] == "describe":
+                return _cmd_describe(argv[1:])
+            return _cmd_run_or_sweep(argv[0], argv[1:])
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
     args = _build_parser().parse_args(argv)
 
     if args.experiment == "list":
@@ -96,10 +241,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     try:
-        if args.workers is not None:
-            from repro.experiments.base import set_default_workers
-
-            set_default_workers(args.workers)
+        _apply_workers(args.workers)
         profile = get_profile(args.profile)
         if args.experiment == "all":
             targets = list(all_experiments().values())

@@ -84,6 +84,36 @@ def default_workers() -> int:
     return _cpu_workers()
 
 
+#: Process count used when a sweep entry point is called without an
+#: explicit ``workers`` argument.  ``None`` (the initial value) defers
+#: to :func:`default_workers` -- the ``REPRO_WORKERS`` environment
+#: variable if set, else one worker per CPU -- so sweeps parallelize on
+#: capable hosts without anyone passing ``--workers``.  The CLI flag
+#: overrides it for one invocation.
+_default_workers: Optional[int] = None
+
+
+def set_default_workers(workers: int) -> None:
+    """Pin the sweep parallelism used by default.
+
+    ``1`` keeps everything serial and in-process; ``0`` means one
+    worker per CPU.
+    """
+    global _default_workers
+    if workers < 0:
+        raise ConfigurationError(f"workers must be non-negative, got {workers}")
+    _default_workers = workers
+
+
+def get_default_workers() -> Optional[int]:
+    """The sweep parallelism used when callers do not pass ``workers``.
+
+    ``None`` means "auto": resolve through :func:`default_workers` at
+    sweep time.
+    """
+    return _default_workers
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a worker-count request.
 

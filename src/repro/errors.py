@@ -9,6 +9,22 @@ to chase with concrete numbers in the traceback.
 
 from __future__ import annotations
 
+import difflib
+from typing import List
+
+
+def suggest(name: str, choices: List[str]) -> str:
+    """``"; did you mean 'x'?"`` for a misspelled registry name.
+
+    Shared by every name-resolving registry (policies, eviction
+    families, experiments) so a typo anywhere in the CLI surface gets
+    the same one-line nudge instead of a bare list.
+    """
+    matches = difflib.get_close_matches(name, choices, n=2, cutoff=0.5)
+    if not matches:
+        return ""
+    return "; did you mean " + " or ".join(repr(m) for m in matches) + "?"
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

@@ -6,42 +6,30 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.config import SimulationConfig
-from repro.core.parallel import resolve_workers, run_many
+from repro.core.parallel import (
+    get_default_workers,
+    resolve_workers,
+    run_many,
+    set_default_workers,
+)
 from repro.core.results import SimulationResult
 from repro.core.runner import run_simulation
 from repro.errors import ConfigurationError
 from repro.experiments.profiles import ExperimentProfile
+from repro.scenario.runner import result_row
 from repro.trace.records import Trace
 from repro.trace.synthetic import PowerInfoModel
 
-#: Process count used when ``strategy_rows`` is called without an
-#: explicit ``workers`` argument.  ``None`` (the initial value) defers
-#: to :func:`repro.core.parallel.default_workers` -- the
-#: ``REPRO_WORKERS`` environment variable if set, else one worker per
-#: CPU -- so sweeps parallelize on capable hosts without anyone passing
-#: ``--workers``.  The CLI flag overrides it for one invocation.
-_default_workers: Optional[int] = None
-
-
-def set_default_workers(workers: int) -> None:
-    """Pin the sweep parallelism experiments use by default.
-
-    ``1`` keeps everything serial and in-process; ``0`` means one
-    worker per CPU.
-    """
-    global _default_workers
-    if workers < 0:
-        raise ConfigurationError(f"workers must be non-negative, got {workers}")
-    _default_workers = workers
-
-
-def get_default_workers() -> Optional[int]:
-    """The sweep parallelism used when callers do not pass ``workers``.
-
-    ``None`` means "auto": resolve through
-    :func:`repro.core.parallel.default_workers` at sweep time.
-    """
-    return _default_workers
+__all__ = [
+    "ExperimentResult",
+    "run_config",
+    "strategy_rows",
+    # Re-exported from repro.core.parallel (their home since the
+    # scenario layer also honors them); kept here for callers that
+    # learned the names when they lived in this module.
+    "set_default_workers",
+    "get_default_workers",
+]
 
 
 @dataclass
@@ -134,7 +122,7 @@ def strategy_rows(
         *transformed* trace must stay serial).
     """
     if workers is None:
-        workers = _default_workers
+        workers = get_default_workers()
     configs = list(configs)
     # Resolve "0 = one per CPU" up front: if that lands on one worker
     # (single-CPU host), stay serial against the caller's (memoized)
@@ -144,19 +132,7 @@ def strategy_rows(
         results = run_many(trace_model, configs, workers=effective_workers)
     else:
         results = [run_simulation(trace, config) for config in configs]
-    rows: List[Dict[str, Any]] = []
-    for config, result in zip(configs, results):
-        low, high = result.peak_server_quantiles_gbps()
-        rows.append(
-            {
-                "strategy": config.strategy.label,
-                "neighborhood": config.neighborhood_size,
-                "per_peer_gb": config.per_peer_storage_gb,
-                "server_gbps": profile.extrapolate(result.peak_server_gbps()),
-                "server_gbps_p5": profile.extrapolate(low),
-                "server_gbps_p95": profile.extrapolate(high),
-                "reduction_pct": 100.0 * result.peak_reduction(),
-                "hit_pct": 100.0 * result.counters.hit_ratio,
-            }
-        )
-    return rows
+    return [
+        result_row(config, result, scale=profile.scale)
+        for config, result in zip(configs, results)
+    ]

@@ -5,17 +5,22 @@ so the total neighborhood cache is 1, 3, 5 and 10 TB, comparing Oracle,
 LFU and LRU.  Expected shape: monotone decreasing load; ~35% reduction
 at 1 TB rising to ~88% at 10 TB; Oracle <= LFU <= LRU with the gap
 collapsing as the cache grows.
+
+Since the scenario API redesign this module is a declarative
+:class:`~repro.scenario.Sweep`: two axes (per-peer storage x strategy)
+over one base scenario.  ``repro-vod describe fig08`` prints it as JSON.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
+from repro.baselines.no_cache import no_cache_peak_gbps
 from repro.cache.factory import LFUSpec, LRUSpec, OracleSpec
 from repro.core.config import SimulationConfig
-from repro.experiments.base import ExperimentResult, strategy_rows
+from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
-from repro.baselines.no_cache import no_cache_peak_gbps
+from repro.scenario import Scenario, Sweep, run_sweep
 
 EXPERIMENT_ID = "fig08"
 TITLE = "Server load vs. total cache size (1,000-peer neighborhoods)"
@@ -28,43 +33,59 @@ PAPER_EXPECTATION = (
 PER_PEER_GB_SWEEP = (1.0, 3.0, 5.0, 10.0)
 NOMINAL_NEIGHBORHOOD = 1_000
 
+COLUMNS = (
+    "total_cache_tb",
+    "strategy",
+    "server_gbps",
+    "server_gbps_p5",
+    "server_gbps_p95",
+    "reduction_pct",
+    "hit_pct",
+)
+
+
+def sweep(profile: Optional[ExperimentProfile] = None) -> Sweep:
+    """The Fig 8 grid as a declarative sweep."""
+    profile = profile or get_profile()
+    base = Scenario(
+        trace=profile.model(),
+        config=SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(NOMINAL_NEIGHBORHOOD),
+            warmup_days=profile.warmup_days,
+        ),
+        label=EXPERIMENT_ID,
+        scale=profile.scale,
+    )
+    return Sweep(
+        base=base,
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "config.per_peer_storage_gb": [
+                {"value": per_peer_gb,
+                 "cols": {"total_cache_tb":
+                          per_peer_gb * NOMINAL_NEIGHBORHOOD / 1_000.0}}
+                for per_peer_gb in PER_PEER_GB_SWEEP
+            ],
+            "config.strategy": [OracleSpec(), LFUSpec(), LRUSpec()],
+        },
+    )
+
 
 def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
     """Regenerate the Fig 8 bars."""
     profile = profile or get_profile()
-    trace = base_trace(profile)
-    size = profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
-
-    configs: List[SimulationConfig] = []
-    for per_peer_gb in PER_PEER_GB_SWEEP:
-        for spec in (OracleSpec(), LFUSpec(), LRUSpec()):
-            configs.append(
-                SimulationConfig(
-                    neighborhood_size=size,
-                    per_peer_storage_gb=per_peer_gb,
-                    strategy=spec,
-                    warmup_days=profile.warmup_days,
-                )
-            )
-    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
-    for row in rows:
-        row["total_cache_tb"] = row["per_peer_gb"] * NOMINAL_NEIGHBORHOOD / 1_000.0
+    rows = run_sweep(sweep(profile))
     baseline = profile.extrapolate(
-        no_cache_peak_gbps(trace, warmup_seconds=profile.warmup_days * 86_400.0)
+        no_cache_peak_gbps(base_trace(profile),
+                           warmup_seconds=profile.warmup_days * 86_400.0)
     )
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         profile_name=profile.name,
-        columns=[
-            "total_cache_tb",
-            "strategy",
-            "server_gbps",
-            "server_gbps_p5",
-            "server_gbps_p95",
-            "reduction_pct",
-            "hit_pct",
-        ],
+        columns=list(COLUMNS),
         rows=rows,
         paper_expectation=PAPER_EXPECTATION,
         notes=f"no-cache baseline (extrapolated): {baseline:.1f} Gb/s",

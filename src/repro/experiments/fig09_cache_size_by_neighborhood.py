@@ -5,16 +5,21 @@ ceiling and the total cache grows with the neighborhood instead
 (100 peers = 1 TB ... 1,000 peers = 10 TB).  The paper finds the same
 load curve as Fig 8, showing total cache size is what matters, however
 it is assembled.
+
+Declarative since the scenario API redesign: a neighborhood axis
+(tagged with the nominal size and total TB it represents) crossed with
+the strategy axis.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.cache.factory import LFUSpec, LRUSpec, OracleSpec
 from repro.core.config import SimulationConfig
-from repro.experiments.base import ExperimentResult, strategy_rows
-from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.scenario import Scenario, Sweep, run_sweep
 
 EXPERIMENT_ID = "fig09"
 TITLE = "Server load vs. total cache size (10 GB per peer, growing neighborhoods)"
@@ -27,43 +32,57 @@ PER_PEER_GB = 10.0
 #: Nominal neighborhood sizes giving 1/3/5/10 TB totals at 10 GB per peer.
 NOMINAL_NEIGHBORHOODS = (100, 300, 500, 1_000)
 
+COLUMNS = (
+    "total_cache_tb",
+    "nominal_neighborhood",
+    "strategy",
+    "server_gbps",
+    "server_gbps_p5",
+    "server_gbps_p95",
+    "reduction_pct",
+)
+
+
+def sweep(profile: Optional[ExperimentProfile] = None) -> Sweep:
+    """The Fig 9 grid as a declarative sweep."""
+    profile = profile or get_profile()
+    base = Scenario(
+        trace=profile.model(),
+        config=SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(NOMINAL_NEIGHBORHOODS[0]),
+            per_peer_storage_gb=PER_PEER_GB,
+            warmup_days=profile.warmup_days,
+        ),
+        label=EXPERIMENT_ID,
+        scale=profile.scale,
+    )
+    return Sweep(
+        base=base,
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "nominal_neighborhood": [
+                {"set": {"config.neighborhood_size":
+                         profile.neighborhood_size(nominal)},
+                 "cols": {"nominal_neighborhood": nominal,
+                          "total_cache_tb": nominal * PER_PEER_GB / 1_000.0}}
+                for nominal in NOMINAL_NEIGHBORHOODS
+            ],
+            "config.strategy": [OracleSpec(), LFUSpec(), LRUSpec()],
+        },
+    )
+
 
 def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
     """Regenerate the Fig 9 bars."""
     profile = profile or get_profile()
-    trace = base_trace(profile)
-
-    configs: List[SimulationConfig] = []
-    for nominal in NOMINAL_NEIGHBORHOODS:
-        for spec in (OracleSpec(), LFUSpec(), LRUSpec()):
-            configs.append(
-                SimulationConfig(
-                    neighborhood_size=profile.neighborhood_size(nominal),
-                    per_peer_storage_gb=PER_PEER_GB,
-                    strategy=spec,
-                    warmup_days=profile.warmup_days,
-                )
-            )
-    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
-    index = 0
-    for nominal in NOMINAL_NEIGHBORHOODS:
-        for _ in range(3):
-            rows[index]["nominal_neighborhood"] = nominal
-            rows[index]["total_cache_tb"] = nominal * PER_PEER_GB / 1_000.0
-            index += 1
+    rows = run_sweep(sweep(profile))
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         profile_name=profile.name,
-        columns=[
-            "total_cache_tb",
-            "nominal_neighborhood",
-            "strategy",
-            "server_gbps",
-            "server_gbps_p5",
-            "server_gbps_p95",
-            "reduction_pct",
-        ],
+        columns=list(COLUMNS),
         rows=rows,
         paper_expectation=PAPER_EXPECTATION,
     )

@@ -6,16 +6,21 @@ More peers means more request observations for the LFU popularity
 estimator, so LFU improves with neighborhood size even though the cache
 cannot hold anything more -- the paper's evidence that popularity
 prediction quality matters.
+
+Declarative since the scenario API redesign: the neighborhood axis
+moves *two* config fields per point (size up, per-peer storage down),
+which is exactly what a sweep point's ``set`` mapping expresses.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.cache.factory import LFUSpec, LRUSpec, OracleSpec
 from repro.core.config import SimulationConfig
-from repro.experiments.base import ExperimentResult, strategy_rows
-from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.scenario import Scenario, Sweep, run_sweep
 
 EXPERIMENT_ID = "fig10"
 TITLE = "Server load for varying neighborhood sizes (total cache fixed at 1 TB)"
@@ -27,41 +32,56 @@ PAPER_EXPECTATION = (
 #: (nominal neighborhood size, per-peer GB) pairs keeping the total at 1 TB.
 SWEEP = ((100, 10.0), (500, 2.0), (1_000, 1.0))
 
+COLUMNS = (
+    "nominal_neighborhood",
+    "strategy",
+    "server_gbps",
+    "server_gbps_p5",
+    "server_gbps_p95",
+    "reduction_pct",
+)
+
+
+def sweep(profile: Optional[ExperimentProfile] = None) -> Sweep:
+    """The Fig 10 grid as a declarative sweep."""
+    profile = profile or get_profile()
+    base = Scenario(
+        trace=profile.model(),
+        config=SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(SWEEP[0][0]),
+            per_peer_storage_gb=SWEEP[0][1],
+            warmup_days=profile.warmup_days,
+        ),
+        label=EXPERIMENT_ID,
+        scale=profile.scale,
+    )
+    return Sweep(
+        base=base,
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "nominal_neighborhood": [
+                {"set": {"config.neighborhood_size":
+                         profile.neighborhood_size(nominal),
+                         "config.per_peer_storage_gb": per_peer_gb},
+                 "cols": {"nominal_neighborhood": nominal}}
+                for nominal, per_peer_gb in SWEEP
+            ],
+            "config.strategy": [OracleSpec(), LFUSpec(), LRUSpec()],
+        },
+    )
+
 
 def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
     """Regenerate the Fig 10 bars."""
     profile = profile or get_profile()
-    trace = base_trace(profile)
-
-    configs: List[SimulationConfig] = []
-    for nominal, per_peer_gb in SWEEP:
-        for spec in (OracleSpec(), LFUSpec(), LRUSpec()):
-            configs.append(
-                SimulationConfig(
-                    neighborhood_size=profile.neighborhood_size(nominal),
-                    per_peer_storage_gb=per_peer_gb,
-                    strategy=spec,
-                    warmup_days=profile.warmup_days,
-                )
-            )
-    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
-    index = 0
-    for nominal, _ in SWEEP:
-        for _ in range(3):
-            rows[index]["nominal_neighborhood"] = nominal
-            index += 1
+    rows = run_sweep(sweep(profile))
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         profile_name=profile.name,
-        columns=[
-            "nominal_neighborhood",
-            "strategy",
-            "server_gbps",
-            "server_gbps_p5",
-            "server_gbps_p95",
-            "reduction_pct",
-        ],
+        columns=list(COLUMNS),
         rows=rows,
         paper_expectation=PAPER_EXPECTATION,
     )

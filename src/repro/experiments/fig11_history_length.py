@@ -6,17 +6,22 @@ hours, we see little improvement over the LRU method, but after the 24
 hour mark we begin to see significant savings with longer histories.
 However, this improvement tapers off with history sizes over one week"
 -- because week-old data mis-predicts current popularity (Fig 12).
+
+Declarative since the scenario API redesign: one strategy axis sweeping
+the LFU history parameter, each point tagged with its history columns.
+This is the blueprint for the per-family parameter sweeps shipped under
+``examples/scenarios/`` (GDSF history depth, ARC ghost budget).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.cache.factory import LFUSpec
 from repro.core.config import SimulationConfig
 from repro.experiments.base import ExperimentResult
-from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
-from repro.core.runner import run_simulation
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.scenario import Scenario, Sweep, run_sweep
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Effect of LFU history length (500-peer neighborhoods, 2 TB)"
@@ -31,36 +36,47 @@ PER_PEER_GB = 4.0  # 500 peers x 4 GB = the paper's 2 TB configuration
 #: History sweep in hours (the paper's x-axis runs 0-12 days).
 HISTORY_HOURS = (0.0, 12.0, 24.0, 48.0, 72.0, 120.0, 168.0, 240.0, 288.0)
 
+COLUMNS = ("history_days", "server_gbps", "reduction_pct", "hit_pct")
+
+
+def sweep(profile: Optional[ExperimentProfile] = None) -> Sweep:
+    """The Fig 11 history curve as a declarative sweep."""
+    profile = profile or get_profile()
+    base = Scenario(
+        trace=profile.model(),
+        config=SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(NOMINAL_NEIGHBORHOOD),
+            per_peer_storage_gb=PER_PEER_GB,
+            warmup_days=profile.warmup_days,
+        ),
+        label=EXPERIMENT_ID,
+        scale=profile.scale,
+    )
+    return Sweep(
+        base=base,
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "config.strategy": [
+                {"value": LFUSpec(history_hours=history_hours),
+                 "cols": {"history_days": history_hours / 24.0,
+                          "history_hours": history_hours}}
+                for history_hours in HISTORY_HOURS
+            ],
+        },
+    )
+
 
 def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
     """Regenerate the Fig 11 curve."""
     profile = profile or get_profile()
-    trace = base_trace(profile)
-    size = profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
-
-    rows: List[dict] = []
-    for history_hours in HISTORY_HOURS:
-        config = SimulationConfig(
-            neighborhood_size=size,
-            per_peer_storage_gb=PER_PEER_GB,
-            strategy=LFUSpec(history_hours=history_hours),
-            warmup_days=profile.warmup_days,
-        )
-        result = run_simulation(trace, config)
-        rows.append(
-            {
-                "history_days": history_hours / 24.0,
-                "history_hours": history_hours,
-                "server_gbps": profile.extrapolate(result.peak_server_gbps()),
-                "reduction_pct": 100.0 * result.peak_reduction(),
-                "hit_pct": 100.0 * result.counters.hit_ratio,
-            }
-        )
+    rows = run_sweep(sweep(profile))
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         profile_name=profile.name,
-        columns=["history_days", "server_gbps", "reduction_pct", "hit_pct"],
+        columns=list(COLUMNS),
         rows=rows,
         paper_expectation=PAPER_EXPECTATION,
         notes=(

@@ -5,16 +5,21 @@ across per-peer storage of 1-10 GB: complete global data used instantly,
 global data batched with 30-minute and 2-hour lags, and purely local
 data.  Finding: global knowledge helps, lag variants land in between,
 but "the improvement in all cases is small".
+
+Declarative since the scenario API redesign: a storage axis crossed
+with a feed axis whose points set the strategy spec and tag the row
+with the paper's bar label.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.cache.factory import GlobalLFUSpec, LFUSpec
 from repro.core.config import SimulationConfig
-from repro.experiments.base import ExperimentResult, strategy_rows
-from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+from repro.experiments.base import ExperimentResult
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.scenario import Scenario, Sweep, run_sweep
 
 EXPERIMENT_ID = "fig13"
 TITLE = "Global vs. local popularity data for LFU (500-peer neighborhoods)"
@@ -34,34 +39,46 @@ VARIANTS = (
     ("local", lambda: LFUSpec()),
 )
 
+COLUMNS = ("per_peer_gb", "feed", "server_gbps", "reduction_pct", "hit_pct")
+
+
+def sweep(profile: Optional[ExperimentProfile] = None) -> Sweep:
+    """The Fig 13 grid as a declarative sweep."""
+    profile = profile or get_profile()
+    base = Scenario(
+        trace=profile.model(),
+        config=SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(NOMINAL_NEIGHBORHOOD),
+            warmup_days=profile.warmup_days,
+        ),
+        label=EXPERIMENT_ID,
+        scale=profile.scale,
+    )
+    return Sweep(
+        base=base,
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "config.per_peer_storage_gb": list(PER_PEER_GB_SWEEP),
+            "feed": [
+                {"set": {"config.strategy": make_spec()},
+                 "cols": {"feed": label}}
+                for label, make_spec in VARIANTS
+            ],
+        },
+    )
+
 
 def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
     """Regenerate the Fig 13 bars."""
     profile = profile or get_profile()
-    trace = base_trace(profile)
-    size = profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
-
-    configs: List[SimulationConfig] = []
-    labels: List[str] = []
-    for per_peer_gb in PER_PEER_GB_SWEEP:
-        for label, make_spec in VARIANTS:
-            labels.append(label)
-            configs.append(
-                SimulationConfig(
-                    neighborhood_size=size,
-                    per_peer_storage_gb=per_peer_gb,
-                    strategy=make_spec(),
-                    warmup_days=profile.warmup_days,
-                )
-            )
-    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
-    for row, label in zip(rows, labels):
-        row["feed"] = label
+    rows = run_sweep(sweep(profile))
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         profile_name=profile.name,
-        columns=["per_peer_gb", "feed", "server_gbps", "reduction_pct", "hit_pct"],
+        columns=list(COLUMNS),
         rows=rows,
         paper_expectation=PAPER_EXPECTATION,
     )

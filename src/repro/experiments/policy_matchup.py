@@ -2,22 +2,26 @@
 
 Not a paper exhibit: this is the scenario-diversity experiment the
 policy engine unlocks.  Every strategy in the registry (the paper's
-five plus the new GDSF, ARC and threshold-gated families) runs against
-the same trace and neighborhood configuration, so one table answers
-"which policy family wins at this cache size?" -- and, because rows are
-independent simulator executions, the sweep parallelizes across workers
-like any figure sweep.
+five plus GDSF, ARC and the threshold/sketch-gated families) runs
+against the same trace and neighborhood configuration, so one table
+answers "which policy family wins at this cache size?".
+
+Declarative since the scenario API redesign: one axis whose points are
+generated straight from the policy registry -- register a new spec and
+it appears in this table (and in ``repro-vod describe policies``)
+without touching this module.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
+from repro.baselines.no_cache import no_cache_peak_gbps
 from repro.cache.policies import iter_policies
 from repro.core.config import SimulationConfig
-from repro.experiments.base import ExperimentResult, strategy_rows
+from repro.experiments.base import ExperimentResult
 from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
-from repro.baselines.no_cache import no_cache_peak_gbps
+from repro.scenario import Scenario, Sweep, run_sweep
 
 EXPERIMENT_ID = "policies"
 TITLE = "Policy matchup: every registered strategy, one workload"
@@ -28,40 +32,57 @@ PAPER_EXPECTATION = (
 
 NOMINAL_NEIGHBORHOOD = 1_000
 
+COLUMNS = (
+    "policy",
+    "strategy",
+    "server_gbps",
+    "server_gbps_p5",
+    "server_gbps_p95",
+    "reduction_pct",
+    "hit_pct",
+)
+
+
+def sweep(profile: Optional[ExperimentProfile] = None) -> Sweep:
+    """The registry matchup as a declarative sweep."""
+    profile = profile or get_profile()
+    base = Scenario(
+        trace=profile.model(),
+        config=SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(NOMINAL_NEIGHBORHOOD),
+            warmup_days=profile.warmup_days,
+        ),
+        label=EXPERIMENT_ID,
+        scale=profile.scale,
+    )
+    return Sweep(
+        base=base,
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "policy": [
+                {"set": {"config.strategy": info.spec_class()},
+                 "cols": {"policy": info.name}}
+                for info in iter_policies()
+            ],
+        },
+    )
+
 
 def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
     """Run every registered policy at default parameters."""
     profile = profile or get_profile()
-    trace = base_trace(profile)
-    size = profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
-
-    configs: List[SimulationConfig] = [
-        SimulationConfig(
-            neighborhood_size=size,
-            strategy=info.spec_class(),
-            warmup_days=profile.warmup_days,
-        )
-        for info in iter_policies()
-    ]
-    rows = strategy_rows(trace, configs, profile, trace_model=profile.model())
-    for info, row in zip(iter_policies(), rows):
-        row["policy"] = info.name
+    rows = run_sweep(sweep(profile))
     baseline = profile.extrapolate(
-        no_cache_peak_gbps(trace, warmup_seconds=profile.warmup_days * 86_400.0)
+        no_cache_peak_gbps(base_trace(profile),
+                           warmup_seconds=profile.warmup_days * 86_400.0)
     )
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         profile_name=profile.name,
-        columns=[
-            "policy",
-            "strategy",
-            "server_gbps",
-            "server_gbps_p5",
-            "server_gbps_p95",
-            "reduction_pct",
-            "hit_pct",
-        ],
+        columns=list(COLUMNS),
         rows=rows,
         paper_expectation=PAPER_EXPECTATION,
         notes=f"no-cache baseline (extrapolated): {baseline:.1f} Gb/s",

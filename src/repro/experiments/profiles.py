@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from functools import lru_cache
 from typing import Optional
 
 from repro.errors import ConfigurationError
@@ -32,7 +31,7 @@ from repro.trace.synthetic import (
     POWERINFO_PROGRAMS,
     POWERINFO_USERS,
     PowerInfoModel,
-    generate_trace,
+    cached_trace,
 )
 
 
@@ -146,11 +145,13 @@ def get_profile(name: Optional[str] = None) -> ExperimentProfile:
         ) from None
 
 
-@lru_cache(maxsize=4)
 def base_trace(profile: ExperimentProfile) -> Trace:
     """The (memoized) base workload trace for a profile.
 
     Every experiment at a given profile shares this trace, mirroring how
     the paper drives every configuration from the same PowerInfo data.
+    The memo lives in :func:`repro.trace.synthetic.cached_trace`, keyed
+    by the workload model itself, so scenario runs of the same model
+    share it too.
     """
-    return generate_trace(profile.model())
+    return cached_trace(profile.model())

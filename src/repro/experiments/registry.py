@@ -5,7 +5,7 @@ from __future__ import annotations
 from types import ModuleType
 from typing import Dict, List
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, suggest
 from repro.experiments import (
     ablation_tuners,
     fig02_popularity_skew,
@@ -65,6 +65,16 @@ def get_experiment(experiment_id: str) -> ModuleType:
         return table[experiment_id]
     except KeyError:
         raise ConfigurationError(
-            f"unknown experiment {experiment_id!r}; "
-            f"choose from {sorted(table)}"
+            f"unknown experiment {experiment_id!r}"
+            f"{suggest(experiment_id, sorted(table))} "
+            f"(choose from {sorted(table)})"
         ) from None
+
+
+def describable_experiments() -> List[str]:
+    """Experiment ids that expose a declarative ``sweep(profile)``."""
+    return [
+        experiment_id
+        for experiment_id, module in all_experiments().items()
+        if hasattr(module, "sweep")
+    ]

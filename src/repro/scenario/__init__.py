@@ -1,0 +1,69 @@
+"""Declarative scenarios: one serializable schema for every run.
+
+The public composition layer of the reproduction.  A
+:class:`Scenario` freezes everything one simulator execution needs
+(workload model, config, engine, seed, label, scale); a :class:`Sweep`
+is a scenario template plus named axes that expands to the config grids
+the paper's figures sweep.  Both round-trip losslessly through plain
+dicts and JSON files, so the same definition drives Python code, the
+``repro-vod run`` / ``sweep`` CLI, and the built-in experiments
+(``repro-vod describe <id>`` prints any migrated exhibit in this
+format).
+
+Quickstart
+----------
+>>> from repro.scenario import Scenario, Sweep, run_sweep
+>>> from repro.trace.synthetic import PowerInfoModel
+>>> from repro.core.config import SimulationConfig
+>>> base = Scenario(trace=PowerInfoModel(n_users=300, n_programs=60, days=4.0),
+...                 config=SimulationConfig(neighborhood_size=150,
+...                                         warmup_days=1.0))
+>>> rows = run_sweep(Sweep(base=base,
+...                        axes={"config.strategy": ["lru", "lfu:24"]}))
+>>> [row["strategy"] for row in rows]
+['lru', 'lfu(24h)']
+"""
+
+from repro.scenario.model import (
+    Scenario,
+    config_from_dict,
+    config_to_dict,
+    load_scenario,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.scenario.runner import (
+    result_row,
+    run_scenario,
+    run_scenarios,
+    run_sweep,
+    scenario_row,
+)
+from repro.scenario.sweep import (
+    Sweep,
+    SweepAxis,
+    SweepPoint,
+    apply_path,
+    load,
+    load_sweep,
+)
+
+__all__ = [
+    "Scenario",
+    "Sweep",
+    "SweepAxis",
+    "SweepPoint",
+    "apply_path",
+    "config_from_dict",
+    "config_to_dict",
+    "load",
+    "load_scenario",
+    "load_sweep",
+    "model_from_dict",
+    "model_to_dict",
+    "result_row",
+    "run_scenario",
+    "run_scenarios",
+    "run_sweep",
+    "scenario_row",
+]

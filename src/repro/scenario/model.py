@@ -1,0 +1,265 @@
+"""The :class:`Scenario`: one simulator execution as a plain value.
+
+A scenario bundles everything a run needs -- the seeded workload model,
+the :class:`~repro.core.config.SimulationConfig`, the event-engine
+choice, an optional seed override, a label, and the scale factor that
+extrapolates measured rates back to paper scale.  It is frozen,
+validated eagerly, and round-trips losslessly through plain dicts and
+JSON (strategy specs serialize by their policy-registry names), so the
+same object works as a Python value, a CLI file, and a sweep template.
+
+Serialization convention: ``to_dict`` emits the identity fields of each
+component plus every field that differs from its default, so files stay
+readable while ``from_dict(to_dict(x)) == x`` holds exactly.  JSON
+arrays come back as the tuples the dataclasses expect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.cache.factory import (
+    StrategySpec,
+    spec_from_dict,
+    spec_from_name,
+    spec_to_dict,
+)
+from repro.core.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.trace.synthetic import PowerInfoModel
+
+#: Event-engine paths accepted by :func:`repro.core.runner.run_simulation`.
+ENGINES = ("bucket", "heap")
+
+#: Component fields serialized even when they equal their defaults --
+#: the identity of a workload / deployment a reader wants to see.
+_MODEL_ALWAYS = ("n_users", "n_programs", "days", "seed")
+_CONFIG_ALWAYS = ("neighborhood_size", "per_peer_storage_gb", "strategy")
+
+
+def coerce_strategy(value: Union[str, Dict[str, Any], StrategySpec]) -> StrategySpec:
+    """Accept a spec, a registry name (``"lfu:72"``), or a spec dict."""
+    if isinstance(value, StrategySpec):
+        return value
+    if isinstance(value, str):
+        return spec_from_name(value)
+    if isinstance(value, dict):
+        return spec_from_dict(value)
+    raise ConfigurationError(
+        f"a strategy must be a spec, a registered name, or a dict, "
+        f"got {value!r}"
+    )
+
+
+def _tuple_fields(cls: type) -> set:
+    """Dataclass fields declared as tuples (JSON hands us lists)."""
+    return {
+        f.name for f in dataclasses.fields(cls)
+        if "Tuple" in str(f.type) or "tuple" in str(f.type)
+    }
+
+
+def _component_to_dict(value: Any, always: tuple) -> Dict[str, Any]:
+    """Identity fields plus non-default fields, in declaration order."""
+    payload: Dict[str, Any] = {}
+    for f in dataclasses.fields(value):
+        if not f.init:
+            continue
+        current = getattr(value, f.name)
+        if f.name in always:
+            payload[f.name] = current
+            continue
+        if f.default is not dataclasses.MISSING:
+            default = f.default
+        elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+            default = f.default_factory()  # type: ignore[misc]
+        else:  # pragma: no cover - all component fields have defaults
+            default = dataclasses.MISSING
+        if current != default:
+            payload[f.name] = current
+    return payload
+
+
+def _component_from_dict(cls: type, payload: Dict[str, Any],
+                         what: str) -> Any:
+    """Rebuild a component dataclass, coercing JSON types."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"{what} must be a dict, got {payload!r}")
+    valid = {f.name for f in dataclasses.fields(cls) if f.init}
+    unknown = sorted(set(payload) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"{what} has no fields {unknown} (have {sorted(valid)})"
+        )
+    tuples = _tuple_fields(cls)
+    kwargs: Dict[str, Any] = {}
+    for key, value in payload.items():
+        if key in tuples and isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+def model_to_dict(model: PowerInfoModel) -> Dict[str, Any]:
+    """Serialize a workload model (identity + non-default fields)."""
+    return _component_to_dict(model, _MODEL_ALWAYS)
+
+
+def model_from_dict(payload: Dict[str, Any]) -> PowerInfoModel:
+    """Rebuild a workload model from its :func:`model_to_dict` form."""
+    return _component_from_dict(PowerInfoModel, payload, "trace model")
+
+
+def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
+    """Serialize a simulation config; the strategy goes by registry name."""
+    payload = _component_to_dict(config, _CONFIG_ALWAYS)
+    payload["strategy"] = spec_to_dict(config.strategy)
+    return payload
+
+
+def config_from_dict(payload: Dict[str, Any]) -> SimulationConfig:
+    """Rebuild a simulation config from its :func:`config_to_dict` form."""
+    if isinstance(payload, dict) and "strategy" in payload:
+        payload = dict(payload)
+        payload["strategy"] = coerce_strategy(payload["strategy"])
+    return _component_from_dict(SimulationConfig, payload, "config")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified simulator execution.
+
+    Attributes
+    ----------
+    trace:
+        The seeded synthetic workload model the run replays.
+    config:
+        Deployment and policy knobs (neighborhood, storage, strategy).
+    engine:
+        Event-engine path, ``"bucket"`` (default) or ``"heap"``; both
+        are bit-identical, the heap path exists for equivalence tests.
+    seed:
+        Optional workload-seed override; ``None`` uses ``trace.seed``.
+        Sweeping this axis re-runs one scenario over fresh workloads.
+    label:
+        Free-form name used in tables and file listings.
+    scale:
+        Population scale factor of the workload relative to paper scale;
+        measured rates are divided by it when rows are built (the
+        Fig 16b linearity the experiment profiles rely on).
+    """
+
+    trace: PowerInfoModel
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+    engine: str = "bucket"
+    seed: Optional[int] = None
+    label: str = ""
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.trace, PowerInfoModel):
+            raise ConfigurationError(
+                f"trace must be a PowerInfoModel, got {type(self.trace).__name__}"
+            )
+        if not isinstance(self.config, SimulationConfig):
+            raise ConfigurationError(
+                f"config must be a SimulationConfig, got {type(self.config).__name__}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {list(ENGINES)}"
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigurationError(f"seed must be an int, got {self.seed!r}")
+        if not self.scale > 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+
+    def model(self) -> PowerInfoModel:
+        """The effective workload model (seed override applied)."""
+        if self.seed is None:
+            return self.trace
+        return replace(self.trace, seed=self.seed)
+
+    def extrapolate(self, measured: float) -> float:
+        """Full-scale equivalent of a measured, population-linear rate."""
+        return measured / self.scale
+
+    def with_label(self, label: str) -> "Scenario":
+        """Copy of this scenario under a different name."""
+        return replace(self, label=label)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; the exact inverse of :meth:`from_dict`."""
+        return {
+            "kind": "scenario",
+            "label": self.label,
+            "engine": self.engine,
+            "seed": self.seed,
+            "scale": self.scale,
+            "trace": model_to_dict(self.trace),
+            "config": config_to_dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Scenario":
+        """Rebuild a scenario from its :meth:`to_dict` form."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"a scenario must be a dict, got {payload!r}"
+            )
+        data = dict(payload)
+        kind = data.pop("kind", "scenario")
+        if kind != "scenario":
+            raise ConfigurationError(
+                f"expected kind 'scenario', got {kind!r}"
+            )
+        if "trace" not in data:
+            raise ConfigurationError("a scenario needs a 'trace' model")
+        trace = model_from_dict(data.pop("trace"))
+        config = (config_from_dict(data.pop("config"))
+                  if "config" in data else SimulationConfig())
+        known = {"engine", "seed", "label", "scale"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"scenario has no fields {unknown} "
+                f"(have {sorted(known | {'trace', 'config', 'kind'})})"
+            )
+        return cls(trace=trace, config=config, **data)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON form (arrays for tuples; :meth:`from_json` restores them)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the scenario as a JSON file."""
+        Path(path).write_text(self.to_json() + "\n")
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Read a :class:`Scenario` from a JSON file."""
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read scenario file: {error}") from None
+    try:
+        return Scenario.from_json(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{path}: not valid JSON ({error})") from None

@@ -1,0 +1,125 @@
+"""Execute scenarios and sweeps, returning standard result rows.
+
+One row shape serves every consumer -- the paper-figure experiments,
+the CLI's file-driven runs, and ad-hoc sweeps: the strategy label, the
+deployment knobs, and the paper's headline metrics (extrapolated peak
+server load with its 5%/95% quantile band, reduction vs. no cache, hit
+ratio).  :func:`result_row` is that single definition;
+``repro.experiments.base.strategy_rows`` builds its rows through it
+too, which is what makes legacy experiments and scenario runs
+row-identical by construction.
+
+Sweeps execute through :func:`repro.core.parallel.run_many`, grouped so
+each *distinct* workload model (and engine choice) shares one trace:
+serial groups replay the process-wide memoized trace
+(:func:`repro.trace.synthetic.cached_trace`); parallel groups let each
+worker regenerate it from the seeded model.  Both paths are
+bit-identical, and row order always matches expansion order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SimulationConfig
+from repro.core.parallel import (
+    get_default_workers,
+    resolve_workers,
+    run_many,
+)
+from repro.core.results import SimulationResult
+from repro.core.runner import run_simulation
+from repro.scenario.model import Scenario
+from repro.scenario.sweep import Sweep
+from repro.trace.synthetic import PowerInfoModel, cached_trace
+
+
+def result_row(config: SimulationConfig, result: SimulationResult,
+               scale: float = 1.0) -> Dict[str, Any]:
+    """The standard per-run result row (rates extrapolated by ``scale``)."""
+    low, high = result.peak_server_quantiles_gbps()
+    return {
+        "strategy": config.strategy.label,
+        "neighborhood": config.neighborhood_size,
+        "per_peer_gb": config.per_peer_storage_gb,
+        "server_gbps": result.peak_server_gbps() / scale,
+        "server_gbps_p5": low / scale,
+        "server_gbps_p95": high / scale,
+        "reduction_pct": 100.0 * result.peak_reduction(),
+        "hit_pct": 100.0 * result.counters.hit_ratio,
+    }
+
+
+def run_scenario(scenario: Scenario) -> SimulationResult:
+    """Run one scenario against its (memoized) workload trace."""
+    trace = cached_trace(scenario.model())
+    return run_simulation(trace, scenario.config, engine=scenario.engine)
+
+
+def scenario_row(scenario: Scenario,
+                 result: Optional[SimulationResult] = None) -> Dict[str, Any]:
+    """The standard row for one scenario (running it if needed)."""
+    if result is None:
+        result = run_scenario(scenario)
+    row = result_row(scenario.config, result, scale=scenario.scale)
+    if scenario.label:
+        row["label"] = scenario.label
+    return row
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    workers: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run many scenarios, sharing one trace per distinct workload model.
+
+    Results come back in scenario order, bit-identical for any worker
+    count.  ``workers=None`` defers to the process default
+    (:func:`repro.core.parallel.get_default_workers`, i.e. the CLI's
+    ``--workers`` flag, else ``REPRO_WORKERS``, else one per CPU).
+    """
+    scenarios = list(scenarios)
+    if workers is None:
+        workers = get_default_workers()
+    results: List[Optional[SimulationResult]] = [None] * len(scenarios)
+    groups: Dict[Tuple[PowerInfoModel, str], List[int]] = {}
+    for index, scenario in enumerate(scenarios):
+        groups.setdefault((scenario.model(), scenario.engine), []).append(index)
+    for (model, engine), indexes in groups.items():
+        configs = [scenarios[i].config for i in indexes]
+        # Resolve "0 = one per CPU" up front: a single-CPU host stays
+        # serial against the memoized trace instead of regenerating it.
+        effective = min(resolve_workers(workers), len(configs))
+        if effective > 1:
+            group_results = run_many(model, configs, workers=effective,
+                                     engine=engine)
+        else:
+            trace = cached_trace(model)
+            group_results = [run_simulation(trace, config, engine=engine)
+                             for config in configs]
+        for i, result in zip(indexes, group_results):
+            results[i] = result
+    return results  # type: ignore[return-value]
+
+
+def run_sweep(sweep: Union[Sweep, Scenario],
+              workers: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Expand and run a sweep, returning one standard row per point.
+
+    Each row is :func:`result_row` extrapolated by that scenario's
+    ``scale``, updated with the point's extra columns -- the
+    ``ExperimentResult``-compatible table the experiments and the CLI
+    render.  A bare :class:`Scenario` is accepted as a one-point sweep.
+    """
+    if isinstance(sweep, Scenario):
+        expanded: List[Tuple[Scenario, Dict[str, Any]]] = [(sweep, {})]
+    else:
+        expanded = sweep.expand()
+    results = run_scenarios([scenario for scenario, _ in expanded],
+                            workers=workers)
+    rows: List[Dict[str, Any]] = []
+    for (scenario, cols), result in zip(expanded, results):
+        row = result_row(scenario.config, result, scale=scenario.scale)
+        row.update(cols)
+        rows.append(row)
+    return rows

@@ -1,0 +1,353 @@
+"""Declarative sweeps: a scenario template plus named axes.
+
+A :class:`Sweep` is the serializable form of every "grid" in the
+paper's evaluation: one base :class:`~repro.scenario.model.Scenario`
+and an ordered mapping of axes, each a list of points.  Expansion is
+the cartesian product in declaration order (first axis slowest), so a
+sweep file reads top-to-bottom exactly like the nested ``for`` loops it
+replaces.
+
+Axis points come in three shapes, all normalized internally:
+
+* a bare value -- assigned to the axis's dotted path
+  (``"config.per_peer_storage_gb": [1, 3, 5, 10]``);
+* ``{"value": v, "cols": {...}}`` -- same, plus extra row columns
+  attached to every run at this point (how figures carry nominal sizes
+  and derived columns like ``total_cache_tb``);
+* ``{"set": {path: value, ...}, "cols": {...}}`` -- a point that moves
+  several fields at once (Fig 10's paired neighborhood/storage sweep);
+  the axis name is then just a label.
+
+Paths address scenario fields (``label``, ``engine``, ``seed``,
+``scale``) or one level into the components (``config.*``,
+``trace.*``).  ``config.strategy`` values may be registry names
+(``"lfu:72"``), spec dicts, or spec objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Tuple, Union
+
+from repro.cache.factory import StrategySpec, spec_to_dict
+from repro.errors import ConfigurationError
+from repro.scenario.model import (
+    Scenario,
+    _tuple_fields,
+    coerce_strategy,
+)
+
+#: Scenario-level scalar fields addressable as bare paths.
+_SCENARIO_FIELDS = ("label", "engine", "seed", "scale")
+
+
+def apply_path(scenario: Scenario, path: str, value: Any) -> Scenario:
+    """A copy of ``scenario`` with the dotted ``path`` set to ``value``."""
+    head, _, rest = path.partition(".")
+    if head in _SCENARIO_FIELDS:
+        if rest:
+            raise ConfigurationError(
+                f"scenario field {head!r} has no sub-field {rest!r}"
+            )
+        return replace(scenario, **{head: value})
+    if head in ("config", "trace"):
+        if not rest or "." in rest:
+            raise ConfigurationError(
+                f"axis path {path!r} must name one {head} field "
+                f"({head}.<field>)"
+            )
+        component = getattr(scenario, head)
+        if head == "config" and rest == "strategy":
+            value = coerce_strategy(value)
+        elif rest in _tuple_fields(type(component)) and isinstance(value, list):
+            value = tuple(value)
+        try:
+            component = replace(component, **{rest: value})
+        except TypeError:
+            fields = sorted(
+                f.name for f in dataclasses.fields(type(component)) if f.init
+            )
+            raise ConfigurationError(
+                f"{head} has no field {rest!r} (have {fields})"
+            ) from None
+        return replace(scenario, **{head: component})
+    raise ConfigurationError(
+        f"axis path {path!r} must start with one of "
+        f"{list(_SCENARIO_FIELDS) + ['config', 'trace']}"
+    )
+
+
+def _freeze(value: Any) -> Any:
+    """Lists from JSON become tuples so points stay immutable and equal."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of one axis: field assignments plus row columns."""
+
+    sets: Tuple[Tuple[str, Any], ...]
+    cols: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.sets:
+            raise ConfigurationError("a sweep point must set at least one field")
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named axis: its points in sweep order."""
+
+    name: str
+    points: Tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError(f"axis {self.name!r} has no points")
+
+
+def _normalize_point(axis_name: str, raw: Any) -> SweepPoint:
+    """Canonicalize one axis point (bare value / value-dict / set-dict)."""
+    if isinstance(raw, SweepPoint):
+        return raw
+    if isinstance(raw, Mapping):
+        if "value" not in raw and "set" not in raw:
+            raise ConfigurationError(
+                f"axis {axis_name!r}: a dict point needs 'value' or 'set' "
+                f"keys, got {sorted(raw)}"
+            )
+        unknown = sorted(set(raw) - {"value", "set", "cols"})
+        if unknown:
+            raise ConfigurationError(
+                f"axis {axis_name!r}: unknown point keys {unknown}"
+            )
+        sets: Dict[str, Any] = {}
+        for path, value in dict(raw.get("set", {})).items():
+            sets[path] = _coerce_value(path, value)
+        if "value" in raw:
+            sets[axis_name] = _coerce_value(axis_name, raw["value"])
+        cols = {k: _freeze(v) for k, v in dict(raw.get("cols", {})).items()}
+        return SweepPoint(sets=tuple(sets.items()), cols=tuple(cols.items()))
+    return SweepPoint(sets=((axis_name, _coerce_value(axis_name, raw)),))
+
+
+def _coerce_value(path: str, value: Any) -> Any:
+    """Canonicalize one assignment value for storage inside a point."""
+    if path == "config.strategy":
+        return coerce_strategy(value)
+    return _freeze(value)
+
+
+def _point_to_dict(axis: SweepAxis, point: SweepPoint) -> Any:
+    """Re-emit a point compactly: bare value when possible."""
+    sets = dict(point.sets)
+    on_axis = len(sets) == 1 and axis.name in sets
+
+    def emit(value: Any) -> Any:
+        if isinstance(value, StrategySpec):
+            return spec_to_dict(value)
+        if isinstance(value, tuple):
+            return list(value)
+        return value
+
+    if on_axis and not point.cols:
+        value = sets[axis.name]
+        # A bare dict would be misread as a value/set point on reload,
+        # so strategy points always keep the explicit {"value": ...}.
+        if not isinstance(value, StrategySpec):
+            return emit(value)
+        return {"value": emit(value)}
+    payload: Dict[str, Any] = {}
+    if on_axis:
+        payload["value"] = emit(sets.pop(axis.name))
+    if sets:
+        payload["set"] = {path: emit(value) for path, value in sets.items()}
+    if point.cols:
+        payload["cols"] = {k: emit(v) for k, v in point.cols}
+    return payload
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A scenario template plus named axes, expandable to a config grid.
+
+    ``axes`` accepts an ordered mapping ``{axis_name: [points]}`` (the
+    JSON shape) or pre-built :class:`SweepAxis` tuples; both normalize
+    to the same canonical form, so equality and round-tripping behave.
+    ``columns`` optionally fixes the table column order for rendering
+    (rows always carry every standard metric regardless).
+    """
+
+    base: Scenario
+    axes: Any = ()
+    sweep_id: str = "sweep"
+    title: str = ""
+    columns: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.base, Scenario):
+            raise ConfigurationError(
+                f"base must be a Scenario, got {type(self.base).__name__}"
+            )
+        axes = self.axes
+        if isinstance(axes, Mapping):
+            normalized = tuple(
+                SweepAxis(
+                    name=str(name),
+                    points=tuple(_normalize_point(str(name), p) for p in points),
+                )
+                for name, points in axes.items()
+            )
+        else:
+            normalized = tuple(axes)
+            for axis in normalized:
+                if not isinstance(axis, SweepAxis):
+                    raise ConfigurationError(
+                        f"axes must be a mapping or SweepAxis tuple, "
+                        f"got {type(axis).__name__}"
+                    )
+        object.__setattr__(self, "axes", normalized)
+        object.__setattr__(self, "columns", tuple(self.columns))
+        # Validate every point independently against the base now, so a
+        # bad path or value fails at construction, not mid-sweep.
+        for axis in self.axes:
+            for point in axis.points:
+                for path, value in point.sets:
+                    apply_path(self.base, path, value)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.points)
+        return total
+
+    def expand(self) -> List[Tuple[Scenario, Dict[str, Any]]]:
+        """The full grid: ``(scenario, extra_columns)`` per run.
+
+        The cartesian product iterates axes in declaration order with
+        the first axis slowest -- the row order of the nested loops a
+        sweep replaces.
+        """
+        if not self.axes:
+            return [(self.base, {})]
+        grid: List[Tuple[Scenario, Dict[str, Any]]] = []
+        for combo in itertools.product(*(axis.points for axis in self.axes)):
+            scenario = self.base
+            cols: Dict[str, Any] = {}
+            for point in combo:
+                for path, value in point.sets:
+                    scenario = apply_path(scenario, path, value)
+                cols.update(dict(point.cols))
+            grid.append((scenario, cols))
+        return grid
+
+    def scenarios(self) -> List[Scenario]:
+        """Just the expanded scenarios, in run order."""
+        return [scenario for scenario, _ in self.expand()]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; the exact inverse of :meth:`from_dict`."""
+        payload: Dict[str, Any] = {
+            "kind": "sweep",
+            "id": self.sweep_id,
+            "title": self.title,
+            "base": self.base.to_dict(),
+            "axes": {
+                axis.name: [_point_to_dict(axis, p) for p in axis.points]
+                for axis in self.axes
+            },
+        }
+        if self.columns:
+            payload["columns"] = list(self.columns)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Sweep":
+        """Rebuild a sweep from its :meth:`to_dict` form."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"a sweep must be a dict, got {payload!r}")
+        data = dict(payload)
+        kind = data.pop("kind", "sweep")
+        if kind != "sweep":
+            raise ConfigurationError(f"expected kind 'sweep', got {kind!r}")
+        if "base" not in data:
+            raise ConfigurationError("a sweep needs a 'base' scenario")
+        base = Scenario.from_dict(data.pop("base"))
+        axes = data.pop("axes", {})
+        if not isinstance(axes, Mapping):
+            raise ConfigurationError(f"axes must be a mapping, got {axes!r}")
+        kwargs: Dict[str, Any] = {}
+        if "id" in data:
+            kwargs["sweep_id"] = str(data.pop("id"))
+        if "title" in data:
+            kwargs["title"] = str(data.pop("title"))
+        if "columns" in data:
+            kwargs["columns"] = tuple(data.pop("columns"))
+        if data:
+            raise ConfigurationError(
+                f"sweep has no fields {sorted(data)} "
+                f"(have ['kind', 'id', 'title', 'base', 'axes', 'columns'])"
+            )
+        return cls(base=base, axes=axes, **kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON form (arrays for tuples; :meth:`from_json` restores them)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Sweep":
+        """Rebuild a sweep from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the sweep as a JSON file."""
+        Path(path).write_text(self.to_json() + "\n")
+
+
+def load_sweep(path: Union[str, Path]) -> Sweep:
+    """Read a :class:`Sweep` from a JSON file."""
+    loaded = load(path)
+    if not isinstance(loaded, Sweep):
+        raise ConfigurationError(
+            f"{path} holds a scenario, not a sweep; use load_scenario "
+            f"or repro-vod run"
+        )
+    return loaded
+
+
+def load(path: Union[str, Path]) -> Union[Scenario, Sweep]:
+    """Read a scenario *or* sweep file, dispatching on its ``kind``."""
+    try:
+        text = Path(path).read_text()
+    except OSError as error:
+        raise ConfigurationError(f"cannot read scenario file: {error}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{path}: not valid JSON ({error})") from None
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"{path}: expected a JSON object with a 'kind' key"
+        )
+    kind = payload.get("kind", "scenario")
+    if kind == "sweep":
+        return Sweep.from_dict(payload)
+    if kind == "scenario":
+        return Scenario.from_dict(payload)
+    raise ConfigurationError(
+        f"{path}: unknown kind {kind!r} (expected 'scenario' or 'sweep')"
+    )

@@ -36,6 +36,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 from bisect import bisect_left
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import units
@@ -533,6 +534,19 @@ def generate_trace(model: PowerInfoModel) -> Trace:
                 )
             )
     return Trace(records, catalog, n_users=model.n_users)
+
+
+@lru_cache(maxsize=3)
+def cached_trace(model: PowerInfoModel) -> Trace:
+    """Memoized :func:`generate_trace`, keyed by the (frozen) model.
+
+    Every layer that replays "the trace of this model" -- experiment
+    profiles, scenario runs, sweep groups -- shares this cache, so a
+    profile's workload is generated once per process no matter which
+    API drives the run.  The cache is tiny (traces are tens of MB at
+    medium scale); distinct models beyond its size simply regenerate.
+    """
+    return generate_trace(model)
 
 
 def _user_activity_cumulative(model: PowerInfoModel, streams: RandomStreams) -> List[float]:

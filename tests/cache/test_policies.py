@@ -13,6 +13,7 @@ from repro.cache.factory import BuildInputs, spec_from_name
 from repro.cache.policies import (
     ARCEviction,
     AlwaysAdmit,
+    FrequencySketchAdmission,
     GDSFEviction,
     LFUEviction,
     LRUEviction,
@@ -34,7 +35,7 @@ class TestRegistry:
     def test_all_families_registered(self):
         names = policy_names()
         for expected in ("none", "lru", "lfu", "oracle", "global-lfu",
-                         "gdsf", "arc", "threshold"):
+                         "gdsf", "arc", "threshold", "frequency-sketch"):
             assert expected in names
 
     def test_unknown_name_lists_registered_choices(self):
@@ -43,6 +44,10 @@ class TestRegistry:
         message = str(excinfo.value)
         for name in policy_names():
             assert name in message
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(ConfigurationError, match="did you mean"):
+            get_policy("lfru")
 
     def test_spec_from_name_error_comes_from_registry(self):
         with pytest.raises(ConfigurationError, match="gdsf"):
@@ -277,3 +282,102 @@ class TestThresholdAdmission:
         assert all(isinstance(s, PolicyStrategy) for s in built.strategies)
         assert all(isinstance(s.admission, ThresholdAdmission)
                    for s in built.strategies)
+
+
+class TestFrequencySketchAdmission:
+    def test_first_access_is_filtered_second_admits(self):
+        strategy = PolicyStrategy(FrequencySketchAdmission(min_estimate=2),
+                                  LRUEviction())
+        bind(strategy)
+        assert strategy.on_access(0.0, 1).empty
+        assert strategy.on_access(10.0, 1).admitted == [1]
+
+    def test_estimates_are_deterministic_and_exact_without_collisions(self):
+        sketch = FrequencySketchAdmission(width=4096, depth=4)
+        for i in range(50):
+            for _ in range(i % 5 + 1):
+                sketch.observe(0.0, i)
+        for i in range(50):
+            assert sketch.estimate(i) == i % 5 + 1
+
+    def test_decay_halves_counters(self):
+        sketch = FrequencySketchAdmission(min_estimate=2, width=64, depth=2,
+                                          decay_accesses=10)
+        for _ in range(9):
+            sketch.observe(0.0, 7)
+        assert sketch.estimate(7) == 9
+        sketch.observe(0.0, 7)  # 10th access triggers the halving
+        assert sketch.estimate(7) == 5
+        # A program must keep earning accesses to stay admissible.
+        for _ in range(3):
+            for _ in range(10):
+                sketch.observe(0.0, 99)
+        assert sketch.estimate(7) < 2
+
+    def test_collisions_only_overestimate(self):
+        # A 1-wide sketch is all collisions: estimates can only inflate,
+        # so the gate admits more, never silently locks content out.
+        sketch = FrequencySketchAdmission(width=1, depth=1)
+        sketch.observe(0.0, 1)
+        sketch.observe(0.0, 2)
+        assert sketch.estimate(3) >= 0
+        assert sketch.should_admit(0.0, 3)
+
+    def test_composes_with_any_eviction_family(self):
+        for eviction in eviction_names():
+            strategy = PolicyStrategy(FrequencySketchAdmission(min_estimate=2),
+                                      named_eviction(eviction))
+            bind(strategy)
+            assert strategy.on_access(0.0, 5).empty
+            assert strategy.on_access(1.0, 5).admitted == [5]
+
+    def test_spec_builds_composition(self):
+        spec = spec_from_name("frequency-sketch:eviction=gdsf")
+        built = spec.build(BuildInputs(n_neighborhoods=2))
+        assert all(isinstance(s, PolicyStrategy) for s in built.strategies)
+        assert all(isinstance(s.admission, FrequencySketchAdmission)
+                   for s in built.strategies)
+        assert built.strategies[0].admission is not built.strategies[1].admission
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrequencySketchAdmission(min_estimate=0)
+        with pytest.raises(ConfigurationError):
+            FrequencySketchAdmission(width=0)
+        with pytest.raises(ConfigurationError):
+            FrequencySketchAdmission(depth=99)
+        with pytest.raises(ConfigurationError):
+            FrequencySketchAdmission(decay_accesses=0)
+
+
+class TestARCGhostBudget:
+    def _run_stream(self, ghost_budget):
+        strategy = PolicyStrategy(AlwaysAdmit(),
+                                  ARCEviction(ghost_budget=ghost_budget))
+        bind(strategy, capacity=300.0)
+        t = 0.0
+        for pid in range(60):
+            t += 1.0
+            strategy.on_access(t, pid)
+        return strategy.eviction
+
+    def test_budget_bounds_ghost_bytes(self):
+        for budget in (0.25, 0.5, 1.0, 2.0):
+            evictor = self._run_stream(budget)
+            assert evictor._b1_bytes <= 300.0 * budget + 1e-9
+            assert evictor._b2_bytes <= 300.0 * budget + 1e-9
+
+    def test_zero_budget_disables_ghost_memory(self):
+        evictor = self._run_stream(0.0)
+        assert not evictor._b1
+        assert not evictor._b2
+
+    def test_default_budget_is_canonical_arc(self):
+        # ghost_budget=1.0 must leave behaviour exactly as before the
+        # knob existed (one cache's worth of ghost bytes per list).
+        from repro.cache.factory import ARCSpec
+
+        assert ARCSpec().label == "arc"
+        assert ARCSpec(ghost_budget=0.5).label == "arc(g=0.5)"
+        with pytest.raises(ConfigurationError):
+            ARCEviction(ghost_budget=-0.1)

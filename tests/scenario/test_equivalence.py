@@ -1,0 +1,232 @@
+"""Migrated experiments are row-identical to their pre-refactor loops.
+
+The fig08/09/10/11/13 family and the ``policies`` matchup used to build
+their config lists and sweep loops by hand; since the scenario API
+redesign they are declarative :class:`~repro.scenario.Sweep`
+definitions.  These tests keep the *original* hand-rolled loops (copied
+verbatim from the pre-refactor modules, minus dead columns) as
+references and assert the new path reproduces every row exactly --
+same values, same order -- plus that each sweep survives a JSON round
+trip into the identical scenario grid.
+
+Everything runs at a tiny profile so the whole module costs seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.factory import GlobalLFUSpec, LFUSpec, LRUSpec, OracleSpec
+from repro.cache.policies import iter_policies
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+from repro.experiments import get_experiment
+from repro.experiments.profiles import ExperimentProfile, base_trace
+from repro.scenario import Sweep, run_sweep
+
+#: ~500 users, ~100 programs, 6 simulated days: seconds per sweep.
+TINY = ExperimentProfile(name="tiny", scale=0.012, days=6.0, warmup_days=3.0)
+
+
+def legacy_strategy_rows(trace, configs, profile):
+    """The pre-refactor ``strategy_rows``, inlined verbatim.
+
+    Deliberately NOT today's ``strategy_rows`` (which now shares
+    ``repro.scenario.runner.result_row`` with the path under test):
+    this is the serial loop and literal row dict the experiment modules
+    used before the redesign, so the comparison cannot drift in
+    lockstep with the code it checks.
+    """
+    results = [run_simulation(trace, config) for config in configs]
+    rows = []
+    for config, result in zip(configs, results):
+        low, high = result.peak_server_quantiles_gbps()
+        rows.append(
+            {
+                "strategy": config.strategy.label,
+                "neighborhood": config.neighborhood_size,
+                "per_peer_gb": config.per_peer_storage_gb,
+                "server_gbps": profile.extrapolate(result.peak_server_gbps()),
+                "server_gbps_p5": profile.extrapolate(low),
+                "server_gbps_p95": profile.extrapolate(high),
+                "reduction_pct": 100.0 * result.peak_reduction(),
+                "hit_pct": 100.0 * result.counters.hit_ratio,
+            }
+        )
+    return rows
+
+
+def assert_rows_match(new_rows, reference_rows):
+    """Every reference row reappears, in order, value-for-value.
+
+    New rows may carry extra columns (the standard metric set plus axis
+    tags); every key the pre-refactor row had must match exactly --
+    bit-identical floats, not approximately.
+    """
+    assert len(new_rows) == len(reference_rows)
+    for index, (new, reference) in enumerate(zip(new_rows, reference_rows)):
+        for key, expected in reference.items():
+            assert key in new, f"row {index} lost column {key!r}"
+            assert new[key] == expected, (
+                f"row {index} column {key!r}: {new[key]!r} != {expected!r}"
+            )
+
+
+def run_module(experiment_id):
+    module = get_experiment(experiment_id)
+    return module.run(TINY)
+
+
+class TestSweepDefinitionsRoundTrip:
+    """describe output re-expands to the identical scenario grid."""
+
+    @pytest.mark.parametrize("experiment_id",
+                             ["fig08", "fig09", "fig10", "fig11", "fig13",
+                              "policies"])
+    def test_json_round_trip_preserves_the_grid(self, experiment_id):
+        sweep = get_experiment(experiment_id).sweep(TINY)
+        rebuilt = Sweep.from_json(sweep.to_json())
+        assert rebuilt == sweep
+        assert rebuilt.expand() == sweep.expand()
+
+
+class TestFig08:
+    def test_rows_match_pre_refactor_loop(self):
+        trace = base_trace(TINY)
+        size = TINY.neighborhood_size(1_000)
+        configs = []
+        for per_peer_gb in (1.0, 3.0, 5.0, 10.0):
+            for spec in (OracleSpec(), LFUSpec(), LRUSpec()):
+                configs.append(SimulationConfig(
+                    neighborhood_size=size,
+                    per_peer_storage_gb=per_peer_gb,
+                    strategy=spec,
+                    warmup_days=TINY.warmup_days,
+                ))
+        reference = legacy_strategy_rows(trace, configs, TINY)
+        for row in reference:
+            row["total_cache_tb"] = row["per_peer_gb"] * 1_000 / 1_000.0
+        assert_rows_match(run_module("fig08").rows, reference)
+
+
+class TestFig09:
+    def test_rows_match_pre_refactor_loop(self):
+        trace = base_trace(TINY)
+        nominals = (100, 300, 500, 1_000)
+        configs = []
+        for nominal in nominals:
+            for spec in (OracleSpec(), LFUSpec(), LRUSpec()):
+                configs.append(SimulationConfig(
+                    neighborhood_size=TINY.neighborhood_size(nominal),
+                    per_peer_storage_gb=10.0,
+                    strategy=spec,
+                    warmup_days=TINY.warmup_days,
+                ))
+        reference = legacy_strategy_rows(trace, configs, TINY)
+        index = 0
+        for nominal in nominals:
+            for _ in range(3):
+                reference[index]["nominal_neighborhood"] = nominal
+                reference[index]["total_cache_tb"] = nominal * 10.0 / 1_000.0
+                index += 1
+        assert_rows_match(run_module("fig09").rows, reference)
+
+
+class TestFig10:
+    def test_rows_match_pre_refactor_loop(self):
+        trace = base_trace(TINY)
+        sweep_points = ((100, 10.0), (500, 2.0), (1_000, 1.0))
+        configs = []
+        for nominal, per_peer_gb in sweep_points:
+            for spec in (OracleSpec(), LFUSpec(), LRUSpec()):
+                configs.append(SimulationConfig(
+                    neighborhood_size=TINY.neighborhood_size(nominal),
+                    per_peer_storage_gb=per_peer_gb,
+                    strategy=spec,
+                    warmup_days=TINY.warmup_days,
+                ))
+        reference = legacy_strategy_rows(trace, configs, TINY)
+        index = 0
+        for nominal, _ in sweep_points:
+            for _ in range(3):
+                reference[index]["nominal_neighborhood"] = nominal
+                index += 1
+        assert_rows_match(run_module("fig10").rows, reference)
+
+
+class TestFig11:
+    def test_rows_match_pre_refactor_loop(self):
+        trace = base_trace(TINY)
+        size = TINY.neighborhood_size(500)
+        reference = []
+        for history_hours in (0.0, 12.0, 24.0, 48.0, 72.0, 120.0, 168.0,
+                              240.0, 288.0):
+            config = SimulationConfig(
+                neighborhood_size=size,
+                per_peer_storage_gb=4.0,
+                strategy=LFUSpec(history_hours=history_hours),
+                warmup_days=TINY.warmup_days,
+            )
+            result = run_simulation(trace, config)
+            reference.append({
+                "history_days": history_hours / 24.0,
+                "history_hours": history_hours,
+                "server_gbps": TINY.extrapolate(result.peak_server_gbps()),
+                "reduction_pct": 100.0 * result.peak_reduction(),
+                "hit_pct": 100.0 * result.counters.hit_ratio,
+            })
+        assert_rows_match(run_module("fig11").rows, reference)
+
+
+class TestFig13:
+    def test_rows_match_pre_refactor_loop(self):
+        trace = base_trace(TINY)
+        size = TINY.neighborhood_size(500)
+        variants = (
+            ("global", lambda: GlobalLFUSpec(lag_seconds=0.0)),
+            ("global+30min", lambda: GlobalLFUSpec(lag_seconds=1_800.0)),
+            ("global+2h", lambda: GlobalLFUSpec(lag_seconds=7_200.0)),
+            ("local", lambda: LFUSpec()),
+        )
+        configs, labels = [], []
+        for per_peer_gb in (1.0, 3.0, 5.0, 10.0):
+            for label, make_spec in variants:
+                labels.append(label)
+                configs.append(SimulationConfig(
+                    neighborhood_size=size,
+                    per_peer_storage_gb=per_peer_gb,
+                    strategy=make_spec(),
+                    warmup_days=TINY.warmup_days,
+                ))
+        reference = legacy_strategy_rows(trace, configs, TINY)
+        for row, label in zip(reference, labels):
+            row["feed"] = label
+        assert_rows_match(run_module("fig13").rows, reference)
+
+
+class TestPolicyMatchup:
+    def test_rows_match_pre_refactor_loop(self):
+        trace = base_trace(TINY)
+        size = TINY.neighborhood_size(1_000)
+        configs = [
+            SimulationConfig(
+                neighborhood_size=size,
+                strategy=info.spec_class(),
+                warmup_days=TINY.warmup_days,
+            )
+            for info in iter_policies()
+        ]
+        reference = legacy_strategy_rows(trace, configs, TINY)
+        for info, row in zip(iter_policies(), reference):
+            row["policy"] = info.name
+        assert_rows_match(run_module("policies").rows, reference)
+
+
+class TestFileDrivenRunMatchesModule:
+    """describe -> JSON -> run_sweep reproduces the module's rows."""
+
+    def test_fig10_through_serialized_sweep(self):
+        module = get_experiment("fig10")
+        sweep = Sweep.from_json(module.sweep(TINY).to_json())
+        rows = run_sweep(sweep)
+        assert_rows_match(rows, module.run(TINY).rows)

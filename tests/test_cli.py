@@ -1,8 +1,13 @@
-"""CLI surface: listing, running, error handling."""
+"""CLI surface: listing, running, scenario files, error handling."""
+
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
+
+SCENARIOS_DIR = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
 
 
 class TestCli:
@@ -28,6 +33,12 @@ class TestCli:
         assert main(["fig99"]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_unknown_experiment_suggests_close_matches(self, capsys):
+        assert main(["fig8"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "fig08" in err
+
     def test_unknown_profile_fails_cleanly(self, capsys):
         assert main(["fig02", "--profile", "warp"]) == 2
         assert "error" in capsys.readouterr().err
@@ -40,3 +51,91 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig02" in out
         assert "paper:" in out
+
+
+class TestScenarioCommands:
+    """The file-driven surface: run / sweep / describe."""
+
+    def test_packaged_scenario_files_exist(self):
+        names = {path.name for path in SCENARIOS_DIR.glob("*.json")}
+        assert {"quickstart.json", "gdsf_history_sweep.json",
+                "arc_ghost_sweep.json"} <= names
+
+    def test_run_packaged_scenario(self, capsys):
+        assert main(["run", str(SCENARIOS_DIR / "quickstart.json")]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out
+        assert "server_gbps" in out
+
+    def test_sweep_packaged_file_with_csv(self, capsys, tmp_path):
+        # The CLI smoke test for a packaged per-family parameter sweep
+        # (ROADMAP: GDSF history depth), serial to keep CI predictable.
+        out_csv = tmp_path / "rows.csv"
+        assert main(["sweep", str(SCENARIOS_DIR / "gdsf_history_sweep.json"),
+                     "--out", str(out_csv), "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "gdsf-history" in out
+        lines = out_csv.read_text().strip().splitlines()
+        assert len(lines) == 5  # header + 4 history depths
+        assert "history_hours" in lines[0]
+
+    def test_run_accepts_sweep_files_too(self, capsys, tmp_path):
+        # `run` dispatches on the file's kind, so handing it a sweep
+        # works instead of erroring pedantically.
+        from repro.scenario import load
+
+        sweep = load(SCENARIOS_DIR / "arc_ghost_sweep.json")
+        assert main(["run", str(SCENARIOS_DIR / "arc_ghost_sweep.json"),
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "arc-ghost-budget" in out
+        assert f"({len(sweep)} runs" in out
+
+    def test_describe_round_trips_through_run(self, capsys, tmp_path):
+        from repro.scenario import Sweep
+        from repro.experiments import get_experiment
+
+        assert main(["describe", "fig11", "--profile", "fast"]) == 0
+        text = capsys.readouterr().out
+        sweep = Sweep.from_json(text)
+        assert sweep == get_experiment("fig11").sweep()
+        # And the JSON is itself a loadable file.
+        path = tmp_path / "fig11.json"
+        path.write_text(text)
+        from repro.scenario import load
+
+        assert load(path) == sweep
+
+    def test_describe_unknown_and_undescribable(self, capsys):
+        assert main(["describe", "fig99"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+        assert main(["describe", "fig02"]) == 2
+        err = capsys.readouterr().err
+        assert "not scenario-backed" in err
+        assert "fig08" in err
+
+    def test_missing_and_malformed_files_exit_2(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["run", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        weird = tmp_path / "weird.json"
+        weird.write_text(json.dumps({"kind": "warp"}))
+        assert main(["run", str(weird)]) == 2
+        assert "unknown kind" in capsys.readouterr().err
+
+    def test_unknown_strategy_in_file_suggests_and_exits_2(self, capsys,
+                                                           tmp_path):
+        from repro.scenario import load_scenario
+
+        scenario = load_scenario(SCENARIOS_DIR / "quickstart.json")
+        payload = scenario.to_dict()
+        payload["config"]["strategy"] = {"name": "lfru"}
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps(payload))
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "lfu" in err

@@ -48,6 +48,10 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.analysis.feasibility",
     "repro.analysis.multicast",
+    "repro.scenario",
+    "repro.scenario.model",
+    "repro.scenario.sweep",
+    "repro.scenario.runner",
     "repro.experiments",
     "repro.experiments.profiles",
     "repro.experiments.base",
