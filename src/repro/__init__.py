@@ -50,6 +50,7 @@ from repro.core import SimulationConfig, SimulationResult, run_simulation
 from repro.scenario import (
     Scenario,
     Sweep,
+    iter_sweep_rows,
     load_scenario,
     load_sweep,
     run_scenario,
@@ -63,6 +64,7 @@ from repro.trace import (
     Program,
     SessionRecord,
     Trace,
+    Workload,
     generate_trace,
     scale_catalog,
     scale_population,
@@ -84,6 +86,8 @@ __all__ = [
     "run_simulation",
     "Scenario",
     "Sweep",
+    "Workload",
+    "iter_sweep_rows",
     "run_scenario",
     "run_scenarios",
     "run_sweep",

@@ -8,14 +8,26 @@
   model, the class of solution the paper argues *against* in section
   IV-A.  Quantifies how popularity skew and mid-stream attrition erode
   multicast savings on real VoD workloads.
+* :mod:`repro.baselines.registry` -- both of the above as *named
+  baseline metrics* the scenario layer can request declaratively
+  (``Scenario.baselines``), computed per distinct transformed trace and
+  merged into sweep rows as reference columns.
 """
 
 from repro.baselines.multicast import MulticastModel, MulticastReport
 from repro.baselines.no_cache import no_cache_hourly_rates, no_cache_peak_gbps
+from repro.baselines.registry import (
+    BASELINE_NAMES,
+    baseline_columns,
+    validate_baselines,
+)
 
 __all__ = [
+    "BASELINE_NAMES",
     "MulticastModel",
     "MulticastReport",
+    "baseline_columns",
     "no_cache_hourly_rates",
     "no_cache_peak_gbps",
+    "validate_baselines",
 ]

@@ -1,0 +1,84 @@
+"""Named baseline metrics: reference columns computed from a trace.
+
+The paper draws every cached result against analytic reference lines --
+the 17 Gb/s no-cache load, the batching+patching multicast bound.  This
+registry names those computations so the scenario layer can request
+them declaratively (``Scenario.baselines = ("no_cache",)``) and merge
+the resulting columns into sweep rows.  Each baseline is a pure
+function of the (possibly transformed) trace plus the warm-up window,
+so workers can compute them next to the simulation they accompany --
+the parent process never needs the trace.
+
+Columns listed in :data:`RATE_COLUMNS` are population-linear rates and
+get extrapolated by the scenario's ``scale`` when rows are built; the
+rest (percentages, group sizes) are scale-free and pass through.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.baselines.multicast import MulticastModel
+from repro.baselines.no_cache import no_cache_peak_gbps
+from repro.errors import ConfigurationError, suggest
+
+#: Baseline columns that are population-linear rates: the scenario
+#: runner divides these by the scenario's ``scale`` (same extrapolation
+#: as every measured rate).  Everything else passes through unscaled.
+RATE_COLUMNS = frozenset({"no_cache_gbps"})
+
+
+def _no_cache(trace, warmup_seconds: float) -> Dict[str, float]:
+    """The cacheless central-server peak (the paper's 17 Gb/s line)."""
+    return {
+        "no_cache_gbps": no_cache_peak_gbps(trace,
+                                            warmup_seconds=warmup_seconds),
+    }
+
+
+def _multicast(trace, warmup_seconds: float) -> Dict[str, float]:
+    """The generous batching+patching multicast bound (section IV-A).
+
+    The join window is the model's default (10 minutes); the warm-up is
+    deliberately ignored -- the multicast argument is about the whole
+    trace's skew and attrition, exactly as the paper states it.
+    """
+    report = MulticastModel().evaluate(trace)
+    return {
+        "multicast_saving_pct": 100.0 * report.savings_fraction,
+        "multicast_mean_group": report.mean_group_size,
+        "multicast_singleton_pct": 100.0 * report.fraction_singleton_groups,
+    }
+
+
+_BASELINES: Dict[str, Callable[..., Dict[str, float]]] = {
+    "no_cache": _no_cache,
+    "multicast": _multicast,
+}
+
+#: Every registered baseline name, in registration order.
+BASELINE_NAMES: Tuple[str, ...] = tuple(_BASELINES)
+
+
+def validate_baselines(names: Sequence[str]) -> None:
+    """Reject unknown baseline names eagerly (with close-match hints)."""
+    for name in names:
+        if name not in _BASELINES:
+            raise ConfigurationError(
+                f"unknown baseline {name!r}"
+                f"{suggest(str(name), sorted(_BASELINES))} "
+                f"(choose from {sorted(_BASELINES)})"
+            )
+
+
+def baseline_columns(
+    names: Sequence[str],
+    trace,
+    warmup_seconds: float = 0.0,
+) -> Dict[str, float]:
+    """Compute the requested baselines' columns from one trace."""
+    validate_baselines(names)
+    columns: Dict[str, float] = {}
+    for name in names:
+        columns.update(_BASELINES[name](trace, warmup_seconds))
+    return columns

@@ -14,10 +14,12 @@ Usage::
 
 Experiments print their paper-style table plus the paper's expected
 shape for eyeball comparison.  ``run`` and ``sweep`` execute scenario /
-sweep JSON files (see :mod:`repro.scenario`); ``describe`` prints any
-scenario-backed built-in experiment in that same JSON schema -- the
-fastest way to start a custom sweep is to describe the nearest figure
-and edit the file.  ``list-strategies`` prints every cache policy
+sweep JSON files (see :mod:`repro.scenario`); sweep rows *stream* --
+each row prints as its result lands, in stable expansion order, so long
+grids (the 25-cell fig15 grid, parameter scans) show live progress.
+``describe`` prints any scenario-backed built-in experiment in that
+same JSON schema -- the fastest way to start a custom sweep is to
+describe the nearest figure and edit the file.  ``list-strategies`` prints every cache policy
 registered in the policy engine (name, label, parameters); sweeps
 parallelize automatically (``REPRO_WORKERS`` or one worker per CPU)
 unless ``--workers`` pins a count.
@@ -143,10 +145,54 @@ def _write_csv(path: str, rows: List[Dict[str, Any]]) -> None:
         for key in row:
             if key not in columns:
                 columns.append(key)
-    with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns)
-        writer.writeheader()
-        writer.writerows(rows)
+    try:
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+    except OSError as error:
+        raise ReproError(f"cannot write CSV {path!r}: {error}") from None
+
+
+def _stream_sweep_rows(sweep: Any) -> List[Dict[str, Any]]:
+    """Run a sweep, printing each row as its result lands.
+
+    Results stream back in expansion order (the runner uses ordered
+    ``imap``), so long grids show live, stable progress instead of
+    minutes of silence followed by one table.  Column widths come from
+    the header names (values wider than their column overflow rather
+    than buffering the whole table); keys a later point introduces are
+    appended as ``key=value`` suffixes.  Returns all rows for CSV
+    export.
+    """
+    from repro.experiments.base import format_cell
+    from repro.scenario import iter_sweep_rows
+
+    title = f"{sweep.sweep_id}: {sweep.title}  [{len(sweep)} points]"
+    print(title, flush=True)
+    rows: List[Dict[str, Any]] = []
+    columns: List[str] = []
+    widths: Dict[str, int] = {}
+    for row in iter_sweep_rows(sweep):
+        if not rows:
+            columns = list(sweep.columns)
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+            widths = {name: max(len(name), 12) for name in columns}
+            print("  ".join(name.ljust(widths[name]) for name in columns))
+            print("  ".join("-" * widths[name] for name in columns),
+                  flush=True)
+        line = "  ".join(
+            format_cell(row.get(name, "")).ljust(widths[name]) for name in columns
+        )
+        extras = [f"{key}={format_cell(value)}" for key, value in row.items()
+                  if key not in columns]
+        if extras:
+            line = f"{line}  {' '.join(extras)}"
+        print(line.rstrip(), flush=True)
+        rows.append(row)
+    return rows
 
 
 def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
@@ -155,7 +201,8 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
         prog=f"repro-vod {subcommand}",
         description=(
             "Execute a scenario or sweep JSON file and print the standard "
-            "result table (see repro-vod describe for the schema)."
+            "result table (sweep rows stream as they finish; see repro-vod "
+            "describe for the schema)."
         ),
     )
     parser.add_argument("file", help="path to a scenario/sweep JSON file")
@@ -169,15 +216,14 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
     _apply_workers(args.workers)
     loaded = load(args.file)
     started = time.perf_counter()
-    rows = run_sweep(loaded)
-    elapsed = time.perf_counter() - started
     if isinstance(loaded, Scenario):
-        title, columns = loaded.label or "scenario", ()
+        rows = run_sweep(loaded)
         points = 1
+        print(_row_table(loaded.label or "scenario", (), rows))
     else:
-        title, columns = loaded.sweep_id, loaded.columns
         points = len(loaded)
-    print(_row_table(title, columns, rows))
+        rows = _stream_sweep_rows(loaded)
+    elapsed = time.perf_counter() - started
     print(f"({points} run{'s' if points != 1 else ''}, {elapsed:.1f}s)")
     if args.out:
         _write_csv(args.out, rows)

@@ -1,50 +1,110 @@
-"""Multiprocessing sweep runner: many configs, one seeded trace model.
+"""Multiprocessing sweep runner: many simulation tasks, tiny pickles.
 
-Experiment figures sweep dozens of :class:`SimulationConfig` points over
-the *same* workload.  Each point is an independent simulator execution,
-so the sweep is embarrassingly parallel -- but a PowerInfo-scale trace
-is tens of millions of records and pickling it to every worker would
-dwarf the simulation itself.  Instead each worker *regenerates* the
-trace from its seeded :class:`~repro.trace.synthetic.PowerInfoModel`
-(a few-field dataclass) in its initializer: generation is deterministic,
-so every worker sees the byte-identical workload, and the scheme is safe
-under both ``fork`` and ``spawn`` start methods.
+Experiment figures sweep dozens of :class:`SimulationConfig` points --
+and, since the scalability grid migrated onto the scenario layer, dozens
+of *workloads* too.  Each point is an independent simulator execution,
+so a sweep is embarrassingly parallel -- but a PowerInfo-scale trace is
+tens of millions of records and pickling it to every worker would dwarf
+the simulation itself.  Instead every task ships a
+:class:`~repro.trace.workload.Workload` (a few-field frozen dataclass)
+and each worker *regenerates* the trace from it: generation and the
+scaling transforms are deterministic, so every worker sees the
+byte-identical workload, and the scheme is safe under both ``fork`` and
+``spawn`` start methods.  Worker-side LRUs
+(:func:`~repro.trace.workload.cached_workload_trace`) mean a worker
+builds each distinct trace once no matter how many tasks share it.
 
-``run_many`` preserves config order and falls back to a plain serial
-loop for one worker (or one config), so callers get identical results --
-bit-identical counters and meter buckets -- regardless of worker count.
+:func:`iter_task_results` is the primitive: it yields one outcome per
+task *in task order, as results land* (``imap`` under the hood), which
+is what lets the CLI stream sweep rows live.  :func:`run_many` is the
+list-returning convenience over a single shared workload.  Both fall
+back to a plain serial loop for one worker (or one task) -- against the
+process-wide memoized trace, so repeated serial sweeps never regenerate
+a workload the scenario runner already built -- and callers get
+bit-identical counters and meter buckets regardless of worker count.
+
+Tasks may also request named **baseline metrics** (``no_cache``,
+``multicast`` -- see :mod:`repro.baselines.registry`): analytic columns
+computed from the task's transformed trace, memoized per distinct
+(workload, warmup) inside whichever process runs the task, and returned
+alongside the simulation result so sweeps over scaled workloads get
+their reference lines without the parent ever materializing the trace.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.core.runner import run_simulation
 from repro.errors import ConfigurationError
-from repro.trace.records import Trace
-from repro.trace.synthetic import PowerInfoModel, generate_trace
-
-#: Trace shared by every task a worker process executes, built once per
-#: worker by :func:`_init_worker`.
-_worker_trace: Optional[Trace] = None
-_worker_engine: str = "bucket"
+from repro.trace.synthetic import PowerInfoModel
+from repro.trace.workload import Workload, cached_workload_trace
 
 
-def _init_worker(model: PowerInfoModel, engine: str) -> None:
-    """Pool initializer: regenerate the workload inside the worker."""
-    global _worker_trace, _worker_engine
-    _worker_trace = generate_trace(model)
-    _worker_engine = engine
+@dataclass(frozen=True)
+class SimulationTask:
+    """One simulator execution as a picklable value.
+
+    Attributes
+    ----------
+    workload:
+        The (possibly transformed) trace the run replays; workers
+        regenerate it from this, the trace itself is never pickled.
+    config:
+        Deployment and policy knobs for the run.
+    engine:
+        Event-engine path forwarded to
+        :func:`~repro.core.runner.run_simulation`.
+    baselines:
+        Names of baseline metrics (:data:`repro.baselines.registry`)
+        to compute from this task's trace; the values come back in the
+        outcome's second element, unextrapolated.
+    """
+
+    workload: Workload
+    config: SimulationConfig
+    engine: str = "bucket"
+    baselines: Tuple[str, ...] = ()
 
 
-def _run_one(config: SimulationConfig) -> SimulationResult:
-    """Pool task: one simulator execution against the worker's trace."""
-    if _worker_trace is None:  # pragma: no cover - initializer contract
-        raise ConfigurationError("parallel worker used before initialization")
-    return run_simulation(_worker_trace, config, engine=_worker_engine)
+#: What one task returns: the simulation result plus the task's baseline
+#: columns (empty dict when the task requested none).
+TaskOutcome = Tuple[SimulationResult, Dict[str, float]]
+
+#: Per-process memo of baseline columns, keyed by everything they depend
+#: on.  A handful of entries per sweep (one per distinct workload), so a
+#: plain dict is fine.
+_baseline_memo: Dict[Tuple[Workload, Tuple[str, ...], float],
+                     Tuple[Tuple[str, float], ...]] = {}
+
+
+def _task_baselines(task: SimulationTask) -> Dict[str, float]:
+    """Baseline columns for one task, memoized in this process."""
+    if not task.baselines:
+        return {}
+    key = (task.workload, task.baselines, task.config.warmup_days)
+    items = _baseline_memo.get(key)
+    if items is None:
+        from repro.baselines.registry import baseline_columns
+
+        trace = cached_workload_trace(task.workload)
+        items = tuple(
+            baseline_columns(task.baselines, trace,
+                             warmup_seconds=task.config.warmup_seconds).items()
+        )
+        _baseline_memo[key] = items
+    return dict(items)
+
+
+def _execute_task(task: SimulationTask) -> TaskOutcome:
+    """Run one task (in this process or a pool worker)."""
+    trace = cached_workload_trace(task.workload)
+    result = run_simulation(trace, task.config, engine=task.engine)
+    return result, _task_baselines(task)
 
 
 def _cpu_workers() -> int:
@@ -132,45 +192,69 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def run_many(
-    trace_model: PowerInfoModel,
-    configs: Sequence[SimulationConfig],
+def iter_task_results(
+    tasks: Sequence[SimulationTask],
     workers: Optional[int] = None,
-    engine: str = "bucket",
-) -> List[SimulationResult]:
-    """Run every config against the model's trace, ``workers`` at a time.
+) -> Iterator[TaskOutcome]:
+    """Run every task, yielding outcomes in task order as they land.
 
-    Parameters
-    ----------
-    trace_model:
-        Seeded workload model; each worker regenerates its trace from
-        this (the trace itself is never pickled).
-    configs:
-        Configurations to run; results come back in the same order.
-    workers:
-        Process count (``None``/0: one per CPU).  With one worker -- or
-        a single config -- the sweep runs serially in-process, which
-        keeps single-CPU hosts and debugging sessions free of
-        multiprocessing overhead.
-    engine:
-        Event-engine path forwarded to every run (see
-        :func:`~repro.core.runner.run_simulation`).
+    Order is stable (``imap``, not ``imap_unordered``) and results are
+    bit-identical for any worker count.  With one worker -- or a single
+    task -- everything runs serially in this process against the
+    memoized traces, which keeps single-CPU hosts and debugging
+    sessions free of multiprocessing overhead.  ``workers=None`` defers
+    to :func:`get_default_workers` (the CLI's ``--workers`` flag), else
+    :func:`default_workers`.
     """
-    configs = list(configs)
-    workers = min(resolve_workers(workers), len(configs))
+    tasks = list(tasks)
+    if workers is None:
+        workers = get_default_workers()
+    workers = min(resolve_workers(workers), len(tasks))
     if workers <= 1:
-        trace = generate_trace(trace_model)
-        return [run_simulation(trace, config, engine=engine) for config in configs]
+        for task in tasks:
+            yield _execute_task(task)
+        return
 
     import multiprocessing as mp
 
     context = mp.get_context()
-    with context.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(trace_model, engine),
-    ) as pool:
-        # chunksize=1: configs vary wildly in cost (cache size changes
-        # hit ratios changes event counts), so fine-grained dispatch
-        # balances the pool better than range partitioning.
-        return pool.map(_run_one, configs, chunksize=1)
+    # Pool.__exit__ terminates outstanding work, so abandoning the
+    # generator mid-stream cleans the workers up too.
+    with context.Pool(processes=workers) as pool:
+        # chunksize=1: tasks vary wildly in cost (population transforms
+        # multiply event counts; cache sizes change hit ratios), so
+        # fine-grained dispatch balances the pool better than range
+        # partitioning.
+        yield from pool.imap(_execute_task, tasks, chunksize=1)
+
+
+def run_many(
+    trace_model: Union[PowerInfoModel, Workload],
+    configs: Sequence[SimulationConfig],
+    workers: Optional[int] = None,
+    engine: str = "bucket",
+) -> List[SimulationResult]:
+    """Run every config against one shared workload, ``workers`` at a time.
+
+    Parameters
+    ----------
+    trace_model:
+        Seeded workload model (or an explicit
+        :class:`~repro.trace.workload.Workload`); each worker
+        regenerates its trace from this, the trace itself is never
+        pickled.  Serial runs replay the process-wide memoized trace.
+    configs:
+        Configurations to run; results come back in the same order.
+    workers:
+        Process count (``None``: the default; ``0``: one per CPU).
+    engine:
+        Event-engine path forwarded to every run (see
+        :func:`~repro.core.runner.run_simulation`).
+    """
+    if isinstance(trace_model, Workload):
+        workload = trace_model
+    else:
+        workload = Workload(model=trace_model)
+    tasks = [SimulationTask(workload=workload, config=config, engine=engine)
+             for config in configs]
+    return [result for result, _ in iter_task_results(tasks, workers=workers)]

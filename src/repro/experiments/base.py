@@ -22,6 +22,7 @@ from repro.trace.synthetic import PowerInfoModel
 
 __all__ = [
     "ExperimentResult",
+    "format_cell",
     "run_config",
     "strategy_rows",
     # Re-exported from repro.core.parallel (their home since the
@@ -30,6 +31,17 @@ __all__ = [
     "set_default_workers",
     "get_default_workers",
 ]
+
+
+def format_cell(value: Any) -> str:
+    """One table cell, the repo-wide display rule: floats as ``.2f``.
+
+    Shared by :meth:`ExperimentResult.format_table` and the CLI's
+    streaming sweep rows so the two renderings cannot drift.
+    """
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
 
 
 @dataclass
@@ -61,11 +73,7 @@ class ExperimentResult:
 
     def format_table(self) -> str:
         """Render the rows as an aligned text table."""
-        def fmt(value: Any) -> str:
-            if isinstance(value, float):
-                return f"{value:.2f}"
-            return str(value)
-
+        fmt = format_cell
         widths = {
             name: max(len(name), *(len(fmt(row.get(name, ""))) for row in self.rows))
             if self.rows

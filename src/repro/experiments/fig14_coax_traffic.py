@@ -6,19 +6,24 @@ in poor cases) at 1,000 subscribers -- under 17% of the coax line even
 in extreme cases.  Broadcast delivery means a peer-served file costs the
 same coax bandwidth as a server-served one, so caching cannot and need
 not reduce this number.
+
+Since the capstone migration this module is a declarative
+:class:`~repro.scenario.Sweep`: one neighborhood-size axis over a base
+scenario that requests the ``coax`` metric set
+(:mod:`repro.scenario.metrics`), which merges the coax rates and the
+feasibility verdict into every row.  ``repro-vod describe fig14``
+prints it as JSON.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro import units
-from repro.analysis.feasibility import assess_feasibility
 from repro.cache.factory import LFUSpec
 from repro.core.config import SimulationConfig
-from repro.core.runner import run_simulation
 from repro.experiments.base import ExperimentResult
-from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.scenario import Scenario, Sweep, run_sweep
 
 EXPERIMENT_ID = "fig14"
 TITLE = "Coax traffic vs. neighborhood size"
@@ -30,45 +35,56 @@ PAPER_EXPECTATION = (
 NOMINAL_NEIGHBORHOODS = (200, 400, 600, 800, 1_000)
 PER_PEER_GB = 10.0
 
+COLUMNS = (
+    "nominal_neighborhood",
+    "coax_mean_mbps",
+    "coax_p95_mbps",
+    "utilization_pct",
+    "feasible",
+)
+
+
+def sweep(profile: Optional[ExperimentProfile] = None) -> Sweep:
+    """The Fig 14 curve as a declarative sweep with coax metrics."""
+    profile = profile or get_profile()
+    base = Scenario(
+        trace=profile.model(),
+        config=SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(
+                NOMINAL_NEIGHBORHOODS[-1]),
+            per_peer_storage_gb=PER_PEER_GB,
+            strategy=LFUSpec(),
+            warmup_days=profile.warmup_days,
+        ),
+        label=EXPERIMENT_ID,
+        scale=profile.scale,
+        metrics=("coax",),
+    )
+    return Sweep(
+        base=base,
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "config.neighborhood_size": [
+                {"value": profile.neighborhood_size(nominal),
+                 "cols": {"nominal_neighborhood": nominal}}
+                for nominal in NOMINAL_NEIGHBORHOODS
+            ],
+        },
+    )
+
 
 def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
     """Regenerate the Fig 14 curve (coax Mb/s per nominal neighborhood)."""
     profile = profile or get_profile()
-    trace = base_trace(profile)
-
-    rows: List[dict] = []
-    for nominal in NOMINAL_NEIGHBORHOODS:
-        config = SimulationConfig(
-            neighborhood_size=profile.neighborhood_size(nominal),
-            per_peer_storage_gb=PER_PEER_GB,
-            strategy=LFUSpec(),
-            warmup_days=profile.warmup_days,
-        )
-        result = run_simulation(trace, config)
-        feasibility = assess_feasibility(result)
-        rows.append(
-            {
-                "nominal_neighborhood": nominal,
-                "coax_mean_mbps": profile.extrapolate(result.coax_peak_mean_mbps()),
-                "coax_p95_mbps": profile.extrapolate(result.coax_peak_quantile_mbps()),
-                "utilization_pct": 100.0
-                * profile.extrapolate(feasibility.worst_case_utilization),
-                "feasible": profile.extrapolate(feasibility.worst_coax_mbps)
-                <= units.to_mbps(units.COAX_VOD_CAPACITY_BPS),
-            }
-        )
+    rows = run_sweep(sweep(profile))
     largest = rows[-1]
     return ExperimentResult(
         experiment_id=EXPERIMENT_ID,
         title=TITLE,
         profile_name=profile.name,
-        columns=[
-            "nominal_neighborhood",
-            "coax_mean_mbps",
-            "coax_p95_mbps",
-            "utilization_pct",
-            "feasible",
-        ],
+        columns=list(COLUMNS),
         rows=rows,
         paper_expectation=PAPER_EXPECTATION,
         notes=(

@@ -7,19 +7,26 @@ neighborhoods.  Table 16(a) reports 2.14 Gb/s at (1,1) rising to
 45.64 Gb/s at (5,5); the 17 Gb/s no-cache line is crossed only when both
 dimensions grow together.  Fig 16(b)/(c) are the first column and first
 row of the same grid and are served from this module's memoized grid.
+
+Since the capstone migration this module is a declarative
+:class:`~repro.scenario.Sweep`: two *workload* axes (``population_x``
+x ``catalog_x`` trace transforms) over one base scenario with the
+``no_cache`` baseline column, executed through the parallel task runner
+-- each grid cell's transformed trace is regenerated inside whichever
+worker runs it, so ``--workers`` fans the 25 cells out across CPUs.
+``repro-vod describe fig15`` prints the grid as JSON.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.cache.factory import LFUSpec
 from repro.core.config import SimulationConfig
-from repro.core.runner import run_simulation
+from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
-from repro.experiments.profiles import ExperimentProfile, base_trace, get_profile
-from repro.baselines.no_cache import no_cache_peak_gbps
-from repro.trace.scaling import scale_catalog, scale_population
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.scenario import Scenario, Sweep, run_sweep
 
 EXPERIMENT_ID = "fig15"
 TITLE = "Server load under population x catalog scaling (Table 16a)"
@@ -38,55 +45,120 @@ FACTORS = (1, 2, 3, 4, 5)
 GRID_DAYS = 13.0
 GRID_WARMUP_DAYS = 8.0
 
-_GRID_CACHE: Dict[Tuple[str, float], Dict[Tuple[int, int], Dict[str, float]]] = {}
+COLUMNS = (
+    "population_x",
+    "catalog_x",
+    "server_gbps",
+    "no_cache_gbps",
+    "reduction_pct",
+    "hit_pct",
+)
+
+#: Memoized grids, keyed by the *full* profile identity plus the factor
+#: set -- profiles are frozen dataclasses, so two profiles sharing a
+#: name and scale but differing in ``days``/``warmup_days`` (e.g. via
+#: ``with_days``) get distinct entries instead of a stale grid.
+_GRID_CACHE: Dict[
+    Tuple[ExperimentProfile, Tuple[int, ...]],
+    Dict[Tuple[int, int], Dict[str, float]],
+] = {}
+
+
+def _grid_profile(profile: ExperimentProfile) -> ExperimentProfile:
+    """The profile's shortened measurement window for grid runs."""
+    return profile.with_days(
+        min(profile.days, GRID_DAYS),
+        min(profile.warmup_days, GRID_WARMUP_DAYS),
+    )
+
+
+def _check_factors(factors: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Grid factor sets must contain the x1 anchor cell.
+
+    Every derived quantity -- the no-cache threshold, Fig 16b's
+    ``ratio_vs_x1``, Fig 16c's first-row extract -- is anchored at
+    (1, 1), so a factor set without 1 fails eagerly instead of with a
+    KeyError deep in row reshaping.
+    """
+    if 1 not in factors:
+        raise ConfigurationError(
+            f"scalability factors must include the x1 anchor, got "
+            f"{list(factors)}"
+        )
+    return factors
+
+
+def base_scenario(profile: ExperimentProfile) -> Scenario:
+    """The grid's shared operating point (also Fig 16b/c's base)."""
+    grid_profile = _grid_profile(profile)
+    return Scenario(
+        trace=grid_profile.model(),
+        config=SimulationConfig(
+            neighborhood_size=grid_profile.neighborhood_size(
+                NOMINAL_NEIGHBORHOOD),
+            per_peer_storage_gb=PER_PEER_GB,
+            strategy=LFUSpec(),
+            warmup_days=grid_profile.warmup_days,
+        ),
+        label=EXPERIMENT_ID,
+        scale=grid_profile.scale,
+        baselines=("no_cache",),
+    )
+
+
+def sweep(profile: Optional[ExperimentProfile] = None,
+          factors: Sequence[int] = FACTORS) -> Sweep:
+    """The Table 16(a) grid as a declarative sweep over trace transforms."""
+    profile = profile or get_profile()
+    factors = _check_factors(tuple(factors))
+    return Sweep(
+        base=base_scenario(profile),
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "population_x": [
+                {"value": factor, "cols": {"population_x": factor}}
+                for factor in factors
+            ],
+            "catalog_x": [
+                {"value": factor, "cols": {"catalog_x": factor}}
+                for factor in factors
+            ],
+        },
+    )
 
 
 def scalability_grid(
     profile: Optional[ExperimentProfile] = None,
+    factors: Sequence[int] = FACTORS,
 ) -> Dict[Tuple[int, int], Dict[str, float]]:
     """The (population, catalog) -> metrics grid, memoized per profile."""
     profile = profile or get_profile()
-    key = (profile.name, profile.scale)
+    factors = tuple(factors)
+    key = (profile, factors)
     cached = _GRID_CACHE.get(key)
     if cached is not None:
         return cached
 
-    grid_profile = profile.with_days(
-        min(profile.days, GRID_DAYS),
-        min(profile.warmup_days, GRID_WARMUP_DAYS),
-    )
-    trace = base_trace(grid_profile)
-    size = grid_profile.neighborhood_size(NOMINAL_NEIGHBORHOOD)
-    warmup_seconds = grid_profile.warmup_days * 86_400.0
-
     grid: Dict[Tuple[int, int], Dict[str, float]] = {}
-    for population_factor in FACTORS:
-        population_trace = scale_population(trace, population_factor)
-        for catalog_factor in FACTORS:
-            scaled = scale_catalog(population_trace, catalog_factor)
-            config = SimulationConfig(
-                neighborhood_size=size,
-                per_peer_storage_gb=PER_PEER_GB,
-                strategy=LFUSpec(),
-                warmup_days=grid_profile.warmup_days,
-            )
-            result = run_simulation(scaled, config)
-            grid[(population_factor, catalog_factor)] = {
-                "server_gbps": grid_profile.extrapolate(result.peak_server_gbps()),
-                "no_cache_gbps": grid_profile.extrapolate(
-                    no_cache_peak_gbps(scaled, warmup_seconds=warmup_seconds)
-                ),
-                "reduction_pct": 100.0 * result.peak_reduction(),
-                "hit_pct": 100.0 * result.counters.hit_ratio,
-            }
+    for row in run_sweep(sweep(profile, factors)):
+        grid[(row["population_x"], row["catalog_x"])] = {
+            "server_gbps": row["server_gbps"],
+            "no_cache_gbps": row["no_cache_gbps"],
+            "reduction_pct": row["reduction_pct"],
+            "hit_pct": row["hit_pct"],
+        }
     _GRID_CACHE[key] = grid
     return grid
 
 
-def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+def run(profile: Optional[ExperimentProfile] = None,
+        factors: Sequence[int] = FACTORS) -> ExperimentResult:
     """Regenerate the full Table 16(a) grid."""
     profile = profile or get_profile()
-    grid = scalability_grid(profile)
+    factors = tuple(factors)
+    grid = scalability_grid(profile, factors)
     rows = [
         {
             "population_x": population_factor,
@@ -111,8 +183,8 @@ def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
         rows=rows,
         paper_expectation=PAPER_EXPECTATION,
         notes=(
-            f"{over}/25 grid cells exceed the x1-population no-cache "
-            f"threshold of {threshold:.1f} Gb/s"
+            f"{over}/{len(rows)} grid cells exceed the x1-population "
+            f"no-cache threshold of {threshold:.1f} Gb/s"
         ),
         extras={"grid": grid, "threshold_gbps": threshold},
     )

@@ -4,15 +4,25 @@ The first column of Table 16(a): with the catalog fixed, doubling the
 population doubles the cached server load while the *percentage* saving
 stays pinned at ~88% -- the paper's demonstration that peer-to-peer
 capacity grows with the subscriber base.
+
+Scenario-backed: :func:`sweep` is the standalone population column (a
+one-axis ``population_x`` sweep, describable and runnable from a file);
+:func:`run` extracts that column from Fig 15's memoized scenario grid so
+``repro-vod all`` never simulates a cell twice.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.fig15_scalability import FACTORS, scalability_grid
+from repro.experiments.fig15_scalability import (
+    FACTORS,
+    base_scenario,
+    scalability_grid,
+)
 from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.scenario import Sweep
 
 EXPERIMENT_ID = "fig16b"
 TITLE = "Server load vs. population increase (catalog fixed)"
@@ -20,14 +30,37 @@ PAPER_EXPECTATION = (
     "linear: load at xN is ~N times the x1 load; reduction stays ~constant"
 )
 
+COLUMNS = ("population_x", "server_gbps", "no_cache_gbps",
+           "reduction_pct", "hit_pct")
 
-def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+
+def sweep(profile: Optional[ExperimentProfile] = None,
+          factors: Sequence[int] = FACTORS) -> Sweep:
+    """The population column as a standalone declarative sweep."""
+    profile = profile or get_profile()
+    return Sweep(
+        base=base_scenario(profile).with_label(EXPERIMENT_ID),
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "population_x": [
+                {"value": factor, "cols": {"population_x": factor}}
+                for factor in tuple(factors)
+            ],
+        },
+    )
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        factors: Sequence[int] = FACTORS) -> ExperimentResult:
     """Extract the population column from the scalability grid."""
     profile = profile or get_profile()
-    grid = scalability_grid(profile)
+    factors = tuple(factors)
+    grid = scalability_grid(profile, factors)
     base = grid[(1, 1)]["server_gbps"]
     rows = []
-    for factor in FACTORS:
+    for factor in factors:
         metrics = grid[(factor, 1)]
         rows.append(
             {

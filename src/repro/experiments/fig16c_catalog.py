@@ -4,15 +4,25 @@ The first row of Table 16(a): growing the catalog dilutes per-program
 popularity and so erodes the cache's coverage of the head, but the most
 popular files still dominate, so the penalty *diminishes* with each
 additional factor -- unlike the linear population column.
+
+Scenario-backed: :func:`sweep` is the standalone catalog row (a one-axis
+``catalog_x`` sweep, describable and runnable from a file); :func:`run`
+extracts that row from Fig 15's memoized scenario grid so ``repro-vod
+all`` never simulates a cell twice.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.experiments.base import ExperimentResult
-from repro.experiments.fig15_scalability import FACTORS, scalability_grid
+from repro.experiments.fig15_scalability import (
+    FACTORS,
+    base_scenario,
+    scalability_grid,
+)
 from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.scenario import Sweep
 
 EXPERIMENT_ID = "fig16c"
 TITLE = "Server load vs. catalog increase (population fixed)"
@@ -21,14 +31,37 @@ PAPER_EXPECTATION = (
     "8.23, 9.16 Gb/s); stays below the 17 Gb/s no-cache threshold"
 )
 
+COLUMNS = ("catalog_x", "server_gbps", "no_cache_gbps",
+           "reduction_pct", "hit_pct")
 
-def run(profile: Optional[ExperimentProfile] = None) -> ExperimentResult:
+
+def sweep(profile: Optional[ExperimentProfile] = None,
+          factors: Sequence[int] = FACTORS) -> Sweep:
+    """The catalog row as a standalone declarative sweep."""
+    profile = profile or get_profile()
+    return Sweep(
+        base=base_scenario(profile).with_label(EXPERIMENT_ID),
+        sweep_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=COLUMNS,
+        axes={
+            "catalog_x": [
+                {"value": factor, "cols": {"catalog_x": factor}}
+                for factor in tuple(factors)
+            ],
+        },
+    )
+
+
+def run(profile: Optional[ExperimentProfile] = None,
+        factors: Sequence[int] = FACTORS) -> ExperimentResult:
     """Extract the catalog row from the scalability grid."""
     profile = profile or get_profile()
-    grid = scalability_grid(profile)
+    factors = tuple(factors)
+    grid = scalability_grid(profile, factors)
     rows = []
     previous = None
-    for factor in FACTORS:
+    for factor in factors:
         metrics = grid[(1, factor)]
         increment = (
             metrics["server_gbps"] - previous if previous is not None else 0.0

@@ -1,4 +1,11 @@
-"""Experiment registry: look up paper exhibits by id."""
+"""Experiment registry: look up paper exhibits by id.
+
+Every exhibit registers its implementing module; modules that expose a
+declarative ``sweep(profile)`` (since the capstone migration that is
+the whole config-sweeping family -- fig08-fig11, fig13-fig16c,
+``policies``, and ``multicast``) are additionally *describable*:
+``repro-vod describe <id>`` prints their scenario/sweep JSON.
+"""
 
 from __future__ import annotations
 

@@ -32,7 +32,9 @@ from repro.scenario.model import (
     model_from_dict,
     model_to_dict,
 )
+from repro.scenario.metrics import METRIC_NAMES, ROW_METRICS
 from repro.scenario.runner import (
+    iter_sweep_rows,
     result_row,
     run_scenario,
     run_scenarios,
@@ -49,6 +51,8 @@ from repro.scenario.sweep import (
 )
 
 __all__ = [
+    "METRIC_NAMES",
+    "ROW_METRICS",
     "Scenario",
     "Sweep",
     "SweepAxis",
@@ -56,6 +60,7 @@ __all__ = [
     "apply_path",
     "config_from_dict",
     "config_to_dict",
+    "iter_sweep_rows",
     "load",
     "load_scenario",
     "load_sweep",

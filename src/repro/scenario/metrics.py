@@ -1,0 +1,75 @@
+"""Named per-run metric sets merged into scenario result rows.
+
+:func:`repro.scenario.runner.result_row` carries the paper's headline
+server metrics; some exhibits need more -- Fig 14 reads the *coax*
+side of the same simulation (per-neighborhood traffic and the section
+VI-B feasibility verdict).  Rather than hand-rolling those loops, a
+scenario names the extra metric sets it wants (``metrics=("coax",)``)
+and the runner merges each set's columns into the standard row.  Names
+are serializable, so sweep files request them declaratively.
+
+Every metric function maps ``(scenario, result)`` to extra columns;
+rates are extrapolated by the scenario's ``scale`` exactly as the
+experiment profiles extrapolate them, keeping migrated exhibits
+row-identical to their pre-scenario loops.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Sequence, Tuple
+
+from repro import units
+from repro.analysis.feasibility import assess_feasibility
+from repro.core.results import SimulationResult
+from repro.errors import ConfigurationError, suggest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model -> here)
+    from repro.scenario.model import Scenario
+
+
+def coax_columns(scenario: "Scenario",
+                 result: SimulationResult) -> Dict[str, Any]:
+    """Coax traffic and feasibility columns (Fig 14 / section VI-B).
+
+    Mean and p95 peak-hour coax rates extrapolated to paper scale, the
+    worst-case utilization of the VoD coax budget, and the paper's
+    feasibility bar (worst case fits the budget).
+    """
+    feasibility = assess_feasibility(result)
+    scale = scenario.scale
+    return {
+        "coax_mean_mbps": result.coax_peak_mean_mbps() / scale,
+        "coax_p95_mbps": result.coax_peak_quantile_mbps() / scale,
+        "utilization_pct": 100.0 * (feasibility.worst_case_utilization / scale),
+        "feasible": (feasibility.worst_coax_mbps / scale)
+        <= units.to_mbps(units.COAX_VOD_CAPACITY_BPS),
+    }
+
+
+#: Metric-set name -> column builder.
+ROW_METRICS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "coax": coax_columns,
+}
+
+#: Every registered metric-set name, in registration order.
+METRIC_NAMES: Tuple[str, ...] = tuple(ROW_METRICS)
+
+
+def validate_metrics(names: Sequence[str]) -> None:
+    """Reject unknown metric-set names eagerly (with close-match hints)."""
+    for name in names:
+        if name not in ROW_METRICS:
+            raise ConfigurationError(
+                f"unknown metric set {name!r}"
+                f"{suggest(str(name), sorted(ROW_METRICS))} "
+                f"(choose from {sorted(ROW_METRICS)})"
+            )
+
+
+def metric_columns(names: Sequence[str], scenario: "Scenario",
+                   result: SimulationResult) -> Dict[str, Any]:
+    """Columns of every requested metric set for one run."""
+    columns: Dict[str, Any] = {}
+    for name in names:
+        columns.update(ROW_METRICS[name](scenario, result))
+    return columns

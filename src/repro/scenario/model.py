@@ -2,11 +2,13 @@
 
 A scenario bundles everything a run needs -- the seeded workload model,
 the :class:`~repro.core.config.SimulationConfig`, the event-engine
-choice, an optional seed override, a label, and the scale factor that
-extrapolates measured rates back to paper scale.  It is frozen,
-validated eagerly, and round-trips losslessly through plain dicts and
-JSON (strategy specs serialize by their policy-registry names), so the
-same object works as a Python value, a CLI file, and a sweep template.
+choice, an optional seed override, a label, the scale factor that
+extrapolates measured rates back to paper scale, the section V-A trace
+transforms (``population_x`` / ``catalog_x``), and the named baseline
+and metric sets merged into its result rows.  It is frozen, validated
+eagerly, and round-trips losslessly through plain dicts and JSON
+(strategy specs serialize by their policy-registry names), so the same
+object works as a Python value, a CLI file, and a sweep template.
 
 Serialization convention: ``to_dict`` emits the identity fields of each
 component plus every field that differs from its default, so files stay
@@ -20,8 +22,9 @@ import dataclasses
 import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.baselines.registry import validate_baselines
 from repro.cache.factory import (
     StrategySpec,
     spec_from_dict,
@@ -30,7 +33,9 @@ from repro.cache.factory import (
 )
 from repro.core.config import SimulationConfig
 from repro.errors import ConfigurationError
+from repro.scenario.metrics import validate_metrics
 from repro.trace.synthetic import PowerInfoModel
+from repro.trace.workload import Workload
 
 #: Event-engine paths accepted by :func:`repro.core.runner.run_simulation`.
 ENGINES = ("bucket", "heap")
@@ -151,6 +156,22 @@ class Scenario:
         Population scale factor of the workload relative to paper scale;
         measured rates are divided by it when rows are built (the
         Fig 16b linearity the experiment profiles rely on).
+    population_x / catalog_x:
+        The paper's section V-A trace transforms as integer multipliers
+        (population copies with jittered starts, catalog copies with
+        randomized redirection), applied on top of the generated base
+        trace via :mod:`repro.trace.scaling`.  ``1`` = untransformed.
+        Sweep axes can address these directly, which is how the
+        scalability grid varies the *workload*, not just the config.
+    baselines:
+        Names of baseline metrics (:mod:`repro.baselines.registry`,
+        e.g. ``"no_cache"``, ``"multicast"``) computed once per distinct
+        transformed trace and merged into this scenario's result rows;
+        rate columns are extrapolated by ``scale``.
+    metrics:
+        Names of extra per-run metric sets
+        (:mod:`repro.scenario.metrics`, e.g. ``"coax"``) merged into
+        this scenario's result rows.
     """
 
     trace: PowerInfoModel
@@ -159,6 +180,10 @@ class Scenario:
     seed: Optional[int] = None
     label: str = ""
     scale: float = 1.0
+    population_x: int = 1
+    catalog_x: int = 1
+    baselines: Tuple[str, ...] = ()
+    metrics: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.trace, PowerInfoModel):
@@ -177,6 +202,17 @@ class Scenario:
             raise ConfigurationError(f"seed must be an int, got {self.seed!r}")
         if not self.scale > 0:
             raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        for name in ("population_x", "catalog_x"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"{name} must be an integer >= 1, got {value!r}"
+                )
+        # Normalize JSON lists to tuples so equality and hashing behave.
+        object.__setattr__(self, "baselines", tuple(self.baselines))
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        validate_baselines(self.baselines)
+        validate_metrics(self.metrics)
 
     # ------------------------------------------------------------------
     # Derived values
@@ -187,6 +223,11 @@ class Scenario:
         if self.seed is None:
             return self.trace
         return replace(self.trace, seed=self.seed)
+
+    def workload(self) -> Workload:
+        """The effective workload: model plus the section V-A transforms."""
+        return Workload(model=self.model(), population_x=self.population_x,
+                        catalog_x=self.catalog_x)
 
     def extrapolate(self, measured: float) -> float:
         """Full-scale equivalent of a measured, population-linear rate."""
@@ -201,16 +242,30 @@ class Scenario:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form; the exact inverse of :meth:`from_dict`."""
-        return {
+        """Plain-dict form; the exact inverse of :meth:`from_dict`.
+
+        Transform factors, baselines, and metric sets are emitted only
+        when set, so files that predate them (and files that do not use
+        them) stay byte-stable.
+        """
+        payload: Dict[str, Any] = {
             "kind": "scenario",
             "label": self.label,
             "engine": self.engine,
             "seed": self.seed,
             "scale": self.scale,
-            "trace": model_to_dict(self.trace),
-            "config": config_to_dict(self.config),
         }
+        if self.population_x != 1:
+            payload["population_x"] = self.population_x
+        if self.catalog_x != 1:
+            payload["catalog_x"] = self.catalog_x
+        if self.baselines:
+            payload["baselines"] = list(self.baselines)
+        if self.metrics:
+            payload["metrics"] = list(self.metrics)
+        payload["trace"] = model_to_dict(self.trace)
+        payload["config"] = config_to_dict(self.config)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Scenario":
@@ -230,7 +285,8 @@ class Scenario:
         trace = model_from_dict(data.pop("trace"))
         config = (config_from_dict(data.pop("config"))
                   if "config" in data else SimulationConfig())
-        known = {"engine", "seed", "label", "scale"}
+        known = {"engine", "seed", "label", "scale", "population_x",
+                 "catalog_x", "baselines", "metrics"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(

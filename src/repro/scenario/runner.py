@@ -7,31 +7,40 @@ server load with its 5%/95% quantile band, reduction vs. no cache, hit
 ratio).  :func:`result_row` is that single definition;
 ``repro.experiments.base.strategy_rows`` builds its rows through it
 too, which is what makes legacy experiments and scenario runs
-row-identical by construction.
+row-identical by construction.  Scenarios that name extra metric sets
+(:mod:`repro.scenario.metrics`) or baselines
+(:mod:`repro.baselines.registry`) get those columns merged into the
+same rows, rate columns extrapolated by the scenario's ``scale``.
 
-Sweeps execute through :func:`repro.core.parallel.run_many`, grouped so
-each *distinct* workload model (and engine choice) shares one trace:
-serial groups replay the process-wide memoized trace
-(:func:`repro.trace.synthetic.cached_trace`); parallel groups let each
-worker regenerate it from the seeded model.  Both paths are
-bit-identical, and row order always matches expansion order.
+Sweeps execute through :func:`repro.core.parallel.iter_task_results`:
+every expanded scenario becomes one
+:class:`~repro.core.parallel.SimulationTask` carrying its (possibly
+transformed) :class:`~repro.trace.workload.Workload`, so points that
+vary the workload -- the Fig 15 population x catalog grid -- fan out
+across workers exactly like points that only vary the config.  Serial
+execution replays the process-wide memoized traces; parallel workers
+regenerate them from the seeded workload.  Both paths are
+bit-identical, rows always come back in expansion order, and
+:func:`iter_sweep_rows` yields each row as its result lands -- the
+CLI's live-progress stream.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.baselines.registry import RATE_COLUMNS
 from repro.core.config import SimulationConfig
 from repro.core.parallel import (
-    get_default_workers,
-    resolve_workers,
-    run_many,
+    SimulationTask,
+    iter_task_results,
 )
 from repro.core.results import SimulationResult
 from repro.core.runner import run_simulation
+from repro.scenario.metrics import metric_columns
 from repro.scenario.model import Scenario
 from repro.scenario.sweep import Sweep
-from repro.trace.synthetic import PowerInfoModel, cached_trace
+from repro.trace.workload import cached_workload_trace
 
 
 def result_row(config: SimulationConfig, result: SimulationResult,
@@ -50,18 +59,51 @@ def result_row(config: SimulationConfig, result: SimulationResult,
     }
 
 
+def scenario_task(scenario: Scenario) -> SimulationTask:
+    """The :class:`SimulationTask` executing one scenario."""
+    return SimulationTask(
+        workload=scenario.workload(),
+        config=scenario.config,
+        engine=scenario.engine,
+        baselines=scenario.baselines,
+    )
+
+
 def run_scenario(scenario: Scenario) -> SimulationResult:
-    """Run one scenario against its (memoized) workload trace."""
-    trace = cached_trace(scenario.model())
+    """Run one scenario against its (memoized, transformed) trace."""
+    trace = cached_workload_trace(scenario.workload())
     return run_simulation(trace, scenario.config, engine=scenario.engine)
+
+
+def _scenario_row(scenario: Scenario, result: SimulationResult,
+                  baseline_values: Optional[Dict[str, float]] = None,
+                  cols: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Standard row + metric sets + scaled baselines + point columns."""
+    row = result_row(scenario.config, result, scale=scenario.scale)
+    if scenario.metrics:
+        row.update(metric_columns(scenario.metrics, scenario, result))
+    if baseline_values:
+        for key, value in baseline_values.items():
+            row[key] = value / scenario.scale if key in RATE_COLUMNS else value
+    if cols:
+        row.update(cols)
+    return row
 
 
 def scenario_row(scenario: Scenario,
                  result: Optional[SimulationResult] = None) -> Dict[str, Any]:
-    """The standard row for one scenario (running it if needed)."""
+    """The standard row for one scenario (running it if needed).
+
+    When the scenario is run here, its baseline columns are computed
+    too; a caller passing a pre-computed ``result`` gets the metric
+    columns but no baselines (the trace is not rebuilt for them).
+    """
+    baseline_values: Dict[str, float] = {}
     if result is None:
-        result = run_scenario(scenario)
-    row = result_row(scenario.config, result, scale=scenario.scale)
+        result, baseline_values = next(
+            iter_task_results([scenario_task(scenario)], workers=1)
+        )
+    row = _scenario_row(scenario, result, baseline_values)
     if scenario.label:
         row["label"] = scenario.label
     return row
@@ -71,55 +113,49 @@ def run_scenarios(
     scenarios: Sequence[Scenario],
     workers: Optional[int] = None,
 ) -> List[SimulationResult]:
-    """Run many scenarios, sharing one trace per distinct workload model.
+    """Run many scenarios, sharing one trace per distinct workload.
 
     Results come back in scenario order, bit-identical for any worker
     count.  ``workers=None`` defers to the process default
     (:func:`repro.core.parallel.get_default_workers`, i.e. the CLI's
     ``--workers`` flag, else ``REPRO_WORKERS``, else one per CPU).
     """
-    scenarios = list(scenarios)
-    if workers is None:
-        workers = get_default_workers()
-    results: List[Optional[SimulationResult]] = [None] * len(scenarios)
-    groups: Dict[Tuple[PowerInfoModel, str], List[int]] = {}
-    for index, scenario in enumerate(scenarios):
-        groups.setdefault((scenario.model(), scenario.engine), []).append(index)
-    for (model, engine), indexes in groups.items():
-        configs = [scenarios[i].config for i in indexes]
-        # Resolve "0 = one per CPU" up front: a single-CPU host stays
-        # serial against the memoized trace instead of regenerating it.
-        effective = min(resolve_workers(workers), len(configs))
-        if effective > 1:
-            group_results = run_many(model, configs, workers=effective,
-                                     engine=engine)
-        else:
-            trace = cached_trace(model)
-            group_results = [run_simulation(trace, config, engine=engine)
-                             for config in configs]
-        for i, result in zip(indexes, group_results):
-            results[i] = result
-    return results  # type: ignore[return-value]
+    # Baselines are row-level; result-only callers skip computing them.
+    tasks = [
+        SimulationTask(workload=s.workload(), config=s.config, engine=s.engine)
+        for s in scenarios
+    ]
+    return [result for result, _ in iter_task_results(tasks, workers=workers)]
+
+
+def iter_sweep_rows(
+    sweep: Union[Sweep, Scenario],
+    workers: Optional[int] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Expand and run a sweep, yielding rows in order as results land.
+
+    Each row is :func:`result_row` extrapolated by that scenario's
+    ``scale``, plus its metric sets, scaled baseline columns, and the
+    point's extra columns.  Row order always matches expansion order
+    (results stream back ordered); long grids therefore show live,
+    stable progress.  A bare :class:`Scenario` is a one-point sweep.
+    """
+    if isinstance(sweep, Scenario):
+        expanded: List[Tuple[Scenario, Dict[str, Any]]] = [(sweep, {})]
+    else:
+        expanded = sweep.expand()
+    tasks = [scenario_task(scenario) for scenario, _ in expanded]
+    outcomes = iter_task_results(tasks, workers=workers)
+    for (scenario, cols), (result, baseline_values) in zip(expanded, outcomes):
+        yield _scenario_row(scenario, result, baseline_values, cols)
 
 
 def run_sweep(sweep: Union[Sweep, Scenario],
               workers: Optional[int] = None) -> List[Dict[str, Any]]:
     """Expand and run a sweep, returning one standard row per point.
 
-    Each row is :func:`result_row` extrapolated by that scenario's
-    ``scale``, updated with the point's extra columns -- the
+    The list form of :func:`iter_sweep_rows` -- the
     ``ExperimentResult``-compatible table the experiments and the CLI
-    render.  A bare :class:`Scenario` is accepted as a one-point sweep.
+    render.
     """
-    if isinstance(sweep, Scenario):
-        expanded: List[Tuple[Scenario, Dict[str, Any]]] = [(sweep, {})]
-    else:
-        expanded = sweep.expand()
-    results = run_scenarios([scenario for scenario, _ in expanded],
-                            workers=workers)
-    rows: List[Dict[str, Any]] = []
-    for (scenario, cols), result in zip(expanded, results):
-        row = result_row(scenario.config, result, scale=scenario.scale)
-        row.update(cols)
-        rows.append(row)
-    return rows
+    return list(iter_sweep_rows(sweep, workers=workers))

@@ -19,9 +19,10 @@ Axis points come in three shapes, all normalized internally:
   the axis name is then just a label.
 
 Paths address scenario fields (``label``, ``engine``, ``seed``,
-``scale``) or one level into the components (``config.*``,
-``trace.*``).  ``config.strategy`` values may be registry names
-(``"lfu:72"``), spec dicts, or spec objects.
+``scale``, and the trace transforms ``population_x`` / ``catalog_x``)
+or one level into the components (``config.*``, ``trace.*``).
+``config.strategy`` values may be registry names (``"lfu:72"``), spec
+dicts, or spec objects.
 """
 
 from __future__ import annotations
@@ -41,8 +42,11 @@ from repro.scenario.model import (
     coerce_strategy,
 )
 
-#: Scenario-level scalar fields addressable as bare paths.
-_SCENARIO_FIELDS = ("label", "engine", "seed", "scale")
+#: Scenario-level scalar fields addressable as bare paths.  The trace
+#: transforms live here too, so an axis like ``"population_x": [1, 2,
+#: 3]`` sweeps the *workload* (the Fig 15 grid), not just the config.
+_SCENARIO_FIELDS = ("label", "engine", "seed", "scale",
+                    "population_x", "catalog_x")
 
 
 def apply_path(scenario: Scenario, path: str, value: Any) -> Scenario:

@@ -12,6 +12,9 @@ package provides:
   post-introduction popularity decay, 17 Gb/s no-cache peak);
 * :mod:`repro.trace.scaling` -- the paper's §V-A population/catalog
   scaling transforms;
+* :mod:`repro.trace.workload` -- a model plus those transforms as one
+  hashable, picklable value (`Workload`), with process-wide memoized
+  materialization (`cached_workload_trace`);
 * :mod:`repro.trace.stats` -- the analyses behind Figures 2, 3, 6, 7
   and 12;
 * :mod:`repro.trace.io` -- CSV serialization so generated workloads can
@@ -21,6 +24,7 @@ package provides:
 from repro.trace.records import Catalog, Program, SessionRecord, Trace
 from repro.trace.synthetic import PowerInfoModel, generate_trace
 from repro.trace.scaling import scale_catalog, scale_population
+from repro.trace.workload import Workload, cached_workload_trace
 
 __all__ = [
     "Catalog",
@@ -28,6 +32,8 @@ __all__ = [
     "SessionRecord",
     "Trace",
     "PowerInfoModel",
+    "Workload",
+    "cached_workload_trace",
     "generate_trace",
     "scale_catalog",
     "scale_population",

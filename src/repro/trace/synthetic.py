@@ -489,7 +489,11 @@ def generate_trace(model: PowerInfoModel) -> Trace:
     """Generate a synthetic PowerInfo-like trace from ``model``.
 
     Deterministic in ``model`` (including its seed).  Returns a
-    :class:`~repro.trace.records.Trace` sorted by session start time.
+    :class:`~repro.trace.records.Trace` sorted by session start time:
+    sampling proceeds in per-hour buckets with random intra-hour
+    offsets (so the raw sample stream is unordered within an hour), and
+    ``Trace`` restores the chronological invariant by sorting on
+    construction.
     """
     streams = RandomStreams(model.seed)
     catalog, release_flags = _build_catalog(model, streams)

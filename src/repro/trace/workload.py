@@ -1,0 +1,118 @@
+"""Workloads: a seeded trace model plus the paper's scaling transforms.
+
+The scalability experiments (Figs 15/16, Table 16a) do not re-model the
+workload -- they *transform* the base trace multiplicatively (section
+V-A): population copies with jittered start times, catalog copies with
+randomized redirection (:mod:`repro.trace.scaling`).  A
+:class:`Workload` captures one such transformed trace as a small frozen
+value -- the :class:`~repro.trace.synthetic.PowerInfoModel` plus the two
+scale factors -- so the scenario layer can serialize it, sweep axes can
+vary it, and parallel workers can regenerate the exact trace from a
+few-field dataclass instead of pickling tens of millions of records.
+
+Determinism: the base trace is deterministic in its model, and both
+transforms consume fixed-seed random streams, so the same workload
+always yields the byte-identical trace -- in this process or any
+worker.
+
+Memoization mirrors :func:`repro.trace.synthetic.cached_trace`: the
+identity workload shares the base-trace cache directly; transformed
+traces keep a small LRU of their own (population-major sweeps reuse the
+population step across every catalog factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+from repro.trace.records import Trace
+from repro.trace.scaling import scale_catalog, scale_population
+from repro.trace.synthetic import PowerInfoModel, cached_trace, generate_trace
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One (possibly transformed) workload as a hashable value.
+
+    Attributes
+    ----------
+    model:
+        The seeded synthetic trace model the workload starts from.
+    population_x:
+        Integer population multiplier (paper section V-A: ``n`` copies
+        of every user, extra copies jittered 1-60 s).  ``1`` = identity.
+    catalog_x:
+        Integer catalog multiplier (``n`` copies of every program, each
+        event redirected to a uniform-random copy).  ``1`` = identity.
+    """
+
+    model: PowerInfoModel
+    population_x: int = 1
+    catalog_x: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.model, PowerInfoModel):
+            raise ConfigurationError(
+                f"model must be a PowerInfoModel, got {type(self.model).__name__}"
+            )
+        for name in ("population_x", "catalog_x"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"{name} must be an integer >= 1, got {value!r}"
+                )
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether this workload is just the base trace, untransformed."""
+        return self.population_x == 1 and self.catalog_x == 1
+
+    def build(self) -> Trace:
+        """Generate the transformed trace from scratch (no caches).
+
+        Population scaling applies first, catalog scaling second -- the
+        order the paper's grid construction uses, and the order every
+        cached path must reproduce for bit-identical results.
+        """
+        trace = generate_trace(self.model)
+        trace = scale_population(trace, self.population_x)
+        return scale_catalog(trace, self.catalog_x)
+
+
+# maxsize=1 on both memos deliberately mirrors the residency of the old
+# hand-rolled grid loop (one population intermediate + one scaled trace
+# at a time): a population-major grid gets full hit rates, while peak
+# memory stays ~one 5x trace per stage even at paper scale.  A worker
+# interleaving factors merely re-applies a linear-time transform.
+
+@lru_cache(maxsize=1)
+def _cached_population_trace(model: PowerInfoModel, factor: int) -> Trace:
+    """The population-scaled intermediate, shared across catalog factors."""
+    return scale_population(cached_trace(model), factor)
+
+
+@lru_cache(maxsize=1)
+def _cached_transformed_trace(workload: Workload) -> Trace:
+    """Memoized transform composition for non-identity workloads."""
+    if workload.population_x > 1:
+        base = _cached_population_trace(workload.model, workload.population_x)
+    else:
+        base = cached_trace(workload.model)
+    return scale_catalog(base, workload.catalog_x)
+
+
+def cached_workload_trace(workload: Workload) -> Trace:
+    """The (memoized) trace of ``workload``.
+
+    Identity workloads resolve straight through
+    :func:`~repro.trace.synthetic.cached_trace`, so every layer that
+    replays "the trace of this model" keeps sharing one generation per
+    process.  Transformed traces are cached in a deliberately small LRU
+    (scaled traces are up to ``population_x`` times the base trace);
+    evicted entries simply re-apply the linear-time transforms.
+    """
+    if workload.is_identity:
+        return cached_trace(workload.model)
+    return _cached_transformed_trace(workload)

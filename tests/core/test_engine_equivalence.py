@@ -109,6 +109,33 @@ class TestWorkerDefaults:
             default_workers()
 
 
+class TestSerialSweepTraceCaching:
+    def test_serial_sweeps_generate_the_trace_once(self, monkeypatch):
+        # Regression: run_many's serial path used to call generate_trace
+        # directly, bypassing the process-wide memo -- on single-CPU
+        # hosts every sweep regenerated a trace the scenario runner had
+        # already built.  Two serial sweeps over one model must generate
+        # exactly once.
+        from repro.trace import synthetic
+
+        model = PowerInfoModel(n_users=120, n_programs=30, days=1.5,
+                               seed=987_123)
+        calls = []
+        real_generate = synthetic.generate_trace
+
+        def counting(requested):
+            calls.append(requested)
+            return real_generate(requested)
+
+        monkeypatch.setattr(synthetic, "generate_trace", counting)
+        first = run_many(model, [_config(LFUSpec()), _config(LRUSpec())],
+                         workers=1)
+        second = run_many(model, [_config(LFUSpec())], workers=1)
+        assert len(first) == 2 and len(second) == 1
+        assert calls == [model]
+        assert_identical(first[0], second[0])
+
+
 class TestParallelEquivalence:
     def test_two_workers_match_serial_rows(self, tiny_model):
         configs = [_config(LFUSpec()), _config(LRUSpec())]

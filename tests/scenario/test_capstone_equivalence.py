@@ -1,0 +1,297 @@
+"""The migrated capstone experiments are row-identical to their old loops.
+
+fig14, the fig15 scalability grid, its fig16b/16c extracts, and the
+multicast comparison were the last bespoke experiment loops outside the
+Scenario/Sweep schema.  These tests keep the *original* hand-rolled
+loops (copied verbatim from the pre-migration modules) as references
+and assert the scenario-backed path reproduces every row exactly --
+same values, same order, bit-identical floats -- plus that the fig15
+grid executes through the parallel task runner with ``--workers``-style
+counts without changing a bit, and that each new sweep survives a JSON
+round trip.
+
+Everything runs at a microscopic profile with a reduced (1, 2) factor
+set so the whole module costs seconds, not minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.analysis.feasibility import assess_feasibility
+from repro.analysis.multicast import why_not_multicast
+from repro.baselines.no_cache import no_cache_peak_gbps
+from repro.cache.factory import LFUSpec
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+from repro.experiments import get_experiment
+from repro.experiments.fig15_scalability import (
+    GRID_DAYS,
+    GRID_WARMUP_DAYS,
+    scalability_grid,
+)
+from repro.experiments.profiles import ExperimentProfile, base_trace
+from repro.scenario import Sweep, run_sweep
+from repro.trace.scaling import scale_catalog, scale_population
+
+#: ~250 users, ~50 programs, 5 simulated days: each grid cell is fast
+#: even at the x2 population factor.
+XTINY = ExperimentProfile(name="xtiny", scale=0.006, days=5.0,
+                          warmup_days=2.5)
+
+#: Reduced factor set: enough to exercise both transforms and their
+#: composition without simulating the full 25-cell grid twice.
+FACTORS = (1, 2)
+
+
+def assert_rows_match(new_rows, reference_rows):
+    """Every reference row reappears, in order, value-for-value.
+
+    New rows may carry extra columns (the standard metric set plus axis
+    tags); every key the pre-migration row had must match exactly --
+    bit-identical floats, not approximately.
+    """
+    assert len(new_rows) == len(reference_rows)
+    for index, (new, reference) in enumerate(zip(new_rows, reference_rows)):
+        for key, expected in reference.items():
+            assert key in new, f"row {index} lost column {key!r}"
+            assert new[key] == expected, (
+                f"row {index} column {key!r}: {new[key]!r} != {expected!r}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Pre-migration reference loops (copied verbatim from the old modules)
+# ---------------------------------------------------------------------------
+
+
+def reference_scalability_grid(profile, factors):
+    """The old ``fig15_scalability.scalability_grid`` loop, inlined."""
+    grid_profile = profile.with_days(
+        min(profile.days, GRID_DAYS),
+        min(profile.warmup_days, GRID_WARMUP_DAYS),
+    )
+    trace = base_trace(grid_profile)
+    size = grid_profile.neighborhood_size(1_000)
+    warmup_seconds = grid_profile.warmup_days * 86_400.0
+
+    grid = {}
+    for population_factor in factors:
+        population_trace = scale_population(trace, population_factor)
+        for catalog_factor in factors:
+            scaled = scale_catalog(population_trace, catalog_factor)
+            config = SimulationConfig(
+                neighborhood_size=size,
+                per_peer_storage_gb=10.0,
+                strategy=LFUSpec(),
+                warmup_days=grid_profile.warmup_days,
+            )
+            result = run_simulation(scaled, config)
+            grid[(population_factor, catalog_factor)] = {
+                "server_gbps": grid_profile.extrapolate(
+                    result.peak_server_gbps()),
+                "no_cache_gbps": grid_profile.extrapolate(
+                    no_cache_peak_gbps(scaled, warmup_seconds=warmup_seconds)
+                ),
+                "reduction_pct": 100.0 * result.peak_reduction(),
+                "hit_pct": 100.0 * result.counters.hit_ratio,
+            }
+    return grid
+
+
+def reference_fig15_rows(grid):
+    """The old ``fig15_scalability.run`` row reshaping, inlined."""
+    return [
+        {
+            "population_x": population_factor,
+            "catalog_x": catalog_factor,
+            **{k: round(v, 3) for k, v in metrics.items()},
+        }
+        for (population_factor, catalog_factor), metrics in sorted(grid.items())
+    ]
+
+
+def reference_fig14_rows(profile):
+    """The old ``fig14_coax_traffic.run`` loop, inlined."""
+    trace = base_trace(profile)
+    rows = []
+    for nominal in (200, 400, 600, 800, 1_000):
+        config = SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(nominal),
+            per_peer_storage_gb=10.0,
+            strategy=LFUSpec(),
+            warmup_days=profile.warmup_days,
+        )
+        result = run_simulation(trace, config)
+        feasibility = assess_feasibility(result)
+        rows.append(
+            {
+                "nominal_neighborhood": nominal,
+                "coax_mean_mbps": profile.extrapolate(
+                    result.coax_peak_mean_mbps()),
+                "coax_p95_mbps": profile.extrapolate(
+                    result.coax_peak_quantile_mbps()),
+                "utilization_pct": 100.0
+                * profile.extrapolate(feasibility.worst_case_utilization),
+                "feasible": profile.extrapolate(feasibility.worst_coax_mbps)
+                <= units.to_mbps(units.COAX_VOD_CAPACITY_BPS),
+            }
+        )
+    return rows
+
+
+def reference_multicast_rows(profile):
+    """The old ``multicast_comparison.run`` body, inlined."""
+    trace = base_trace(profile)
+    case = why_not_multicast(trace)
+    cache_result = run_simulation(
+        trace,
+        SimulationConfig(
+            neighborhood_size=profile.neighborhood_size(1_000),
+            per_peer_storage_gb=10.0,
+            strategy=LFUSpec(),
+            warmup_days=profile.warmup_days,
+        ),
+    )
+    return [
+        {
+            "approach": "batching+patching multicast",
+            "server_saving_pct": 100.0 * case.multicast.savings_fraction,
+            "detail": (
+                f"mean group {case.multicast.mean_group_size:.1f}, "
+                f"{case.multicast.fraction_singleton_groups:.0%} "
+                f"singleton streams"
+            ),
+        },
+        {
+            "approach": "cooperative cache (LFU, 10 TB)",
+            "server_saving_pct": 100.0 * cache_result.peak_reduction(),
+            "detail": f"hit ratio {cache_result.counters.hit_ratio:.0%}",
+        },
+    ]
+
+
+@pytest.fixture(scope="module")
+def ref_grid():
+    """The pre-migration grid, computed once for every extract test."""
+    return reference_scalability_grid(XTINY, FACTORS)
+
+
+# ---------------------------------------------------------------------------
+# Row-identical equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestFig15:
+    def test_rows_match_pre_migration_grid_loop(self, ref_grid):
+        result = get_experiment("fig15").run(XTINY, factors=FACTORS)
+        assert_rows_match(result.rows, reference_fig15_rows(ref_grid))
+        assert result.extras["threshold_gbps"] == ref_grid[(1, 1)][
+            "no_cache_gbps"]
+        assert result.extras["grid"] == ref_grid
+
+    def test_parallel_grid_bit_identical_and_honors_workers(self):
+        sweep = get_experiment("fig15").sweep(XTINY, factors=FACTORS)
+        serial = run_sweep(sweep, workers=1)
+        parallel = run_sweep(sweep, workers=2)
+        assert parallel == serial
+
+    def test_grid_memo_keyed_by_full_profile_identity(self):
+        # Regression: the old memo key was (name, scale), so a
+        # with_days variant sharing both collided into a stale grid.
+        single = (1,)
+        first = scalability_grid(XTINY, single)
+        assert scalability_grid(XTINY, single) is first
+        variant = XTINY.with_days(4.0, 2.0)
+        assert variant.name == XTINY.name and variant.scale == XTINY.scale
+        other = scalability_grid(variant, single)
+        assert other is not first
+        assert other != first  # shorter window -> different measured rates
+
+
+class TestFig16Extracts:
+    def test_fig16b_rows_match_pre_migration_reshape(self, ref_grid):
+        base = ref_grid[(1, 1)]["server_gbps"]
+        reference = [
+            {
+                "population_x": factor,
+                "server_gbps": ref_grid[(factor, 1)]["server_gbps"],
+                "ratio_vs_x1": ref_grid[(factor, 1)]["server_gbps"] / base,
+                "reduction_pct": ref_grid[(factor, 1)]["reduction_pct"],
+            }
+            for factor in FACTORS
+        ]
+        rows = get_experiment("fig16b").run(XTINY, factors=FACTORS).rows
+        assert_rows_match(rows, reference)
+
+    def test_fig16c_rows_match_pre_migration_reshape(self, ref_grid):
+        reference = []
+        previous = None
+        for factor in FACTORS:
+            metrics = ref_grid[(1, factor)]
+            reference.append(
+                {
+                    "catalog_x": factor,
+                    "server_gbps": metrics["server_gbps"],
+                    "increment_gbps": (metrics["server_gbps"] - previous
+                                       if previous is not None else 0.0),
+                    "reduction_pct": metrics["reduction_pct"],
+                }
+            )
+            previous = metrics["server_gbps"]
+        rows = get_experiment("fig16c").run(XTINY, factors=FACTORS).rows
+        assert_rows_match(rows, reference)
+
+
+class TestFig14:
+    def test_rows_match_pre_migration_loop(self):
+        rows = get_experiment("fig14").run(XTINY).rows
+        assert_rows_match(rows, reference_fig14_rows(XTINY))
+
+
+class TestMulticastComparison:
+    def test_rows_match_pre_migration_loop(self):
+        rows = get_experiment("multicast").run(XTINY).rows
+        assert_rows_match(rows, reference_multicast_rows(XTINY))
+
+    def test_baseline_columns_equal_the_analysis_report(self):
+        # File-driven runs get the multicast bound from the scenario
+        # baseline; it must be bit-identical to the section IV-A case
+        # the exhibit's notes are built from.
+        row = run_sweep(get_experiment("multicast").sweep(XTINY))[0]
+        case = why_not_multicast(base_trace(XTINY))
+        assert row["multicast_saving_pct"] == (
+            100.0 * case.multicast.savings_fraction)
+        assert row["multicast_mean_group"] == case.multicast.mean_group_size
+        assert row["multicast_singleton_pct"] == (
+            100.0 * case.multicast.fraction_singleton_groups)
+
+
+# ---------------------------------------------------------------------------
+# Schema round trips
+# ---------------------------------------------------------------------------
+
+
+class TestCapstoneSweepsRoundTrip:
+    """describe output re-expands to the identical scenario grid."""
+
+    @pytest.mark.parametrize("experiment_id",
+                             ["fig14", "fig15", "fig16b", "fig16c",
+                              "multicast"])
+    def test_json_round_trip_preserves_the_grid(self, experiment_id):
+        sweep = get_experiment(experiment_id).sweep(XTINY)
+        rebuilt = Sweep.from_json(sweep.to_json())
+        assert rebuilt == sweep
+        assert rebuilt.expand() == sweep.expand()
+
+    def test_transforms_and_baselines_survive_serialization(self):
+        sweep = get_experiment("fig15").sweep(XTINY, factors=FACTORS)
+        rebuilt = Sweep.from_json(sweep.to_json())
+        scenarios = rebuilt.scenarios()
+        assert {s.population_x for s in scenarios} == set(FACTORS)
+        assert {s.catalog_x for s in scenarios} == set(FACTORS)
+        assert all(s.baselines == ("no_cache",) for s in scenarios)
+        coax = get_experiment("fig14").sweep(XTINY)
+        assert all(s.metrics == ("coax",)
+                   for s in Sweep.from_json(coax.to_json()).scenarios())

@@ -19,6 +19,7 @@ PUBLIC_MODULES = [
     "repro.trace.stats",
     "repro.trace.synthetic",
     "repro.trace.scaling",
+    "repro.trace.workload",
     "repro.trace.distributions",
     "repro.trace.validation",
     "repro.topology",
@@ -45,6 +46,7 @@ PUBLIC_MODULES = [
     "repro.baselines",
     "repro.baselines.no_cache",
     "repro.baselines.multicast",
+    "repro.baselines.registry",
     "repro.analysis",
     "repro.analysis.feasibility",
     "repro.analysis.multicast",
@@ -52,6 +54,8 @@ PUBLIC_MODULES = [
     "repro.scenario.model",
     "repro.scenario.sweep",
     "repro.scenario.runner",
+    "repro.scenario.metrics",
+    "repro.core.parallel",
     "repro.experiments",
     "repro.experiments.profiles",
     "repro.experiments.base",

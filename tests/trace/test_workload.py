@@ -1,0 +1,53 @@
+"""Workload values: validation, identity sharing, cached == uncached."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.synthetic import PowerInfoModel, cached_trace
+from repro.trace.workload import Workload, cached_workload_trace
+
+MODEL = PowerInfoModel(n_users=150, n_programs=30, days=2.0, seed=77)
+
+
+def assert_same_trace(a, b):
+    """Record-for-record, catalog-for-catalog equality of two traces."""
+    assert list(a) == list(b)
+    assert a.catalog.programs == b.catalog.programs
+    assert a.n_users == b.n_users
+
+
+class TestWorkloadValidation:
+    def test_factors_must_be_positive_integers(self):
+        with pytest.raises(ConfigurationError, match="population_x"):
+            Workload(model=MODEL, population_x=0)
+        with pytest.raises(ConfigurationError, match="catalog_x"):
+            Workload(model=MODEL, catalog_x=1.5)
+        with pytest.raises(ConfigurationError, match="PowerInfoModel"):
+            Workload(model="not-a-model")
+
+    def test_identity_detection(self):
+        assert Workload(model=MODEL).is_identity
+        assert not Workload(model=MODEL, population_x=2).is_identity
+        assert not Workload(model=MODEL, catalog_x=2).is_identity
+
+
+class TestCachedMatchesUncached:
+    def test_identity_workload_shares_the_base_trace_cache(self):
+        workload = Workload(model=MODEL)
+        assert cached_workload_trace(workload) is cached_trace(MODEL)
+
+    @pytest.mark.parametrize("population_x,catalog_x",
+                             [(2, 1), (1, 2), (2, 3)])
+    def test_cached_path_reproduces_build(self, population_x, catalog_x):
+        # build() is the uncached reference composition (population
+        # first, catalog second); the memoized path must reproduce it
+        # record-for-record, or parallel workers and the scenario
+        # runner would silently diverge.
+        workload = Workload(model=MODEL, population_x=population_x,
+                            catalog_x=catalog_x)
+        assert_same_trace(cached_workload_trace(workload), workload.build())
+
+    def test_cached_transformed_trace_is_memoized(self):
+        workload = Workload(model=MODEL, population_x=2, catalog_x=2)
+        assert cached_workload_trace(workload) is cached_workload_trace(
+            workload)
