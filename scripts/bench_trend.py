@@ -31,6 +31,13 @@ RECORDED_METRICS = (
     ("end_to_end_s", ("end_to_end", "bucket_s")),
     ("cache_lfu_s", ("cache", "lfu_decisions_s")),
     ("cache_requests_s", ("cache", "index_requests_s")),
+    # Trace pipeline (PR 5): generator backends plus the sweep-worker
+    # share hand-off.  The numpy entry is absent on pure-python hosts;
+    # missing metrics are simply skipped.
+    ("trace_generate_python_s", ("trace", "generate_python_s")),
+    ("trace_generate_numpy_s", ("trace", "generate_numpy_s")),
+    ("trace_share_publish_s", ("trace", "share_publish_s")),
+    ("trace_share_attach_s", ("trace", "share_attach_s")),
 )
 
 #: Only the end-to-end replay gates CI.  The cache micro metrics are

@@ -7,6 +7,10 @@ rebuilt:
 * event-engine throughput -- the segment workload as a legacy heap
   chain vs. as session arcs on the calendar queue;
 * hourly-meter throughput -- hour-spanning vs. single-bucket intervals;
+* trace pipeline -- ``generate_trace`` on the python and (when
+  importable) numpy backends, plus the sweep-worker share hand-off
+  (column-file publish and worker attach, the cost that replaces a
+  worker-side regeneration);
 * cache-path throughput -- windowed-LFU membership decisions and the
   index server's full request/fill path, both on the policy engine
   (PR 2), compared against the recorded PR-1 classic-path baseline;
@@ -263,6 +267,63 @@ def main() -> int:
         "single_bucket_s": round(single_s, 4),
         "single_bucket_intervals_per_s": round(meter_n / single_s),
     }
+
+    # ---- trace pipeline ------------------------------------------------
+    # Generator backends on one mid-size model, plus the sweep-worker
+    # share hand-off (publish once, attach per worker).  Attach wall
+    # time is what replaces a worker-side regeneration.
+    from repro.trace.share import attach_trace, publish_trace, unlink_trace
+    from repro.trace.synthetic import numpy_available
+
+    trace_model = PowerInfoModel(n_users=users, n_programs=users // 5,
+                                 days=days, seed=5)
+    python_gen_s = best_of(
+        lambda: generate_trace(trace_model, backend="python"), repeats=2
+    )
+    bench_trace = generate_trace(trace_model, backend="python")
+    report["trace"] = {
+        "records": len(bench_trace),
+        "generate_python_s": round(python_gen_s, 4),
+        "generate_python_records_per_s": round(len(bench_trace) / python_gen_s),
+    }
+    if numpy_available():
+        numpy_gen_s = best_of(
+            lambda: generate_trace(trace_model, backend="numpy"), repeats=2
+        )
+        # The backends draw independent streams, so their record counts
+        # differ by Poisson noise; throughput needs its own numerator.
+        numpy_records = len(generate_trace(trace_model, backend="numpy"))
+        report["trace"]["generate_numpy_s"] = round(numpy_gen_s, 4)
+        report["trace"]["generate_numpy_records"] = numpy_records
+        report["trace"]["generate_numpy_records_per_s"] = round(
+            numpy_records / numpy_gen_s
+        )
+        report["trace"]["numpy_speedup"] = round(python_gen_s / numpy_gen_s, 2)
+    handle = publish_trace(bench_trace)
+    published = []
+    try:
+        # Unlinking happens outside the timed callable so a slow
+        # filesystem delete never shows up as a publish regression in
+        # the trend history.
+        publish_s = best_of(
+            lambda: published.append(publish_trace(bench_trace)), repeats=2
+        )
+        attach_s = best_of(lambda: attach_trace(handle), repeats=2)
+    finally:
+        for extra in published:
+            unlink_trace(extra)
+        unlink_trace(handle)
+    report["trace"]["share_publish_s"] = round(publish_s, 4)
+    report["trace"]["share_attach_s"] = round(attach_s, 4)
+    # Named per backend: what a worker's fallback actually costs
+    # depends on which generator it would resolve to.
+    report["trace"]["attach_speedup_vs_python_regen"] = round(
+        python_gen_s / attach_s, 2
+    )
+    if numpy_available():
+        report["trace"]["attach_speedup_vs_numpy_regen"] = round(
+            numpy_gen_s / attach_s, 2
+        )
 
     # ---- cache path ----------------------------------------------------
     cache_n = 10_000 if args.quick else 40_000

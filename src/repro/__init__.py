@@ -70,7 +70,7 @@ from repro.trace import (
     scale_population,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PowerInfoModel",

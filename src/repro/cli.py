@@ -10,6 +10,8 @@ Usage::
     repro-vod run examples/scenarios/quickstart.json
     repro-vod sweep examples/scenarios/gdsf_history_sweep.json --out rows.csv
     repro-vod describe fig08 --profile fast
+    repro-vod describe fig15 --flat > fig15_grid.json
+    repro-vod fig08 --trace-backend python
     python -m repro.cli fig15
 
 Experiments print their paper-style table plus the paper's expected
@@ -71,6 +73,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append an ASCII bar chart under each table",
     )
     _add_workers_flag(parser)
+    _add_trace_backend_flag(parser)
     return parser
 
 
@@ -89,11 +92,33 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-backend",
+        default=None,
+        choices=("auto", "python", "numpy"),
+        help=(
+            "synthetic-trace generator backend (default: the "
+            "REPRO_TRACE_BACKEND environment variable, else auto: numpy "
+            "when importable, pure python otherwise). Backends agree on "
+            "every modeled distribution but draw different random "
+            "streams, so switching changes individual records."
+        ),
+    )
+
+
 def _apply_workers(workers: Optional[int]) -> None:
     if workers is not None:
         from repro.core.parallel import set_default_workers
 
         set_default_workers(workers)
+
+
+def _apply_trace_backend(backend: Optional[str]) -> None:
+    if backend is not None:
+        from repro.trace.synthetic import set_trace_backend
+
+        set_trace_backend(backend)
 
 
 def _print_strategies() -> None:
@@ -209,11 +234,13 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
     parser.add_argument("--out", default=None, metavar="CSV",
                         help="also write the result rows as CSV")
     _add_workers_flag(parser)
+    _add_trace_backend_flag(parser)
     args = parser.parse_args(argv)
 
     from repro.scenario import Scenario, load, run_sweep
 
     _apply_workers(args.workers)
+    _apply_trace_backend(args.trace_backend)
     loaded = load(args.file)
     started = time.perf_counter()
     if isinstance(loaded, Scenario):
@@ -243,6 +270,16 @@ def _cmd_describe(argv: List[str]) -> int:
     parser.add_argument("experiment", help="experiment id (e.g. fig08)")
     parser.add_argument("--profile", default=None,
                         help="scale profile the JSON is snapshotted at")
+    parser.add_argument(
+        "--flat",
+        action="store_true",
+        help=(
+            "inline the profile-scaled grid: emit one fully specified "
+            "point per run (single 'point' axis, no cartesian product), "
+            "row-identical to the nested form but portable to consumers "
+            "that know nothing about experiment profiles"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.experiments.registry import describable_experiments
@@ -254,7 +291,10 @@ def _cmd_describe(argv: List[str]) -> int:
             f"describable ids: {describable_experiments()}"
         )
     profile = get_profile(args.profile)
-    print(module.sweep(profile).to_json())
+    sweep = module.sweep(profile)
+    if args.flat:
+        sweep = sweep.flattened()
+    print(sweep.to_json())
     return 0
 
 
@@ -288,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         _apply_workers(args.workers)
+        _apply_trace_backend(args.trace_backend)
         profile = get_profile(args.profile)
         if args.experiment == "all":
             targets = list(all_experiments().values())

@@ -23,6 +23,20 @@ process-wide memoized trace, so repeated serial sweeps never regenerate
 a workload the scenario runner already built -- and callers get
 bit-identical counters and meter buckets regardless of worker count.
 
+Since the zero-copy hand-off (:mod:`repro.trace.share`), regeneration
+is the *fallback*, not the norm: before fanning out, the parent
+serializes each workload that multiple tasks share into a mapped
+column file and ships workers a tiny
+:class:`~repro.trace.share.TraceShareHandle` next to each such task
+(a singleton workload is generated once either way, so it stays on
+the worker-side path rather than serializing the sweep's start).  Workers attach to the mapped columns (the OS page
+cache is the shared memory) instead of regenerating, which turns
+per-worker generator cost into a single parent-side publish.  The
+regenerate path remains for one-worker runs, for hosts where the share
+file cannot be written, and under ``REPRO_TRACE_SHARE=off`` -- and is
+bit-identical to the attach path by construction (the columns are the
+generated trace).
+
 Tasks may also request named **baseline metrics** (``no_cache``,
 ``multicast`` -- see :mod:`repro.baselines.registry`): analytic columns
 computed from the task's transformed trace, memoized per distinct
@@ -35,12 +49,15 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.core.runner import run_simulation
 from repro.errors import ConfigurationError
+from repro.trace.records import Trace
+from repro.trace.share import TraceShareHandle, publish_trace, share_enabled, unlink_trace
 from repro.trace.synthetic import PowerInfoModel
 from repro.trace.workload import Workload, cached_workload_trace
 
@@ -82,8 +99,8 @@ _baseline_memo: Dict[Tuple[Workload, Tuple[str, ...], float],
                      Tuple[Tuple[str, float], ...]] = {}
 
 
-def _task_baselines(task: SimulationTask) -> Dict[str, float]:
-    """Baseline columns for one task, memoized in this process."""
+def _task_baselines(task: SimulationTask, trace: Trace) -> Dict[str, float]:
+    """Baseline columns for one task's trace, memoized in this process."""
     if not task.baselines:
         return {}
     key = (task.workload, task.baselines, task.config.warmup_days)
@@ -91,7 +108,6 @@ def _task_baselines(task: SimulationTask) -> Dict[str, float]:
     if items is None:
         from repro.baselines.registry import baseline_columns
 
-        trace = cached_workload_trace(task.workload)
         items = tuple(
             baseline_columns(task.baselines, trace,
                              warmup_seconds=task.config.warmup_seconds).items()
@@ -101,10 +117,46 @@ def _task_baselines(task: SimulationTask) -> Dict[str, float]:
 
 
 def _execute_task(task: SimulationTask) -> TaskOutcome:
-    """Run one task (in this process or a pool worker)."""
+    """Run one task against the process-wide memoized (regenerated) trace."""
     trace = cached_workload_trace(task.workload)
     result = run_simulation(trace, task.config, engine=task.engine)
-    return result, _task_baselines(task)
+    return result, _task_baselines(task, trace)
+
+
+@lru_cache(maxsize=2)
+def _attached_trace(handle: "TraceShareHandle") -> Trace:
+    """Worker-side memo of attached shared traces.
+
+    Sized like the transformed-trace LRU in :mod:`repro.trace.workload`:
+    ordered ``imap`` with chunksize 1 can interleave two workloads on
+    one worker, and a slot is a fully materialized trace.
+    """
+    from repro.trace.share import attach_trace
+
+    return attach_trace(handle)
+
+
+def _execute_shared(payload: Tuple[SimulationTask, Optional["TraceShareHandle"]],
+                    ) -> TaskOutcome:
+    """Pool-worker entry: attach the published trace, else regenerate.
+
+    A handle that cannot be attached (deleted tmp file, corrupt bytes)
+    degrades to the deterministic regenerate path instead of failing
+    the sweep -- the two are bit-identical by construction.
+    """
+    task, handle = payload
+    trace: Optional[Trace] = None
+    if handle is not None:
+        from repro.errors import TraceError
+
+        try:
+            trace = _attached_trace(handle)
+        except (OSError, TraceError):
+            trace = None
+    if trace is None:
+        trace = cached_workload_trace(task.workload)
+    result = run_simulation(trace, task.config, engine=task.engine)
+    return result, _task_baselines(task, trace)
 
 
 def _cpu_workers() -> int:
@@ -192,6 +244,42 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def _publish_task_traces(
+    tasks: Sequence[SimulationTask],
+) -> Dict[Workload, TraceShareHandle]:
+    """Publish one column file per *shared* workload among ``tasks``.
+
+    Only workloads referenced by two or more tasks are published: a
+    singleton workload costs one generation either way (ordered
+    dispatch hands all its tasks to one worker's memo), so publishing
+    it here would just serialize that generation into the parent before
+    the pool even starts -- the fig15 grid, where every cell is its own
+    workload, would stream nothing for the whole prelude.  For the
+    published ones, generation happens through the same memoized path
+    serial runs use (a trace the scenario runner already built is
+    serialized straight from cache) and the object trace is released
+    back to the LRU right after: only the flat file (mapped,
+    page-cache-shared) stays for the sweep's duration.  Any failure to
+    write (full tmp, unwritable dir) abandons sharing entirely and the
+    sweep falls back to worker-side regeneration.
+    """
+    references: Dict[Workload, int] = {}
+    for task in tasks:
+        references[task.workload] = references.get(task.workload, 0) + 1
+    handles: Dict[Workload, TraceShareHandle] = {}
+    try:
+        for workload, count in references.items():
+            if count > 1:
+                handles[workload] = publish_trace(
+                    cached_workload_trace(workload)
+                )
+    except OSError:
+        for handle in handles.values():
+            unlink_trace(handle)
+        return {}
+    return handles
+
+
 def iter_task_results(
     tasks: Sequence[SimulationTask],
     workers: Optional[int] = None,
@@ -205,6 +293,11 @@ def iter_task_results(
     sessions free of multiprocessing overhead.  ``workers=None`` defers
     to :func:`get_default_workers` (the CLI's ``--workers`` flag), else
     :func:`default_workers`.
+
+    Multi-worker runs publish each distinct workload's trace once
+    (:mod:`repro.trace.share`) so workers attach to the mapped columns
+    instead of regenerating; ``REPRO_TRACE_SHARE=off`` (or a failed
+    publish) falls back to the regenerate path, bit-identically.
     """
     tasks = list(tasks)
     if workers is None:
@@ -217,15 +310,21 @@ def iter_task_results(
 
     import multiprocessing as mp
 
-    context = mp.get_context()
-    # Pool.__exit__ terminates outstanding work, so abandoning the
-    # generator mid-stream cleans the workers up too.
-    with context.Pool(processes=workers) as pool:
-        # chunksize=1: tasks vary wildly in cost (population transforms
-        # multiply event counts; cache sizes change hit ratios), so
-        # fine-grained dispatch balances the pool better than range
-        # partitioning.
-        yield from pool.imap(_execute_task, tasks, chunksize=1)
+    handles = _publish_task_traces(tasks) if share_enabled() else {}
+    try:
+        payloads = [(task, handles.get(task.workload)) for task in tasks]
+        context = mp.get_context()
+        # Pool.__exit__ terminates outstanding work, so abandoning the
+        # generator mid-stream cleans the workers up too.
+        with context.Pool(processes=workers) as pool:
+            # chunksize=1: tasks vary wildly in cost (population
+            # transforms multiply event counts; cache sizes change hit
+            # ratios), so fine-grained dispatch balances the pool better
+            # than range partitioning.
+            yield from pool.imap(_execute_shared, payloads, chunksize=1)
+    finally:
+        for handle in handles.values():
+            unlink_trace(handle)
 
 
 def run_many(

@@ -92,6 +92,32 @@ def _freeze(value: Any) -> Any:
     return value
 
 
+def _diff_scenario(base: Scenario, scenario: Scenario) -> Dict[str, Any]:
+    """Dotted-path assignments turning ``base`` into ``scenario``.
+
+    Sweep axes can only address scenario scalars and one level into the
+    ``config``/``trace`` components, so a field-wise diff over exactly
+    that surface reconstructs any expanded point.
+    """
+    sets: Dict[str, Any] = {}
+    for name in _SCENARIO_FIELDS:
+        value = getattr(scenario, name)
+        if value != getattr(base, name):
+            sets[name] = value
+    for component in ("config", "trace"):
+        base_part = getattr(base, component)
+        part = getattr(scenario, component)
+        if part == base_part:
+            continue
+        for f in dataclasses.fields(type(part)):
+            if not f.init:
+                continue
+            value = getattr(part, f.name)
+            if value != getattr(base_part, f.name):
+                sets[f"{component}.{f.name}"] = value
+    return sets
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One point of one axis: field assignments plus row columns."""
@@ -258,6 +284,32 @@ class Sweep:
     def scenarios(self) -> List[Scenario]:
         """Just the expanded scenarios, in run order."""
         return [scenario for scenario, _ in self.expand()]
+
+    def flattened(self) -> "Sweep":
+        """This sweep with its whole grid inlined into one ``point`` axis.
+
+        Every profile-scaled value each run needs is spelled out in its
+        own point (as dotted-path assignments against the base), so the
+        emitted JSON is *portable*: a consumer replays run ``k`` by
+        reading point ``k``, with no cartesian-product expansion and no
+        knowledge of the experiment profiles that derived the values.
+        Expansion of the flattened sweep is provably identical to the
+        original's -- same scenarios, same extra columns, same order --
+        so ``repro-vod run``/``sweep`` produce row-identical output
+        from either form.  ``repro-vod describe <id> --flat`` is the
+        CLI spelling.
+        """
+        points = []
+        for scenario, cols in self.expand():
+            sets = _diff_scenario(self.base, scenario)
+            if not sets:
+                # A degenerate single-point grid still needs one
+                # assignment; restating the label is a no-op move.
+                sets = {"label": scenario.label}
+            points.append(SweepPoint(sets=tuple(sets.items()),
+                                     cols=tuple(cols.items())))
+        axis = SweepAxis(name="point", points=tuple(points))
+        return replace(self, axes=(axis,))
 
     # ------------------------------------------------------------------
     # Serialization

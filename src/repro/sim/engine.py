@@ -146,6 +146,48 @@ class Simulator:
         else:
             self._queue.push(time, callback, *args)
 
+    def preload_starts(self, times: Any, callback: EventCallback,
+                       payloads: Any) -> None:
+        """Bulk-register a start-sorted event storm before the run.
+
+        The canonical caller is trace replay: one session-start per
+        record, every record already sorted by start time.  The whole
+        column becomes per-tick slabs in the calendar queue
+        (:meth:`TickBucketQueue.preload_sorted`) -- no per-event tuple,
+        dict probe or counter draw until each bucket is reached -- and
+        the shared sequence counter is rebased past the preloaded
+        count, so execution order is bit-identical to scheduling each
+        start through :meth:`at_fast` in column order.
+
+        Raises
+        ------
+        SimulationError
+            If the simulator is not fresh (anything already executed,
+            pending, or cancelled-in-place would race the preloaded
+            sequence numbers), if a start precedes the current clock,
+            or if the column is not ascending.
+        """
+        if self._events_processed or len(self._queue):
+            raise SimulationError(
+                "preload_starts requires a fresh simulator (no events "
+                "executed or pending)"
+            )
+        if len(times) and times[0] < self._now:
+            raise SimulationError(
+                f"cannot preload a start at t={times[0]:.6f}, clock is "
+                f"already at t={self._now:.6f}"
+            )
+        try:
+            n = self._buckets.preload_sorted(times, payloads, callback)
+        except ValueError as error:
+            # The queue owns the slab invariants (fresh slab storage,
+            # equal columns, ascending times); surface violations under
+            # the engine's error type like every other scheduling bug.
+            raise SimulationError(str(error)) from None
+        counter = itertools.count(n)
+        self._queue._counter = counter
+        self._buckets._counter = counter
+
     def start_arc(self, time: float, fn, *args: Any) -> SessionArc:
         """Register a session arc whose first step fires at ``time``.
 

@@ -19,12 +19,31 @@ merging bucket entries with heap events by ``(time, seq)`` reproduces
 exactly the global FIFO-within-an-instant order a single heap would
 give.  Sequence numbers are unique, so sorting never compares the
 mismatched tails of the two tuple shapes.
+
+Session-start slabs
+-------------------
+
+Trace replay begins with a second storm: one session-*start* event per
+trace record, all registered before the clock moves.  Pushing each of
+them through :meth:`push` costs a tick computation, a dict probe and a
+counter draw per record.  :meth:`preload_sorted` instead stores the
+whole start-sorted column as per-bucket **slabs** -- ``(lo, hi)`` slices
+into the caller's own lists, found with one bisect per bucket -- and
+materializes a slab into ``(time, seq, callback, args)`` entries only
+when its bucket is activated.  Because preloading happens on a fresh
+queue, record ``i`` simply *is* sequence number ``i``, which is exactly
+what a per-record :meth:`push` loop would have assigned: the resulting
+execution order is bit-identical, and buckets past a run's horizon
+never pay for materialization at all.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+import operator
+from bisect import bisect_left
+from itertools import islice
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro import units
 
@@ -71,7 +90,8 @@ class TickBucketQueue:
     """
 
     __slots__ = ("width", "_counter", "_buckets", "_tick_heap",
-                 "_front", "_front_pos", "_front_tick", "_live")
+                 "_front", "_front_pos", "_front_tick", "_live",
+                 "_slabs", "_slab_source")
 
     def __init__(self, counter: Iterator[int],
                  tick_seconds: float = DEFAULT_TICK_SECONDS) -> None:
@@ -87,6 +107,11 @@ class TickBucketQueue:
         #: Tick index of ``_front`` (-1 before any bucket is activated).
         self._front_tick = -1
         self._live = 0
+        #: tick -> (lo, hi) slice of the preloaded start column; the
+        #: record at global index ``i`` carries sequence number ``i``.
+        self._slabs: dict[int, Tuple[int, int]] = {}
+        #: (times, payloads, callback) backing the slab slices.
+        self._slab_source: Optional[tuple] = None
 
     def __len__(self) -> int:
         return self._live
@@ -139,6 +164,51 @@ class TickBucketQueue:
                 arc.pending = False
                 self._live -= 1
 
+    def preload_sorted(self, times: Sequence[float], payloads: Sequence[Any],
+                       callback: Callable[..., None]) -> int:
+        """Bulk-register ``callback(payload)`` firings from sorted columns.
+
+        ``times`` must be ascending (the trace's chronological
+        invariant, verified here with one C-level pairwise scan -- a
+        mis-ordered column would mis-bucket silently) and is grouped
+        into per-tick slabs with one bisect per distinct tick; no
+        per-entry tuple, dict probe or counter draw happens until a
+        bucket is activated.  Requires a *fresh*
+        queue (nothing deposited, nothing drained): preloaded entry
+        ``i`` takes sequence number ``i``, byte-for-byte what a
+        per-entry :meth:`push` loop over the same columns would have
+        assigned, so callers must rebase the shared counter past the
+        returned count before scheduling anything else.
+        """
+        # _live alone is not enough: a cancelled entry decrements it but
+        # stays lazily deleted inside its bucket, and overwriting that
+        # bucket here would double-push its tick onto the heap.
+        if (self._live or self._buckets or self._tick_heap
+                or self._front is not None or self._front_tick != -1):
+            raise ValueError("preload_sorted requires a fresh queue")
+        n = len(times)
+        if len(payloads) != n:
+            raise ValueError(
+                f"preload columns disagree: {n} times vs "
+                f"{len(payloads)} payloads"
+            )
+        if not all(map(operator.le, times, islice(times, 1, None))):
+            raise ValueError("preload_sorted requires ascending times")
+        width = self.width
+        lo = 0
+        while lo < n:
+            tick = int(times[lo] // width)
+            hi = bisect_left(times, (tick + 1) * width, lo)
+            self._slabs[tick] = (lo, hi)
+            # Pre-create the bucket so later deposits into a slab tick
+            # append instead of double-pushing the tick onto the heap.
+            self._buckets[tick] = []
+            heapq.heappush(self._tick_heap, tick)
+            lo = hi
+        self._slab_source = (times, payloads, callback)
+        self._live += n
+        return n
+
     def _deposit(self, entry: tuple) -> None:
         tick = int(entry[0] // self.width)
         bucket = self._buckets.get(tick)
@@ -154,11 +224,29 @@ class TickBucketQueue:
     # ------------------------------------------------------------------
 
     def _activate_next_bucket(self) -> None:
-        """Advance ``_front`` to the earliest pending bucket, sorted."""
+        """Advance ``_front`` to the earliest pending bucket, sorted.
+
+        A preloaded start slab materializes here: its entries come out
+        time- and seq-ascending by construction, so a slab-only bucket
+        skips the sort entirely and a mixed bucket merges the slab run
+        into one adaptive ``list.sort``.
+        """
         while self._tick_heap:
             tick = heapq.heappop(self._tick_heap)
             entries = self._buckets.pop(tick)
-            entries.sort()
+            slab = self._slabs.pop(tick, None)
+            if slab is not None:
+                times, payloads, callback = self._slab_source
+                lo, hi = slab
+                built = [(times[i], i, callback, (payloads[i],))
+                         for i in range(lo, hi)]
+                if entries:
+                    entries.extend(built)
+                    entries.sort()
+                else:
+                    entries = built
+            else:
+                entries.sort()
             self._front = entries
             self._front_pos = 0
             self._front_tick = tick

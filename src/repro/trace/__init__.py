@@ -9,7 +9,12 @@ package provides:
 * :mod:`repro.trace.synthetic` -- a statistical workload generator
   calibrated to every property of the trace the paper publishes
   (popularity skew, session-length mixture, diurnal profile,
-  post-introduction popularity decay, 17 Gb/s no-cache peak);
+  post-introduction popularity decay, 17 Gb/s no-cache peak), with a
+  numpy-gated vectorized backend (:mod:`repro.trace.vectorized`,
+  selected via ``REPRO_TRACE_BACKEND``);
+* :mod:`repro.trace.share` -- zero-copy trace hand-off to sweep
+  workers: flat columns in a mapped file, attached instead of
+  regenerated;
 * :mod:`repro.trace.scaling` -- the paper's §V-A population/catalog
   scaling transforms;
 * :mod:`repro.trace.workload` -- a model plus those transforms as one
@@ -22,7 +27,12 @@ package provides:
 """
 
 from repro.trace.records import Catalog, Program, SessionRecord, Trace
-from repro.trace.synthetic import PowerInfoModel, generate_trace
+from repro.trace.synthetic import (
+    PowerInfoModel,
+    generate_trace,
+    resolve_trace_backend,
+    set_trace_backend,
+)
 from repro.trace.scaling import scale_catalog, scale_population
 from repro.trace.workload import Workload, cached_workload_trace
 
@@ -35,6 +45,8 @@ __all__ = [
     "Workload",
     "cached_workload_trace",
     "generate_trace",
+    "resolve_trace_backend",
     "scale_catalog",
     "scale_population",
+    "set_trace_backend",
 ]

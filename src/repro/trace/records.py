@@ -11,7 +11,9 @@ that the paper derives from access patterns.
 from __future__ import annotations
 
 import bisect
+import operator
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro import units
@@ -180,6 +182,74 @@ class Trace:
         self._start_times = [r.start_time for r in self._records]
 
     # ------------------------------------------------------------------
+    # Columnar construction (trusted fast path)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        start_times: Sequence[float],
+        user_ids: Sequence[int],
+        program_ids: Sequence[int],
+        durations: Sequence[float],
+        catalog: Catalog,
+        n_users: int,
+    ) -> "Trace":
+        """Build a trace from parallel columns already in sorted order.
+
+        This is the zero-copy ingestion path shared by the vectorized
+        generator backend and the shared-trace attach used by sweep
+        workers: callers hand over four parallel columns (any sequence
+        type, including memoryviews over a mapped file) that are
+        **already sorted by** ``(start_time, user_id, program_id)`` and
+        **already catalog-consistent** (every program id resolvable,
+        every duration within its program's length).  Only cheap
+        aggregate checks run here -- per-record validation still happens
+        in :class:`SessionRecord`, but the O(n log n) sort and the
+        per-record catalog lookups of the list constructor are skipped.
+
+        Raises
+        ------
+        TraceError
+            If the aggregate invariants fail (unsorted starts, id out of
+            range) -- the guard against attaching a corrupt buffer.
+        """
+        if not (len(start_times) == len(user_ids) == len(program_ids)
+                == len(durations)):
+            raise TraceError(
+                f"from_columns needs equal-length columns, got "
+                f"{len(start_times)}/{len(user_ids)}/{len(program_ids)}"
+                f"/{len(durations)}"
+            )
+        records = list(map(SessionRecord, start_times, user_ids,
+                           program_ids, durations))
+        # Each SessionRecord re-validated its own fields above; the
+        # aggregate checks below cover the cross-record/cross-catalog
+        # invariants the trusted path still owes its callers.
+        starts = list(start_times)
+        if starts:
+            # C-level pairwise scan: no sorted() copy of a column that
+            # can be tens of millions of entries in a pool worker.
+            if not all(map(operator.le, starts, islice(starts, 1, None))):
+                raise TraceError("from_columns requires start-sorted columns")
+            if max(user_ids) >= n_users:
+                raise TraceError(
+                    f"declared n_users={n_users} but a record references "
+                    f"user {max(user_ids)}"
+                )
+            if max(program_ids) >= len(catalog):
+                raise TraceError(
+                    f"a record references program {max(program_ids)} but the "
+                    f"catalog has {len(catalog)} programs"
+                )
+        trace = cls.__new__(cls)
+        trace._records = records
+        trace._catalog = catalog
+        trace._n_users = n_users
+        trace._start_times = starts
+        return trace
+
+    # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
 
@@ -205,6 +275,26 @@ class Trace:
     def n_users(self) -> int:
         """Number of distinct user slots (ids are ``0..n_users-1``)."""
         return self._n_users
+
+    @property
+    def start_times(self) -> Sequence[float]:
+        """Session start times in record order.
+
+        A read-only view of the trace's own column (do **not** mutate):
+        the engine's bulk session-start preload and the trace-share
+        serializer walk hundreds of thousands of starts, so handing out
+        a defensive copy per access would dominate their cost.
+        """
+        return self._start_times
+
+    @property
+    def records(self) -> Sequence[SessionRecord]:
+        """All session records in chronological order.
+
+        Like :attr:`start_times`, this is a read-only view of the
+        internal list, not a copy -- treat it as immutable.
+        """
+        return self._records
 
     @property
     def start_time(self) -> float:

@@ -34,6 +34,7 @@ same model parameters always yield the identical trace.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, replace
 from bisect import bisect_left
 from functools import lru_cache
@@ -44,6 +45,95 @@ from repro.errors import ConfigurationError
 from repro.sim.random_streams import RandomStreams
 from repro.trace import distributions as dist
 from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+# --------------------------------------------------------------------------
+# Generator backends
+# --------------------------------------------------------------------------
+
+#: Concrete generator backends.  ``python`` is the reference per-session
+#: sampler below; ``numpy`` is the vectorized batch sampler in
+#: :mod:`repro.trace.vectorized`.  The two draw from differently named
+#: random streams, so their traces differ record-by-record while agreeing
+#: on every modeled distribution (pinned by tests/trace/test_backends.py);
+#: each backend is individually bit-reproducible for a given model.
+TRACE_BACKENDS = ("python", "numpy")
+
+#: Process-wide backend override installed by :func:`set_trace_backend`
+#: (the CLI's ``--trace-backend`` flag).  ``None`` defers to the
+#: ``REPRO_TRACE_BACKEND`` environment variable, then auto-detection.
+_backend_override: Optional[str] = None
+
+#: The ``REPRO_TRACE_BACKEND`` value that predates the active override
+#: (restored when the override is cleared, so a temporary pin never
+#: erases a setting the user supplied).
+_env_before_override: Optional[str] = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can run in this interpreter."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve_trace_backend(name: Optional[str] = None) -> str:
+    """Resolve a backend request to a concrete backend name.
+
+    ``name`` may be ``"python"``, ``"numpy"``, ``"auto"`` (numpy when
+    importable, else python), or ``None`` -- which consults the
+    :func:`set_trace_backend` override, then the ``REPRO_TRACE_BACKEND``
+    environment variable, then defaults to ``auto``.  Asking for numpy
+    explicitly when it is not importable is a configuration error;
+    ``auto`` silently falls back, so the container (and the pure-python
+    CI leg) never needs numpy installed.
+    """
+    if name is None:
+        name = _backend_override
+    if name is None:
+        name = os.environ.get("REPRO_TRACE_BACKEND", "auto")
+    if name == "auto":
+        return "numpy" if numpy_available() else "python"
+    if name not in TRACE_BACKENDS:
+        raise ConfigurationError(
+            f"unknown trace backend {name!r}; choose from "
+            f"{('auto',) + TRACE_BACKENDS}"
+        )
+    if name == "numpy" and not numpy_available():
+        raise ConfigurationError(
+            "trace backend 'numpy' requested but numpy is not importable; "
+            "install numpy or use REPRO_TRACE_BACKEND=python"
+        )
+    return name
+
+
+def set_trace_backend(name: Optional[str]) -> None:
+    """Pin the generator backend for this process (and its workers).
+
+    The choice is mirrored into ``REPRO_TRACE_BACKEND`` so pool workers
+    resolve identically under both ``fork`` and ``spawn`` start
+    methods.  ``None`` clears the override and restores whatever
+    ``REPRO_TRACE_BACKEND`` value predated it -- a temporary pin never
+    erases a setting the user put in the environment themselves.
+    """
+    global _backend_override, _env_before_override
+    if name is not None and name != "auto":
+        # Validate eagerly so a typo fails at the flag, not mid-sweep.
+        resolve_trace_backend(name)
+    if name is None:
+        if _backend_override is not None:
+            if _env_before_override is None:
+                os.environ.pop("REPRO_TRACE_BACKEND", None)
+            else:
+                os.environ["REPRO_TRACE_BACKEND"] = _env_before_override
+            _env_before_override = None
+        _backend_override = None
+        return
+    if _backend_override is None:
+        _env_before_override = os.environ.get("REPRO_TRACE_BACKEND")
+    _backend_override = name
+    os.environ["REPRO_TRACE_BACKEND"] = name
 
 #: User and catalog scale of the real PowerInfo trace (paper section V-A).
 POWERINFO_USERS = 41_698
@@ -459,24 +549,31 @@ class _HourlyProgramSampler:
 
 
 class _SessionLengthSampler:
-    """Draws watched durations: full-view atom + truncated lognormal body."""
+    """Draws watched durations: full-view atom + truncated lognormal body.
+
+    The distribution cache keys on the computed ``(lower, length)`` pair
+    rather than ``length`` alone: the truncation window's lower bound is
+    ``min(min_session_seconds, length / 2)``, so two models differing
+    only in ``min_session_seconds`` (or a future sampler shared across
+    models) must never collide on a same-length entry.
+    """
 
     def __init__(self, model: PowerInfoModel) -> None:
         self._model = model
-        self._by_length: Dict[float, dist.TruncatedLogNormal] = {}
+        self._by_window: Dict[Tuple[float, float], dist.TruncatedLogNormal] = {}
 
     def sample(self, program: Program, rng) -> float:
         model = self._model
         length = program.length_seconds
         if rng.random() < model.full_view_probability:
             return length
-        body = self._by_length.get(length)
+        lower = min(model.min_session_seconds, length / 2.0)
+        body = self._by_window.get((lower, length))
         if body is None:
-            lower = min(model.min_session_seconds, length / 2.0)
             body = dist.TruncatedLogNormal(
                 model.short_session_mu, model.short_session_sigma, lower, length
             )
-            self._by_length[length] = body
+            self._by_window[(lower, length)] = body
         return body.sample(rng)
 
 
@@ -485,16 +582,25 @@ class _SessionLengthSampler:
 # --------------------------------------------------------------------------
 
 
-def generate_trace(model: PowerInfoModel) -> Trace:
+def generate_trace(model: PowerInfoModel, backend: Optional[str] = None) -> Trace:
     """Generate a synthetic PowerInfo-like trace from ``model``.
 
-    Deterministic in ``model`` (including its seed).  Returns a
-    :class:`~repro.trace.records.Trace` sorted by session start time:
-    sampling proceeds in per-hour buckets with random intra-hour
-    offsets (so the raw sample stream is unordered within an hour), and
-    ``Trace`` restores the chronological invariant by sorting on
-    construction.
+    Deterministic in ``model`` (including its seed) *per backend*.
+    ``backend`` selects the sampling implementation -- ``"python"`` (the
+    reference per-session loop below), ``"numpy"`` (the vectorized batch
+    sampler, ~4x faster), ``"auto"``, or ``None`` to defer to
+    :func:`resolve_trace_backend` (``REPRO_TRACE_BACKEND``).  The
+    catalog, the calibration, and the per-user activity mix are computed
+    by shared code and are bit-identical across backends; only the
+    per-session draws differ stream-wise, preserving every modeled
+    distribution.  Returns a :class:`~repro.trace.records.Trace` sorted
+    by session start time: sampling proceeds in per-hour buckets with
+    random intra-hour offsets (so the raw sample stream is unordered
+    within an hour), and the chronological invariant is restored before
+    construction (the python path by ``Trace``'s sort, the numpy path by
+    an explicit lexsort).
     """
+    backend = resolve_trace_backend(backend)
     streams = RandomStreams(model.seed)
     catalog, release_flags = _build_catalog(model, streams)
     rate = calibrate_sessions_per_user_per_day(model, catalog, release_flags)
@@ -502,10 +608,17 @@ def generate_trace(model: PowerInfoModel) -> Trace:
     shares = model.normalized_diurnal()
     daily_sessions = rate * model.n_users
 
+    user_cum = _user_activity_cumulative(model, streams)
+
+    if backend == "numpy":
+        from repro.trace.vectorized import generate_records_numpy
+
+        return generate_records_numpy(
+            model, catalog, release_flags, daily_sessions, shares, user_cum
+        )
+
     program_sampler = _HourlyProgramSampler(model, catalog, release_flags)
     length_sampler = _SessionLengthSampler(model)
-
-    user_cum = _user_activity_cumulative(model, streams)
 
     rng_counts = streams.get("hourly-counts")
     rng_times = streams.get("event-times")
@@ -541,6 +654,11 @@ def generate_trace(model: PowerInfoModel) -> Trace:
 
 
 @lru_cache(maxsize=3)
+def _cached_trace(model: PowerInfoModel, backend: str) -> Trace:
+    """Backend-keyed memo behind :func:`cached_trace`."""
+    return generate_trace(model, backend=backend)
+
+
 def cached_trace(model: PowerInfoModel) -> Trace:
     """Memoized :func:`generate_trace`, keyed by the (frozen) model.
 
@@ -549,8 +667,11 @@ def cached_trace(model: PowerInfoModel) -> Trace:
     profile's workload is generated once per process no matter which
     API drives the run.  The cache is tiny (traces are tens of MB at
     medium scale); distinct models beyond its size simply regenerate.
+    The resolved generator backend is part of the key, so flipping
+    ``REPRO_TRACE_BACKEND`` mid-process can never serve a stale
+    other-backend trace.
     """
-    return generate_trace(model)
+    return _cached_trace(model, resolve_trace_backend())
 
 
 def _user_activity_cumulative(model: PowerInfoModel, streams: RandomStreams) -> List[float]:
@@ -562,7 +683,12 @@ def _user_activity_cumulative(model: PowerInfoModel, streams: RandomStreams) -> 
     """
     if model.user_activity_sigma <= 0:
         step = 1.0 / model.n_users
-        return [step * (i + 1) for i in range(model.n_users)]
+        out = [step * (i + 1) for i in range(model.n_users)]
+        # float slop can leave step * n fractionally below 1.0, and a
+        # uniform draw in that sliver would bisect past the last user;
+        # pin the tail exactly like dist.cumulative does.
+        out[-1] = 1.0
+        return out
     rng = streams.get("user-activity")
     sigma = model.user_activity_sigma
     weights = [rng.lognormvariate(0.0, sigma) for _ in range(model.n_users)]

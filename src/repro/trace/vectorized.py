@@ -1,0 +1,266 @@
+"""Vectorized (numpy) backend of the synthetic trace generator.
+
+:func:`repro.trace.synthetic.generate_trace` dispatches here when the
+resolved backend is ``"numpy"`` (``REPRO_TRACE_BACKEND`` / the CLI's
+``--trace-backend`` flag).  The catalog, the Little's-law calibration,
+and the per-user activity cumulative arrive precomputed from the shared
+pure-python prologue, so both backends agree on them bit-for-bit; this
+module replaces only the per-session sampling loop with whole-trace
+batch draws:
+
+* one vectorized Poisson call for every hourly arrival count;
+* one uniform batch for all intra-hour start offsets;
+* user picks as a single ``searchsorted`` over the activity cumulative;
+* program picks per simulated hour (the hourly popularity refresh of
+  ``_HourlyProgramSampler`` is kept -- decay moves on day scales, so the
+  cumulative is rebuilt once per hour and each hour's picks are one
+  ``searchsorted`` batch);
+* session lengths as a full-view mask plus truncated-lognormal
+  inverse-CDF batches grouped by distinct program length, using a
+  vectorized port of the same Acklam inverse-normal approximation the
+  scalar path uses.
+
+Determinism: every batch draws from its own ``numpy`` PCG64 generator
+seeded by :func:`repro.sim.random_streams.derive_seed` of the model seed
+and a ``"numpy-..."``-prefixed stream name, so the backend is
+bit-reproducible for a given model (and deliberately *not* stream-
+compatible with the python backend -- equivalence is distribution-level,
+pinned by ``tests/trace/test_backends.py``).
+
+Records land in a :class:`~repro.trace.records.Trace` through the
+columnar ``Trace.from_columns`` path after an explicit lexsort on
+``(start_time, user_id, program_id)``, skipping the list constructor's
+re-sort and per-record catalog scan.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.sim.random_streams import derive_seed
+from repro.trace import distributions as dist
+from repro.trace.records import Catalog, Trace
+from repro.trace.synthetic import PowerInfoModel, _decay_factor  # noqa: F401
+
+#: Clamp applied to inverse-CDF arguments, mirroring the scalar
+#: TruncatedLogNormal.sample guard against float-boundary u values.
+_PPF_EPS = 1e-12
+
+
+def _rng(seed: int, name: str) -> np.random.Generator:
+    """A named, independently seeded generator (numpy-side streams)."""
+    return np.random.Generator(np.random.PCG64(derive_seed(seed, f"numpy-{name}")))
+
+
+def _normal_ppf(p: np.ndarray) -> np.ndarray:
+    """Vectorized Acklam inverse normal CDF (mirrors dist.normal_ppf).
+
+    ``p`` must already be clamped inside the open interval; the three
+    rational-approximation regions are evaluated per element.
+    """
+    a, b = dist._A, dist._B
+    c, d = dist._C, dist._D
+    out = np.empty_like(p)
+
+    low = p < dist._P_LOW
+    high = p > dist._P_HIGH
+    mid = ~(low | high)
+
+    if low.any():
+        q = np.sqrt(-2.0 * np.log(p[low]))
+        out[low] = (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if high.any():
+        q = np.sqrt(-2.0 * np.log(1.0 - p[high]))
+        out[high] = -(
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if mid.any():
+        q = p[mid] - 0.5
+        r = q * q
+        out[mid] = (
+            ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+        ) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    return out
+
+
+def _program_picks(
+    model: PowerInfoModel,
+    catalog: Catalog,
+    release_flags: Sequence[bool],
+    counts: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Program ids for every session, grouped by simulated hour.
+
+    The instantaneous weight of a program at an hour's midpoint is
+    ``zipf * decay(age)`` for releases and ``zipf`` for back-catalog,
+    exactly as ``_HourlyProgramSampler._refresh`` computes it (including
+    the all-weights-vanished fallback to the static Zipf mix).
+    """
+    n = len(catalog)
+    zipf = np.asarray(
+        dist.zipf_weights(n, model.zipf_exponent,
+                          shift=model.zipf_shift_fraction * n)
+    )
+    introduced = np.fromiter((p.introduced_at for p in catalog), dtype=np.float64,
+                             count=n)
+    release = np.asarray(release_flags, dtype=bool)
+    tau = model.decay_tau_days * units.SECONDS_PER_DAY
+    floor = model.decay_floor
+
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    programs = np.empty(int(counts.sum()), dtype=np.int64)
+    active_hours = np.nonzero(counts)[0]
+    # Hour-chunked 2D refresh: one (chunk x catalog) decay/cumsum pass
+    # replaces per-hour small-array calls, while the chunk bound keeps
+    # the intermediate matrices a few MB even at paper scale.
+    chunk_hours = max(1, min(len(active_hours), 2_000_000 // max(n, 1)))
+    for start in range(0, len(active_hours), chunk_hours):
+        hours = active_hours[start:start + chunk_hours]
+        midpoints = (hours + 0.5) * units.SECONDS_PER_HOUR
+        age = midpoints[:, None] - introduced[None, :]
+        decay = floor + (1.0 - floor) * np.exp(-np.maximum(age, 0.0) / tau)
+        decay[age < 0.0] = 0.0
+        weights = np.where(release[None, :], decay * zipf[None, :],
+                           zipf[None, :])
+        cum = np.cumsum(weights, axis=1)
+        totals = cum[:, -1]
+        # Pathological window (every program introduced later): the
+        # scalar sampler falls back to the static Zipf mix too.
+        dead = totals <= 0.0
+        if dead.any():
+            cum[dead] = np.cumsum(zipf)
+            totals = cum[:, -1]
+        cum /= totals[:, None]
+        cum[:, -1] = 1.0
+        for row, hour in enumerate(hours):
+            lo, hi = offsets[hour], offsets[hour + 1]
+            programs[lo:hi] = np.searchsorted(cum[row], rng.random(hi - lo),
+                                              side="left")
+    return programs
+
+
+def _session_durations(
+    model: PowerInfoModel,
+    program_lengths: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Watched durations: full-view atom + truncated lognormal body.
+
+    Body draws are inverse-CDF batches grouped by distinct program
+    length (the catalog has a handful), each restricted to the same
+    ``[min(min_session, L/2), L]`` band as the scalar sampler.
+    """
+    total = program_lengths.size
+    mu, sigma = model.short_session_mu, model.short_session_sigma
+    full_mask = rng.random(total) < model.full_view_probability
+    durations = np.where(full_mask, program_lengths, 0.0)
+
+    body_idx = np.nonzero(~full_mask)[0]
+    body_u = rng.random(body_idx.size)
+    body_len = program_lengths[body_idx]
+    for length in np.unique(body_len):
+        lower = min(model.min_session_seconds, length / 2.0)
+        cdf_lo = dist.normal_cdf((math.log(lower) - mu) / sigma)
+        cdf_hi = dist.normal_cdf((math.log(length) - mu) / sigma)
+        if cdf_hi - cdf_lo <= 1e-12:
+            # Mirror TruncatedLogNormal's zero-mass guard: the scalar
+            # backend refuses this window, so silently pinning every
+            # draw to the boundary here would break backend parity.
+            raise ConfigurationError(
+                f"truncation window [{lower}, {length}] carries no "
+                f"probability mass for LogNormal(mu={mu}, sigma={sigma})"
+            )
+        group = body_len == length
+        u = cdf_lo + body_u[group] * (cdf_hi - cdf_lo)
+        u = np.clip(u, _PPF_EPS, 1.0 - _PPF_EPS)
+        values = np.exp(mu + sigma * _normal_ppf(u))
+        durations[body_idx[group]] = np.clip(values, lower, length)
+    return durations
+
+
+def generate_records_numpy(
+    model: PowerInfoModel,
+    catalog: Catalog,
+    release_flags: Sequence[bool],
+    daily_sessions: float,
+    shares: List[float],
+    user_cum: Sequence[float],
+) -> Trace:
+    """Sample every session of ``model`` in whole-trace batches.
+
+    Called by :func:`repro.trace.synthetic.generate_trace` with the
+    shared prologue's outputs (catalog, calibrated daily session rate,
+    normalized diurnal shares, user-activity cumulative).
+    """
+    seed = model.seed
+    total_hours = int(math.ceil(model.days * units.HOURS_PER_DAY))
+    window_end = model.duration_seconds
+
+    lam = daily_sessions * np.asarray(shares)[
+        np.arange(total_hours) % units.HOURS_PER_DAY
+    ]
+    counts = _rng(seed, "hourly-counts").poisson(lam)
+    total = int(counts.sum())
+    if total == 0:
+        return Trace([], catalog, n_users=model.n_users)
+
+    hour_of = np.repeat(np.arange(total_hours), counts)
+    starts = (
+        hour_of * float(units.SECONDS_PER_HOUR)
+        + _rng(seed, "event-times").random(total) * units.SECONDS_PER_HOUR
+    )
+    keep = starts < window_end
+    if not keep.all():
+        # Only the trailing partial hour can overshoot; like the scalar
+        # path, the dropped arrivals consume no further draws.
+        starts = starts[keep]
+        hour_of = hour_of[keep]
+        counts = np.bincount(hour_of, minlength=total_hours)
+        total = starts.size
+        if total == 0:
+            return Trace([], catalog, n_users=model.n_users)
+
+    # Sort the starts *before* drawing the remaining columns: a start's
+    # value pins its hour, so sorting never crosses the per-hour count
+    # boundaries the program sampler groups by, and assigning iid
+    # user/program/duration draws to time-ordered arrivals is the same
+    # distribution as assigning them to draw-ordered arrivals.  The
+    # trace then comes out chronological with no global lexsort and no
+    # four-column gather at the end.
+    starts.sort()
+
+    users = np.searchsorted(
+        np.asarray(user_cum), _rng(seed, "event-users").random(total), side="left"
+    )
+    programs = _program_picks(model, catalog, release_flags, counts,
+                              _rng(seed, "event-programs"))
+    lengths = np.fromiter((p.length_seconds for p in catalog), dtype=np.float64,
+                          count=len(catalog))
+    durations = _session_durations(model, lengths[programs],
+                                   _rng(seed, "event-lengths"))
+
+    if total > 1 and bool((starts[1:] == starts[:-1]).any()):
+        # Two identical float starts (vanishingly rare with continuous
+        # draws, but possible): fall back to the full-key sort so the
+        # (start, user, program) contract holds exactly, not just the
+        # start ordering.
+        order = np.lexsort((programs, users, starts))
+        starts, users = starts[order], users[order]
+        programs, durations = programs[order], durations[order]
+
+    return Trace.from_columns(
+        starts.tolist(),
+        users.tolist(),
+        programs.tolist(),
+        durations.tolist(),
+        catalog,
+        model.n_users,
+    )

@@ -29,7 +29,12 @@ from functools import lru_cache
 from repro.errors import ConfigurationError
 from repro.trace.records import Trace
 from repro.trace.scaling import scale_catalog, scale_population
-from repro.trace.synthetic import PowerInfoModel, cached_trace, generate_trace
+from repro.trace.synthetic import (
+    PowerInfoModel,
+    cached_trace,
+    generate_trace,
+    resolve_trace_backend,
+)
 
 
 @dataclass(frozen=True)
@@ -88,16 +93,18 @@ class Workload:
 # interleaving factors merely re-applies a linear-time transform.
 
 @lru_cache(maxsize=1)
-def _cached_population_trace(model: PowerInfoModel, factor: int) -> Trace:
+def _cached_population_trace(model: PowerInfoModel, factor: int,
+                             backend: str) -> Trace:
     """The population-scaled intermediate, shared across catalog factors."""
     return scale_population(cached_trace(model), factor)
 
 
 @lru_cache(maxsize=1)
-def _cached_transformed_trace(workload: Workload) -> Trace:
+def _cached_transformed_trace(workload: Workload, backend: str) -> Trace:
     """Memoized transform composition for non-identity workloads."""
     if workload.population_x > 1:
-        base = _cached_population_trace(workload.model, workload.population_x)
+        base = _cached_population_trace(workload.model, workload.population_x,
+                                        backend)
     else:
         base = cached_trace(workload.model)
     return scale_catalog(base, workload.catalog_x)
@@ -111,8 +118,11 @@ def cached_workload_trace(workload: Workload) -> Trace:
     replays "the trace of this model" keeps sharing one generation per
     process.  Transformed traces are cached in a deliberately small LRU
     (scaled traces are up to ``population_x`` times the base trace);
-    evicted entries simply re-apply the linear-time transforms.
+    evicted entries simply re-apply the linear-time transforms.  Like
+    ``cached_trace``, entries key on the resolved generator backend so
+    a mid-process ``REPRO_TRACE_BACKEND`` flip never serves a stale
+    other-backend transform.
     """
     if workload.is_identity:
         return cached_trace(workload.model)
-    return _cached_transformed_trace(workload)
+    return _cached_transformed_trace(workload, resolve_trace_backend())

@@ -2,11 +2,36 @@
 
 from __future__ import annotations
 
+import contextlib
+import os
+
 import pytest
 
 from repro import units
 from repro.trace.records import Catalog, Program, SessionRecord, Trace
 from repro.trace.synthetic import PowerInfoModel, generate_trace
+
+
+@contextlib.contextmanager
+def preserved_trace_backend():
+    """Restore the generator-backend override and env var on exit.
+
+    For tests that pin or flip ``REPRO_TRACE_BACKEND`` (directly or via
+    CLI flags): whatever override/env the test run started with comes
+    back afterwards, so backend choices never leak across test files.
+    """
+    from repro.trace import synthetic
+
+    prev_override = synthetic._backend_override
+    prev_env = os.environ.get("REPRO_TRACE_BACKEND")
+    try:
+        yield
+    finally:
+        synthetic._backend_override = prev_override
+        if prev_env is None:
+            os.environ.pop("REPRO_TRACE_BACKEND", None)
+        else:
+            os.environ["REPRO_TRACE_BACKEND"] = prev_env
 
 
 def make_catalog(lengths_minutes=(30, 60, 100, 120), copies=1):

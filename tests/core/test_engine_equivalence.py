@@ -123,9 +123,9 @@ class TestSerialSweepTraceCaching:
         calls = []
         real_generate = synthetic.generate_trace
 
-        def counting(requested):
+        def counting(requested, backend=None):
             calls.append(requested)
-            return real_generate(requested)
+            return real_generate(requested, backend=backend)
 
         monkeypatch.setattr(synthetic, "generate_trace", counting)
         first = run_many(model, [_config(LFUSpec()), _config(LRUSpec())],

@@ -1,0 +1,202 @@
+"""Zero-copy sweep hand-off: attach vs. regenerate, proven equivalent.
+
+The acceptance contract for the shared-trace path: multi-worker sweeps
+must produce rows bit-identical to the serial and the regenerate paths,
+and workers must genuinely *attach* -- the count-the-generations tests
+pin that no worker calls the generator when a share is published.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.parallel import SimulationTask, iter_task_results
+from repro.trace import synthetic, workload as workload_mod
+from repro.trace.synthetic import PowerInfoModel
+from repro.trace.workload import Workload, cached_workload_trace
+
+MODEL = PowerInfoModel(n_users=220, n_programs=40, days=2.0, seed=411)
+
+needs_fork = pytest.mark.skipif(
+    mp.get_start_method(allow_none=False) != "fork",
+    reason="generation counting propagates to workers via fork only",
+)
+
+
+def _tasks():
+    base = SimulationConfig(neighborhood_size=60, warmup_days=0.5)
+    from dataclasses import replace
+
+    return [
+        SimulationTask(workload=Workload(model=MODEL), config=base,
+                       baselines=("no_cache",)),
+        SimulationTask(workload=Workload(model=MODEL),
+                       config=replace(base, neighborhood_size=110)),
+        SimulationTask(workload=Workload(model=MODEL, population_x=2),
+                       config=base),
+        SimulationTask(workload=Workload(model=MODEL), config=base),
+    ]
+
+
+def _fingerprint(outcomes):
+    return [
+        (result.counters, result.peak_server_gbps(),
+         tuple(sorted(baselines.items())))
+        for result, baselines in outcomes
+    ]
+
+
+def _clear_trace_caches():
+    synthetic._cached_trace.cache_clear()
+    workload_mod._cached_population_trace.cache_clear()
+    workload_mod._cached_transformed_trace.cache_clear()
+
+
+class TestBitIdentity:
+    def test_shared_rows_match_serial(self):
+        serial = _fingerprint(iter_task_results(_tasks(), workers=1))
+        shared = _fingerprint(iter_task_results(_tasks(), workers=2))
+        assert shared == serial
+
+    def test_shared_rows_match_regenerate(self, monkeypatch):
+        shared = _fingerprint(iter_task_results(_tasks(), workers=2))
+        monkeypatch.setenv("REPRO_TRACE_SHARE", "off")
+        regenerated = _fingerprint(iter_task_results(_tasks(), workers=2))
+        assert shared == regenerated
+
+    def test_shared_rows_match_regenerate_python_backend(self, monkeypatch):
+        # The acceptance comparison pinned to the pure-python generator:
+        # attach and regenerate must agree bit-for-bit there too.
+        monkeypatch.setenv("REPRO_TRACE_BACKEND", "python")
+        shared = _fingerprint(iter_task_results(_tasks(), workers=2))
+        monkeypatch.setenv("REPRO_TRACE_SHARE", "off")
+        regenerated = _fingerprint(iter_task_results(_tasks(), workers=2))
+        assert shared == regenerated
+
+
+@needs_fork
+class TestCountTheGenerations:
+    def test_workers_attach_instead_of_regenerating(self, monkeypatch):
+        # Parent publishes each distinct workload once; a worker that
+        # fell back to regeneration would bump the fork-shared counter.
+        _clear_trace_caches()
+        generations = mp.Value("i", 0)
+        real_generate = synthetic.generate_trace
+
+        def counting(model, backend=None):
+            with generations.get_lock():
+                generations.value += 1
+            return real_generate(model, backend=backend)
+
+        monkeypatch.setattr(synthetic, "generate_trace", counting)
+        outcomes = _fingerprint(iter_task_results(_tasks(), workers=2))
+        assert len(outcomes) == len(_tasks())
+        # One parent-side generation covers everything: the shared base
+        # workload is published for its three tasks, and the singleton
+        # population_x=2 task transforms the fork-inherited base trace.
+        assert generations.value == 1
+
+    def test_regenerate_path_pays_per_worker(self, monkeypatch):
+        # The same sweep with sharing off: cold workers regenerate, so
+        # the counter exceeds the single parent-side generation -- the
+        # cost the share removes.
+        _clear_trace_caches()
+        generations = mp.Value("i", 0)
+        real_generate = synthetic.generate_trace
+
+        def counting(model, backend=None):
+            with generations.get_lock():
+                generations.value += 1
+            return real_generate(model, backend=backend)
+
+        monkeypatch.setattr(synthetic, "generate_trace", counting)
+        monkeypatch.setenv("REPRO_TRACE_SHARE", "off")
+        outcomes = _fingerprint(iter_task_results(_tasks(), workers=2))
+        assert len(outcomes) == len(_tasks())
+        assert generations.value >= 2
+
+    def test_poisoned_generator_proves_attach(self, monkeypatch):
+        # The strongest form: pre-generate in the parent, then make any
+        # further generation fatal.  The sweep only completes if shared
+        # workloads attach to the published columns (and singletons get
+        # by on the fork-inherited memo) -- no worker regenerates.
+        for task in _tasks():
+            cached_workload_trace(task.workload)
+
+        def exploding(model, backend=None):
+            raise AssertionError("a worker regenerated a shared trace")
+
+        monkeypatch.setattr(synthetic, "generate_trace", exploding)
+        outcomes = _fingerprint(iter_task_results(_tasks(), workers=2))
+        assert len(outcomes) == len(_tasks())
+
+
+class TestFallback:
+    def test_publish_failure_falls_back_to_regeneration(self, monkeypatch):
+        # An unwritable share target must degrade, not fail the sweep.
+        from repro.core import parallel
+
+        def failing_publish(trace, directory=None):
+            raise OSError("tmp is full")
+
+        monkeypatch.setattr(parallel, "publish_trace", failing_publish)
+        serial = _fingerprint(iter_task_results(_tasks(), workers=1))
+        degraded = _fingerprint(iter_task_results(_tasks(), workers=2))
+        assert degraded == serial
+
+    def test_stale_handle_falls_back_in_worker(self, monkeypatch):
+        # A handle whose file vanished mid-sweep degrades worker-side.
+        from repro.core.parallel import _execute_shared
+        from repro.trace.share import TraceShareHandle
+
+        task = _tasks()[0]
+        gone = TraceShareHandle(path="/nonexistent/trace.cols",
+                                n_records=1, n_programs=1, n_users=1)
+        result, baselines = _execute_shared((task, gone))
+        ref, ref_baselines = _execute_shared((task, None))
+        assert result.counters == ref.counters
+        assert baselines == ref_baselines
+
+    def test_share_files_cleaned_up(self, tmp_path, monkeypatch):
+        import glob
+        import tempfile
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        outcomes = _fingerprint(iter_task_results(_tasks(), workers=2))
+        assert len(outcomes) == len(_tasks())
+        assert glob.glob(str(tmp_path / "repro-trace-*")) == []
+
+
+class TestPublishPolicy:
+    def test_only_shared_workloads_published(self):
+        from repro.core.parallel import _publish_task_traces
+        from repro.trace.share import unlink_trace
+
+        handles = _publish_task_traces(_tasks())
+        try:
+            # The base workload backs three tasks -> published; the
+            # population_x=2 singleton stays on the worker-side path
+            # (publishing it would only serialize the sweep's start).
+            assert set(handles) == {Workload(model=MODEL)}
+        finally:
+            for handle in handles.values():
+                unlink_trace(handle)
+
+
+class TestBackendEnvRestore:
+    def test_clearing_override_restores_user_env(self, monkeypatch):
+        # A temporary --trace-backend pin must hand back whatever
+        # REPRO_TRACE_BACKEND the user had exported, not erase it.
+        import os
+
+        from repro.trace import synthetic
+
+        monkeypatch.setattr(synthetic, "_backend_override", None)
+        monkeypatch.setattr(synthetic, "_env_before_override", None)
+        monkeypatch.setenv("REPRO_TRACE_BACKEND", "python")
+        synthetic.set_trace_backend("auto")
+        assert os.environ["REPRO_TRACE_BACKEND"] == "auto"
+        synthetic.set_trace_backend(None)
+        assert os.environ["REPRO_TRACE_BACKEND"] == "python"
+        assert synthetic.resolve_trace_backend() == "python"

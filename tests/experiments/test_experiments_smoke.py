@@ -18,11 +18,25 @@ SMOKE = ExperimentProfile(name="smoke", scale=0.02, days=8.0, warmup_days=4.0)
 
 @pytest.fixture(scope="module")
 def results():
-    """Run every experiment once at the smoke profile."""
-    return {
-        experiment_id: module.run(SMOKE)
-        for experiment_id, module in all_experiments().items()
-    }
+    """Run every experiment once at the smoke profile.
+
+    Pinned to the reference python generator: at scale=0.02 the shape
+    assertions ride sampling noise (the fig14 1000-peer utilization
+    sits at ~100% of coax capacity here, ~65% at the fast profile), so
+    the fixture nails down the draw instead of asserting on whichever
+    backend happens to be importable.  Backend-vs-backend agreement is
+    covered statistically in tests/trace/test_backends.py.
+    """
+    from repro.trace.synthetic import set_trace_backend
+
+    from tests.conftest import preserved_trace_backend
+
+    with preserved_trace_backend():
+        set_trace_backend("python")
+        yield {
+            experiment_id: module.run(SMOKE)
+            for experiment_id, module in all_experiments().items()
+        }
 
 
 class TestRegistry:

@@ -267,3 +267,136 @@ class TestSessionArcs:
         sim.run()
         assert seen == [0]
         assert sim.pending_events == 0
+
+
+class TestPreloadedStartSlabs:
+    """Bulk session-start preloading: slab storage, identical ordering."""
+
+    def _equivalent_sims(self, times, payload_tag="s"):
+        """One simulator loaded via preload, one via at_fast, same log."""
+        logs = ([], [])
+        sims = (Simulator(), Simulator())
+        payloads = [f"{payload_tag}{i}" for i in range(len(times))]
+        sims[0].preload_starts(times, logs[0].append, payloads)
+        for time, payload in zip(times, payloads):
+            sims[1].at_fast(time, logs[1].append, payload)
+        return sims, logs
+
+    def test_preload_fires_in_column_order(self):
+        sim = Simulator()
+        fired = []
+        times = [10.0, 10.0, 299.0, 300.0, 911.0]
+        sim.preload_starts(times, fired.append, list(range(5)))
+        assert sim.pending_events == 5
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.pending_events == 0
+        assert sim.events_processed == 5
+
+    def test_preload_matches_at_fast_exactly(self):
+        times = [0.0, 5.0, 299.9, 300.0, 300.0, 601.0, 2_000.0]
+        (pre, fast), (pre_log, fast_log) = self._equivalent_sims(times)
+        pre.run()
+        fast.run()
+        assert pre_log == fast_log
+        assert pre.events_processed == fast.events_processed
+        assert pre.now == fast.now
+
+    def test_preload_interleaves_with_arcs_and_heap_like_at_fast(self):
+        # The full merge: preloaded starts + runtime arcs + heap events
+        # must execute in the same global order as the at_fast loading.
+        times = [50.0, 340.0, 340.0, 650.0]
+
+        def drive(sim, log, loader):
+            payloads = ["w", "x", "y", "z"]
+            if loader == "preload":
+                sim.preload_starts(times, lambda tag: log.append(("start", tag)),
+                                   payloads)
+            else:
+                for time, tag in zip(times, payloads):
+                    sim.at_fast(time, lambda t=tag: log.append(("start", t)))
+            sim.at(340.0, lambda: log.append(("heap", 340.0)))
+            sim.start_arc(310.0, lambda now, i: (log.append(("arc", now)), i < 2)[1])
+            sim.run()
+            return log
+
+        a = drive(Simulator(), [], "preload")
+        b = drive(Simulator(), [], "at_fast")
+        assert a == b
+        # Starts within an instant precede runtime events at it: the
+        # preloaded seq numbers stay below every runtime seq.
+        assert a.index(("start", "x")) < a.index(("heap", 340.0))
+
+    def test_preload_requires_fresh_simulator(self):
+        sim = Simulator()
+        sim.at_fast(10.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.preload_starts([5.0], lambda p: None, ["a"])
+
+    def test_preload_then_schedule_keeps_counting(self):
+        sim = Simulator()
+        log = []
+        sim.preload_starts([10.0, 400.0], log.append, ["a", "b"])
+        sim.at(10.0, log.append, "heap-after")  # scheduled later, fires later
+        sim.run()
+        assert log == ["a", "heap-after", "b"]
+
+    def test_horizon_leaves_unreached_slabs_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.preload_starts([10.0, 800.0, 5_000.0], fired.append, [1, 2, 3])
+        sim.run(until=900.0)
+        assert fired == [1, 2]
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == [1, 2, 3]
+
+    def test_empty_preload_is_noop(self):
+        sim = Simulator()
+        sim.preload_starts([], lambda p: None, [])
+        assert sim.pending_events == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_runtime_deposits_into_slab_tick_merge(self):
+        # An at_fast() deposit landing in a bucket that also holds a
+        # preloaded slab must interleave by time, not clobber it.
+        sim = Simulator()
+        log = []
+        sim.preload_starts([10.0, 620.0], log.append, ["early", "late"])
+
+        def plant():
+            sim.at_fast(610.0, log.append, "planted")
+
+        sim.at(15.0, plant)
+        sim.run()
+        assert log == ["early", "planted", "late"]
+
+    def test_preload_rejects_lazily_cancelled_state(self):
+        # Regression: a cancelled arc decrements the live count but
+        # leaves its entry (and tick) lazily deleted in the bucket;
+        # preloading over that state used to double-push the tick and
+        # KeyError mid-run.
+        sim = Simulator()
+        arc = sim.start_arc(300.0, lambda now, i: True)
+        sim.cancel_arc(arc)
+        assert sim.pending_events == 0
+        with pytest.raises(SimulationError):
+            sim.preload_starts([5.0, 400.0], lambda p: None, ["a", "b"])
+
+    def test_preload_rejects_past_starts(self):
+        # Parity with at_fast: the replaced loop raised on past times,
+        # so bulk loading must too instead of running the clock backward.
+        sim = Simulator(start_time=100.0)
+        with pytest.raises(SimulationError):
+            sim.preload_starts([5.0, 200.0], lambda p: None, ["a", "b"])
+
+    def test_preload_rejects_unsorted_times(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.preload_starts([100.0, 5.0], lambda p: None, ["a", "b"])
+
+    def test_preload_rejects_mismatched_columns(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.preload_starts([5.0, 10.0], lambda p: None, ["a"])

@@ -175,3 +175,64 @@ class TestScenarioCommands:
         err = capsys.readouterr().err
         assert "did you mean" in err
         assert "lfu" in err
+
+
+class TestDescribeFlat:
+    """--flat inlines the profile-scaled grid into one point axis."""
+
+    def test_flat_is_single_axis_and_expansion_identical(self, capsys):
+        from repro.experiments import get_experiment
+        from repro.scenario import Sweep
+
+        assert main(["describe", "fig11", "--profile", "fast", "--flat"]) == 0
+        flat = Sweep.from_json(capsys.readouterr().out)
+        nested = get_experiment("fig11").sweep()
+        assert [axis.name for axis in flat.axes] == ["point"]
+        assert len(flat) == len(nested)
+        # Same scenarios, same extra columns, same order: row-identical
+        # by construction once run.
+        assert flat.expand() == nested.expand()
+
+    def test_flat_grid_with_trace_transform_axes(self, capsys):
+        # fig15 sweeps the *workload* (population_x / catalog_x); the
+        # flattened form must inline those moves per point too.
+        from repro.experiments import get_experiment
+        from repro.scenario import Sweep
+
+        assert main(["describe", "fig15", "--profile", "fast", "--flat"]) == 0
+        flat = Sweep.from_json(capsys.readouterr().out)
+        assert flat.expand() == get_experiment("fig15").sweep().expand()
+        points = flat.axes[0].points
+        moved = [dict(point.sets) for point in points]
+        assert any("population_x" in sets for sets in moved)
+        assert any("catalog_x" in sets for sets in moved)
+
+    def test_flat_file_loads_like_any_sweep(self, capsys, tmp_path):
+        from repro.scenario import Sweep, load
+
+        assert main(["describe", "fig08", "--profile", "fast", "--flat"]) == 0
+        text = capsys.readouterr().out
+        path = tmp_path / "fig08_flat.json"
+        path.write_text(text)
+        loaded = load(path)
+        assert isinstance(loaded, Sweep)
+        assert loaded == Sweep.from_json(text)
+
+
+class TestTraceBackendFlag:
+    def test_flag_pins_backend_for_scenario_runs(self, capsys):
+        from repro.trace import synthetic
+
+        from tests.conftest import preserved_trace_backend
+
+        with preserved_trace_backend():
+            assert main(["run", str(SCENARIOS_DIR / "quickstart.json"),
+                         "--trace-backend", "python"]) == 0
+            assert synthetic.resolve_trace_backend() == "python"
+        out = capsys.readouterr().out
+        assert "server_gbps" in out
+
+    def test_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", str(SCENARIOS_DIR / "quickstart.json"),
+                  "--trace-backend", "fortran"])

@@ -1,0 +1,122 @@
+"""Trace share: columnar round-trip, corruption guards, gating."""
+
+import os
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.records import Trace
+from repro.trace.share import (
+    TraceShareHandle,
+    attach_trace,
+    publish_trace,
+    share_enabled,
+    unlink_trace,
+)
+from repro.trace.synthetic import PowerInfoModel, generate_trace
+
+
+@pytest.fixture(scope="module")
+def shared_pair():
+    model = PowerInfoModel(n_users=250, n_programs=40, days=2.0, seed=31)
+    trace = generate_trace(model)
+    handle = publish_trace(trace)
+    yield trace, handle
+    unlink_trace(handle)
+
+
+class TestRoundTrip:
+    def test_records_identical(self, shared_pair):
+        trace, handle = shared_pair
+        attached = attach_trace(handle)
+        assert list(attached) == list(trace)
+
+    def test_metadata_identical(self, shared_pair):
+        trace, handle = shared_pair
+        attached = attach_trace(handle)
+        assert attached.n_users == trace.n_users
+        assert len(attached.catalog) == len(trace.catalog)
+        assert [
+            (p.program_id, p.length_seconds, p.introduced_at)
+            for p in attached.catalog
+        ] == [
+            (p.program_id, p.length_seconds, p.introduced_at)
+            for p in trace.catalog
+        ]
+
+    def test_attached_trace_queries_work(self, shared_pair):
+        trace, handle = shared_pair
+        attached = attach_trace(handle)
+        assert attached.sessions_per_program() == trace.sessions_per_program()
+        assert attached.end_time == trace.end_time
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        from tests.conftest import make_catalog
+
+        empty = Trace([], make_catalog(), n_users=5)
+        handle = publish_trace(empty, directory=str(tmp_path))
+        try:
+            attached = attach_trace(handle)
+            assert len(attached) == 0
+            assert attached.n_users == 5
+            assert len(attached.catalog) == len(empty.catalog)
+        finally:
+            unlink_trace(handle)
+
+    def test_publish_respects_directory(self, shared_pair, tmp_path):
+        trace, _ = shared_pair
+        handle = publish_trace(trace, directory=str(tmp_path))
+        try:
+            assert os.path.dirname(handle.path) == str(tmp_path)
+        finally:
+            unlink_trace(handle)
+
+
+class TestGuards:
+    def test_truncated_file_rejected(self, shared_pair, tmp_path):
+        trace, handle = shared_pair
+        clipped = tmp_path / "clipped.cols"
+        clipped.write_bytes(
+            open(handle.path, "rb").read()[:-16]
+        )
+        bad = TraceShareHandle(path=str(clipped), n_records=handle.n_records,
+                               n_programs=handle.n_programs,
+                               n_users=handle.n_users)
+        with pytest.raises(TraceError):
+            attach_trace(bad)
+
+    def test_mismatched_header_rejected(self, shared_pair):
+        _, handle = shared_pair
+        lying = TraceShareHandle(path=handle.path,
+                                 n_records=handle.n_records - 1,
+                                 n_programs=handle.n_programs,
+                                 n_users=handle.n_users)
+        with pytest.raises(TraceError):
+            attach_trace(lying)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        gone = TraceShareHandle(path=str(tmp_path / "gone.cols"),
+                                n_records=1, n_programs=1, n_users=1)
+        with pytest.raises(OSError):
+            attach_trace(gone)
+
+    def test_unlink_idempotent(self, tmp_path):
+        handle = TraceShareHandle(path=str(tmp_path / "x.cols"),
+                                  n_records=0, n_programs=0, n_users=0)
+        unlink_trace(handle)
+        unlink_trace(handle)
+
+
+class TestGating:
+    def test_default_is_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SHARE", raising=False)
+        assert share_enabled()
+
+    def test_off_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SHARE", "off")
+        assert not share_enabled()
+
+    def test_unknown_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SHARE", "maybe")
+        with pytest.raises(TraceError):
+            share_enabled()

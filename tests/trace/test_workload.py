@@ -51,3 +51,23 @@ class TestCachedMatchesUncached:
         workload = Workload(model=MODEL, population_x=2, catalog_x=2)
         assert cached_workload_trace(workload) is cached_workload_trace(
             workload)
+
+
+class TestBackendKeying:
+    def test_transformed_memo_keys_on_backend(self, monkeypatch):
+        # Flipping REPRO_TRACE_BACKEND mid-process must rebuild the
+        # transformed trace from the right backend's base trace, not
+        # serve the other backend's records from the LRU.
+        from repro.trace import synthetic
+        from repro.trace.synthetic import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy not importable")
+        monkeypatch.setattr(synthetic, "_backend_override", None)
+        workload = Workload(model=MODEL, population_x=2)
+        monkeypatch.setenv("REPRO_TRACE_BACKEND", "python")
+        via_python = cached_workload_trace(workload)
+        monkeypatch.setenv("REPRO_TRACE_BACKEND", "numpy")
+        via_numpy = cached_workload_trace(workload)
+        assert list(via_python) != list(via_numpy)
+        assert_same_trace(via_numpy, workload.build())
