@@ -29,6 +29,10 @@ from pathlib import Path
 #: better for all of them (they are wall-clock seconds).
 RECORDED_METRICS = (
     ("end_to_end_s", ("end_to_end", "bucket_s")),
+    # Columnar drain (PR 6): the batched replay core on the same
+    # end-to-end workload.  Absent on pure-python hosts; recorded but
+    # not gated, like every non-default-engine metric.
+    ("end_to_end_columnar_s", ("end_to_end", "columnar_s")),
     ("cache_lfu_s", ("cache", "lfu_decisions_s")),
     ("cache_requests_s", ("cache", "index_requests_s")),
     # Trace pipeline (PR 5): generator backends plus the sweep-worker

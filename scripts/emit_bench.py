@@ -14,7 +14,9 @@ rebuilt:
 * cache-path throughput -- windowed-LFU membership decisions and the
   index server's full request/fill path, both on the policy engine
   (PR 2), compared against the recorded PR-1 classic-path baseline;
-* end-to-end replay -- one full system run on each engine path;
+* end-to-end replay -- one full system run on each engine path (heap,
+  bucket, and -- when numpy is importable -- columnar), with drain
+  throughput reported as events/s per engine;
 * sweep wall-clock -- the same config sweep serial vs. multi-worker
   (with the worker count and CPU count recorded, since a single-CPU
   host cannot show parallel speedup).
@@ -53,6 +55,7 @@ from repro.core.config import SimulationConfig  # noqa: E402
 from repro.core.meter import HourlyMeter  # noqa: E402
 from repro.core.parallel import run_many  # noqa: E402
 from repro.core.runner import run_simulation  # noqa: E402
+from repro.core.system import columnar_supported  # noqa: E402
 from repro.peers.settop import SetTopBox  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
 from repro.topology.hfc import Neighborhood  # noqa: E402
@@ -360,13 +363,31 @@ def main() -> int:
                        repeats=2)
     bucket_e2e = best_of(lambda: run_simulation(trace, config, engine="bucket"),
                          repeats=2)
+    # Drain throughput: all three engines process the identical event
+    # stream (the equivalence suite pins bit-identity), so events/s is
+    # directly comparable across them.
+    drain_events = run_simulation(trace, config, engine="bucket").events_processed
     report["end_to_end"] = {
         "users": users,
         "days": days,
+        "events": drain_events,
         "heap_s": round(heap_e2e, 3),
         "bucket_s": round(bucket_e2e, 3),
+        "heap_events_per_s": round(drain_events / heap_e2e),
+        "bucket_events_per_s": round(drain_events / bucket_e2e),
         "speedup": round(heap_e2e / bucket_e2e, 2),
     }
+    if columnar_supported():
+        columnar_e2e = best_of(
+            lambda: run_simulation(trace, config, engine="columnar"), repeats=2
+        )
+        report["end_to_end"]["columnar_s"] = round(columnar_e2e, 3)
+        report["end_to_end"]["columnar_events_per_s"] = round(
+            drain_events / columnar_e2e
+        )
+        report["end_to_end"]["columnar_speedup_vs_bucket"] = round(
+            bucket_e2e / columnar_e2e, 2
+        )
     if not args.quick:
         # Same workload (1500 users / 6 days / seed 5) as the recorded
         # PR-1 interleaved baseline.
@@ -384,8 +405,10 @@ def main() -> int:
             neighborhood_size=FAST.neighborhood_size(1_000),
             warmup_days=FAST.warmup_days,
         )
-        fast_s = best_of(lambda: run_simulation(fast_trace, fast_config),
-                         repeats=2)
+        fast_s = best_of(
+            lambda: run_simulation(fast_trace, fast_config, engine="bucket"),
+            repeats=2,
+        )
         report["fast_profile_run"] = {
             "bucket_s": round(fast_s, 2),
             "seed_s": SEED_REFERENCE["fast_profile_run_s"],
@@ -393,6 +416,19 @@ def main() -> int:
                 SEED_REFERENCE["fast_profile_run_s"] / fast_s, 2
             ),
         }
+        if columnar_supported():
+            fast_columnar_s = best_of(
+                lambda: run_simulation(fast_trace, fast_config,
+                                       engine="columnar"),
+                repeats=2,
+            )
+            report["fast_profile_run"]["columnar_s"] = round(fast_columnar_s, 2)
+            report["fast_profile_run"]["columnar_speedup_vs_bucket"] = round(
+                fast_s / fast_columnar_s, 2
+            )
+            report["fast_profile_run"]["columnar_speedup_vs_seed"] = round(
+                SEED_REFERENCE["fast_profile_run_s"] / fast_columnar_s, 2
+            )
 
     # ---- sweep (serial vs. workers) -----------------------------------
     configs = [

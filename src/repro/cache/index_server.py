@@ -100,6 +100,19 @@ _SERVER_MISS = DeliveryOutcome("server")
 _SERVER_MISS_FILLED = DeliveryOutcome("server", filled=True)
 _SERVER_BUSY = DeliveryOutcome("server", busy_miss=True)
 
+#: Integer outcome codes returned by :meth:`IndexServer.request_segment_code`
+#: (the columnar engine's delivery path).  The columnar walk collects one
+#: code per delivery and derives every counter :meth:`request_segment`
+#: would have bumped in a single ``bincount`` per neighborhood, so the
+#: per-request path sheds both the outcome object and the stat updates.
+CODE_LOCAL = 0
+CODE_PEER = 1
+CODE_BUSY = 2
+CODE_MISS = 3
+CODE_MISS_FILL_SKIP = 4
+CODE_MISS_FILLED = 5
+N_OUTCOME_CODES = 6
+
 
 @dataclass
 class IndexServerStats:
@@ -275,6 +288,59 @@ class IndexServer:
         if self._try_fill(now, program_id, segment_index, watch_seconds):
             return _SERVER_MISS_FILLED
         return _SERVER_MISS
+
+    def request_segment_code(
+        self,
+        now: float,
+        user_id: int,
+        program_id: int,
+        segment_index: int,
+        watch_seconds: float,
+    ) -> int:
+        """:meth:`request_segment` for the columnar walk.
+
+        Performs the exact same sequence of state changes (channel
+        leases, fill captures, membership-set bookkeeping) but returns
+        one of the ``CODE_*`` integers and bumps **no** stats: the
+        columnar engine derives every counter from the collected code
+        stream after the walk (``core/system.py``).  Keep this method
+        a line-for-line mirror of :meth:`request_segment` /
+        :meth:`_try_fill` minus the stat updates.
+        """
+        stored = self._stored.get(program_id)
+        if stored is not None and segment_index in stored:
+            assignment = self._placement.holders(program_id)
+        else:
+            assignment = None
+
+        if assignment is not None:
+            holder = assignment[segment_index]
+            if holder.box_id == user_id:
+                return CODE_LOCAL
+            if holder.try_open_stream(now, watch_seconds):
+                return CODE_PEER
+            return CODE_BUSY
+
+        if program_id not in self._strategy:
+            return CODE_MISS
+        assignment = self._placement.holders(program_id)
+        if assignment is None:
+            return CODE_MISS
+        stored = self._stored.setdefault(program_id, set())
+        if segment_index in stored:  # pragma: no cover - guarded above
+            return CODE_MISS
+        if segment_index < self._segment_counts[program_id] - 1:
+            play_seconds = units.SEGMENT_SECONDS
+        else:
+            play_seconds = (self._lengths[program_id]
+                            - segment_index * units.SEGMENT_SECONDS)
+        if watch_seconds + 1e-9 < play_seconds:
+            return CODE_MISS_FILL_SKIP
+        box = assignment[segment_index]
+        if not box.try_open_stream(now, watch_seconds):
+            return CODE_MISS_FILL_SKIP
+        stored.add(segment_index)
+        return CODE_MISS_FILLED
 
     def _try_fill(
         self, now: float, program_id: int, segment_index: int, watch_seconds: float

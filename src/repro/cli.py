@@ -12,6 +12,7 @@ Usage::
     repro-vod describe fig08 --profile fast
     repro-vod describe fig15 --flat > fig15_grid.json
     repro-vod fig08 --trace-backend python
+    repro-vod run examples/scenarios/quickstart.json --engine columnar
     python -m repro.cli fig15
 
 Experiments print their paper-style table plus the paper's expected
@@ -103,6 +104,21 @@ def _add_trace_backend_flag(parser: argparse.ArgumentParser) -> None:
             "when importable, pure python otherwise). Backends agree on "
             "every modeled distribution but draw different random "
             "streams, so switching changes individual records."
+        ),
+    )
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=("auto", "columnar", "bucket", "heap", "python"),
+        help=(
+            "event-engine override for the loaded file: columnar "
+            "(vectorized, needs numpy), bucket (scalar reference), heap "
+            "(legacy), auto (columnar when available, else bucket), or "
+            "python (alias for bucket). All engines produce bit-identical "
+            "results, so this only affects speed."
         ),
     )
 
@@ -235,6 +251,7 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
                         help="also write the result rows as CSV")
     _add_workers_flag(parser)
     _add_trace_backend_flag(parser)
+    _add_engine_flag(parser)
     args = parser.parse_args(argv)
 
     from repro.scenario import Scenario, load, run_sweep
@@ -242,6 +259,20 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
     _apply_workers(args.workers)
     _apply_trace_backend(args.trace_backend)
     loaded = load(args.file)
+    if args.engine is not None:
+        # Scenarios carry an explicit engine field, so a process-level
+        # default would never reach them; rewrite the loaded object with
+        # the flag's choice instead (aliases resolved to a concrete
+        # engine first, since the scenario schema only accepts those).
+        from dataclasses import replace
+
+        from repro.core.runner import resolve_engine
+
+        concrete = resolve_engine(args.engine)
+        if isinstance(loaded, Scenario):
+            loaded = replace(loaded, engine=concrete)
+        else:
+            loaded = replace(loaded, base=replace(loaded.base, engine=concrete))
     started = time.perf_counter()
     if isinstance(loaded, Scenario):
         rows = run_sweep(loaded)

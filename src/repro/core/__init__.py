@@ -18,8 +18,12 @@ from repro.core.config import SimulationConfig
 from repro.core.meter import HourlyMeter
 from repro.core.parallel import run_many
 from repro.core.results import SimulationCounters, SimulationResult
-from repro.core.runner import run_simulation
-from repro.core.system import CableVoDSystem
+from repro.core.runner import (
+    resolve_engine,
+    run_simulation,
+    set_default_engine,
+)
+from repro.core.system import CableVoDSystem, columnar_supported
 
 __all__ = [
     "SimulationConfig",
@@ -28,5 +32,8 @@ __all__ = [
     "SimulationResult",
     "run_simulation",
     "run_many",
+    "resolve_engine",
+    "set_default_engine",
+    "columnar_supported",
     "CableVoDSystem",
 ]

@@ -24,14 +24,16 @@ a workload the scenario runner already built -- and callers get
 bit-identical counters and meter buckets regardless of worker count.
 
 Since the zero-copy hand-off (:mod:`repro.trace.share`), regeneration
-is the *fallback*, not the norm: before fanning out, the parent
-serializes each workload that multiple tasks share into a mapped
-column file and ships workers a tiny
-:class:`~repro.trace.share.TraceShareHandle` next to each such task
-(a singleton workload is generated once either way, so it stays on
-the worker-side path rather than serializing the sweep's start).  Workers attach to the mapped columns (the OS page
-cache is the shared memory) instead of regenerating, which turns
-per-worker generator cost into a single parent-side publish.  The
+is the *fallback*, not the norm: the parent serializes each workload
+that multiple tasks share into a mapped column file -- lazily, when the
+workload's first task is dispatched, so publishes overlap running
+simulations instead of serializing the sweep's start -- and ships
+workers a tiny :class:`~repro.trace.share.TraceShareHandle` next to
+each such task (a singleton workload is generated once either way, so
+it stays on the worker-side path).  Workers attach to the mapped
+columns (the OS page cache is the shared memory) instead of
+regenerating, which turns per-worker generator cost into a single
+parent-side publish.  The
 regenerate path remains for one-worker runs, for hosts where the share
 file cannot be written, and under ``REPRO_TRACE_SHARE=off`` -- and is
 bit-identical to the attach path by construction (the columns are the
@@ -75,7 +77,11 @@ class SimulationTask:
         Deployment and policy knobs for the run.
     engine:
         Event-engine path forwarded to
-        :func:`~repro.core.runner.run_simulation`.
+        :func:`~repro.core.runner.run_simulation`; ``None`` (default)
+        lets the running process resolve it (override / ``REPRO_ENGINE``
+        / ``"bucket"``) -- and since
+        :func:`~repro.core.runner.set_default_engine` mirrors into the
+        environment, spawned pool workers resolve the same engine.
     baselines:
         Names of baseline metrics (:data:`repro.baselines.registry`)
         to compute from this task's trace; the values come back in the
@@ -84,7 +90,7 @@ class SimulationTask:
 
     workload: Workload
     config: SimulationConfig
-    engine: str = "bucket"
+    engine: Optional[str] = None
     baselines: Tuple[str, ...] = ()
 
 
@@ -244,40 +250,51 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
-def _publish_task_traces(
+def _iter_task_payloads(
     tasks: Sequence[SimulationTask],
-) -> Dict[Workload, TraceShareHandle]:
-    """Publish one column file per *shared* workload among ``tasks``.
+    handles: Dict[Workload, TraceShareHandle],
+) -> Iterator[Tuple[SimulationTask, Optional[TraceShareHandle]]]:
+    """Yield ``(task, handle)`` pairs, publishing shared workloads lazily.
 
     Only workloads referenced by two or more tasks are published: a
     singleton workload costs one generation either way (ordered
     dispatch hands all its tasks to one worker's memo), so publishing
-    it here would just serialize that generation into the parent before
-    the pool even starts -- the fig15 grid, where every cell is its own
-    workload, would stream nothing for the whole prelude.  For the
-    published ones, generation happens through the same memoized path
-    serial runs use (a trace the scenario runner already built is
+    it would just serialize that generation into the parent.  Each
+    shared workload is published when its *first* task is dispatched --
+    ``imap``'s feeder thread consumes this generator concurrently with
+    the workers, so later publishes overlap earlier tasks' simulations
+    instead of all K serializations running up front before the pool
+    sees any work (and an abandoned sweep never publishes the tail it
+    never dispatched).  Generation happens through the same memoized
+    path serial runs use (a trace the scenario runner already built is
     serialized straight from cache) and the object trace is released
     back to the LRU right after: only the flat file (mapped,
-    page-cache-shared) stays for the sweep's duration.  Any failure to
-    write (full tmp, unwritable dir) abandons sharing entirely and the
-    sweep falls back to worker-side regeneration.
+    page-cache-shared) stays for the sweep's duration.
+
+    The caller owns ``handles`` (and their unlinking): entries appear
+    as publishes happen.  The first failure to write (full tmp,
+    unwritable dir) stops further publishing -- already-published
+    handles keep serving their tasks; everything else degrades to
+    worker-side regeneration, bit-identically.
     """
     references: Dict[Workload, int] = {}
     for task in tasks:
         references[task.workload] = references.get(task.workload, 0) + 1
-    handles: Dict[Workload, TraceShareHandle] = {}
-    try:
-        for workload, count in references.items():
-            if count > 1:
-                handles[workload] = publish_trace(
+    give_up = False
+    for task in tasks:
+        workload = task.workload
+        handle = handles.get(workload)
+        if handle is None and not give_up and references[workload] > 1:
+            try:
+                # Late-bound module global so tests (and callers) can
+                # monkeypatch the publish path.
+                handles[workload] = handle = publish_trace(
                     cached_workload_trace(workload)
                 )
-    except OSError:
-        for handle in handles.values():
-            unlink_trace(handle)
-        return {}
-    return handles
+            except OSError:
+                give_up = True
+                handle = None
+        yield task, handle
 
 
 def iter_task_results(
@@ -310,12 +327,16 @@ def iter_task_results(
 
     import multiprocessing as mp
 
-    handles = _publish_task_traces(tasks) if share_enabled() else {}
+    handles: Dict[Workload, TraceShareHandle] = {}
     try:
-        payloads = [(task, handles.get(task.workload)) for task in tasks]
+        if share_enabled():
+            payloads = _iter_task_payloads(tasks, handles)
+        else:
+            payloads = ((task, None) for task in tasks)
         context = mp.get_context()
         # Pool.__exit__ terminates outstanding work, so abandoning the
-        # generator mid-stream cleans the workers up too.
+        # generator mid-stream cleans the workers up too -- and joins
+        # the imap feeder thread, so no publish races the unlink below.
         with context.Pool(processes=workers) as pool:
             # chunksize=1: tasks vary wildly in cost (population
             # transforms multiply event counts; cache sizes change hit
@@ -331,7 +352,7 @@ def run_many(
     trace_model: Union[PowerInfoModel, Workload],
     configs: Sequence[SimulationConfig],
     workers: Optional[int] = None,
-    engine: str = "bucket",
+    engine: Optional[str] = None,
 ) -> List[SimulationResult]:
     """Run every config against one shared workload, ``workers`` at a time.
 
@@ -347,8 +368,9 @@ def run_many(
     workers:
         Process count (``None``: the default; ``0``: one per CPU).
     engine:
-        Event-engine path forwarded to every run (see
-        :func:`~repro.core.runner.run_simulation`).
+        Event-engine path forwarded to every run; ``None`` resolves
+        through :func:`~repro.core.runner.resolve_engine` in whichever
+        process executes the task.
     """
     if isinstance(trace_model, Workload):
         workload = trace_model

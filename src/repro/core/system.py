@@ -16,6 +16,7 @@ trace through it:
 
 from __future__ import annotations
 
+import os
 import time as _time
 from typing import Dict, List
 
@@ -34,11 +35,32 @@ from repro.topology.placement import place_users
 from repro.trace.records import SessionRecord, Trace
 
 
-#: Engine selectors: ``"bucket"`` replays sessions as tick-bucketed
-#: arcs (the fast path); ``"heap"`` is the legacy one-heap-event-per-
-#: segment chain, kept for equivalence testing.  Both produce
-#: bit-identical counters and meter buckets for the same trace/config.
-ENGINE_MODES = ("bucket", "heap")
+#: Engine selectors: ``"columnar"`` precomputes the whole event stream
+#: as numpy arrays and batches metering/counting (the fast path when
+#: numpy is available); ``"bucket"`` replays sessions as tick-bucketed
+#: arcs (the scalar reference and the fallback); ``"heap"`` is the
+#: legacy one-heap-event-per-segment chain, kept for equivalence
+#: testing.  All three produce bit-identical counters and meter buckets
+#: for the same trace/config.
+ENGINE_MODES = ("bucket", "heap", "columnar")
+
+
+def columnar_supported() -> bool:
+    """Whether the columnar engine can run in this interpreter.
+
+    Mirrors the trace backend gate: ``REPRO_ENGINE=python`` forces the
+    scalar engines (the escape hatch the numpy-absent CI leg sets), and
+    without numpy there is nothing to vectorize with.  When this is
+    False a requested ``"columnar"`` engine silently demotes to
+    ``"bucket"`` -- safe because the two are bit-identical.
+    """
+    if os.environ.get("REPRO_ENGINE") == "python":
+        return False
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - exercised via monkeypatch
+        return False
+    return True
 
 
 class CableVoDSystem:
@@ -54,6 +76,8 @@ class CableVoDSystem:
             raise SimulationError(
                 f"unknown engine {engine!r}; choose from {ENGINE_MODES}"
             )
+        if engine == "columnar" and not columnar_supported():
+            engine = "bucket"
         self._trace = trace
         self._config = config
         self._engine = engine
@@ -306,21 +330,26 @@ class CableVoDSystem:
     def run(self) -> SimulationResult:
         """Replay the whole trace and collect the results."""
         started = _time.perf_counter()
-        if self._engine == "bucket":
-            # The trace's chronological invariant makes the whole start
-            # storm one slab preload: per-bucket slices of the trace's
-            # own columns, no per-session registration in the drain
-            # loop.  Bit-identical to an at_fast() loop over the records
-            # (tests/core/test_engine_equivalence.py).
-            self._sim.preload_starts(
-                self._trace.start_times,
-                self._start_session_fast,
-                self._trace.records,
-            )
+        if self._engine == "columnar":
+            events_processed = self._run_columnar()
         else:
-            for record in self._trace:
-                self._sim.at(record.start_time, self._start_session, record)
-        self._sim.run()
+            if self._engine == "bucket":
+                # The trace's chronological invariant makes the whole
+                # start storm one slab preload: per-bucket slices of the
+                # trace's own columns, no per-session registration in
+                # the drain loop.  Bit-identical to an at_fast() loop
+                # over the records
+                # (tests/core/test_engine_equivalence.py).
+                self._sim.preload_starts(
+                    self._trace.start_times,
+                    self._start_session_fast,
+                    self._trace.records,
+                )
+            else:
+                for record in self._trace:
+                    self._sim.at(record.start_time, self._start_session, record)
+            self._sim.run()
+            events_processed = self._sim.events_processed
 
         counters = SimulationCounters()
         for server in self._servers:
@@ -348,6 +377,158 @@ class CableVoDSystem:
             coax_meters=self._coax_meters,
             upstream_meters=self._upstream_meters,
             counters=counters,
-            events_processed=self._sim.events_processed,
+            events_processed=events_processed,
             wall_seconds=_time.perf_counter() - started,
         )
+
+    # ------------------------------------------------------------------
+    # Columnar replay
+    # ------------------------------------------------------------------
+
+    def _run_columnar(self) -> int:
+        """Replay the trace over its precomputed columnar schedule.
+
+        The schedule (:mod:`repro.sim.columnar`) already encodes every
+        event the drain loop would fire, in the engine's exact firing
+        order, so no event queue runs at all.  The walk below performs
+        only the *stateful* per-event work -- strategy decisions via
+        ``on_session_start``, channel leases, and the cache/placement
+        mutations inside ``request_segment_code`` -- and collects one
+        outcome code per delivery.  Everything derivable from the code
+        stream (per-neighborhood hit/miss counters, every hourly meter
+        bucket, server deliveries) is then computed in vectorized
+        post-passes that replay the identical float additions in the
+        identical order, keeping the engine bit-for-bit equal to
+        ``bucket``/``heap`` (tests/core/test_engine_equivalence.py).
+        """
+        import numpy as np
+
+        from repro.cache import index_server as idx
+        from repro.core.meter import expand_intervals
+        from repro.sim.columnar import cached_schedule
+
+        trace = self._trace
+        schedule = cached_schedule(trace, self._last_segment)
+        if schedule.n_events == 0:
+            return 0
+        starts, user_ids, program_ids, durations = trace.columns()
+
+        # Per-record derived columns: neighborhood of the requesting
+        # user and the playback-lease end time (the same ``start +
+        # duration`` float sum open_stream would compute).
+        user_col = np.asarray(user_ids, dtype=np.int64)
+        record_nbhd = np.asarray(self._user_neighborhood,
+                                 dtype=np.int64)[user_col]
+        lease_ends = (np.asarray(starts, dtype=np.float64)
+                      + np.asarray(durations, dtype=np.float64)).tolist()
+        event_nbhd = record_nbhd[schedule.rec]
+
+        # Walk op per event: 0 = session start delivering segment 0,
+        # 1 = session start whose first segment is float noise (session
+        # bookkeeping only), 2 = arc delivery.
+        op = np.where(schedule.is_start,
+                      np.where(schedule.delivered, 0, 1), 2)
+
+        # Bound-method and plain-list lookups hoisted out of the loop;
+        # .tolist() because iterating numpy arrays yields numpy scalars,
+        # which are several times slower in the interpreter.
+        session_starts = [s.on_session_start for s in self._servers]
+        request_code = [s.request_segment_code for s in self._servers]
+        lease_of_user = [None] * trace.n_users
+        for boxes in self._boxes:
+            for user_id, box in boxes.items():
+                lease_of_user[user_id] = box.grant_playback_lease
+        feed = self._feed
+        codes: List[int] = []
+        append_code = codes.append
+
+        for kind, now, watch, rec, nbhd, segment in zip(
+            op.tolist(), schedule.time.tolist(), schedule.watch.tolist(),
+            schedule.rec.tolist(), event_nbhd.tolist(),
+            schedule.segment.tolist(),
+        ):
+            if kind == 2:
+                append_code(request_code[nbhd](
+                    now, user_ids[rec], program_ids[rec], segment, watch
+                ))
+            else:
+                user_id = user_ids[rec]
+                program_id = program_ids[rec]
+                if feed is not None:
+                    feed.record(now, program_id, nbhd)
+                session_starts[nbhd](now, user_id, program_id)
+                lease_of_user[user_id](lease_ends[rec])
+                if kind == 0:
+                    append_code(request_code[nbhd](
+                        now, user_id, program_id, 0, watch
+                    ))
+
+        # ---- counters from the code stream ---------------------------
+        delivered = schedule.delivered
+        codes_arr = np.asarray(codes, dtype=np.int64)
+        deliver_nbhd = event_nbhd[delivered]
+        n_servers = len(self._servers)
+        n_codes = idx.N_OUTCOME_CODES
+        pair_counts = np.bincount(
+            deliver_nbhd * n_codes + codes_arr,
+            minlength=n_servers * n_codes,
+        ).reshape(n_servers, n_codes)
+        for server, row in zip(self._servers, pair_counts):
+            local, peer, busy, miss, skip, filled = (int(c) for c in row)
+            stats = server.stats
+            stats.segment_requests += local + peer + busy + miss + skip + filled
+            stats.local_hits += local
+            stats.peer_hits += peer
+            stats.busy_misses += busy
+            stats.server_deliveries += busy + miss + skip + filled
+            stats.cold_misses += miss + skip + filled
+            stats.fill_skips += skip
+            stats.fills += filled
+        from_server = codes_arr >= idx.CODE_BUSY
+        self._media_server.deliveries += int(from_server.sum())
+
+        # ---- meters from the delivery stream -------------------------
+        if codes_arr.size:
+            event_ids, hours, bits = expand_intervals(
+                schedule.time[delivered], schedule.watch[delivered]
+            )
+            n_hours = int(hours.max()) + 1
+
+            def fill(meter, dense) -> None:
+                # Dense accumulation replayed the scalar addition order
+                # per bucket (np.add.at is order-preserving); one add of
+                # each sum into the fresh meter is exact (0 + v == v).
+                nonzero = np.flatnonzero(dense)
+                if nonzero.size:
+                    meter.add_bits_bulk(nonzero.tolist(),
+                                        dense[nonzero].tolist())
+
+            dense = np.zeros(n_hours)
+            np.add.at(dense, hours, bits)
+            fill(self._total_meter, dense)
+
+            row_nbhd = deliver_nbhd[event_ids]
+            row_code = codes_arr[event_ids]
+
+            on_coax = row_code != idx.CODE_LOCAL
+            dense = np.zeros(n_servers * n_hours)
+            np.add.at(dense, row_nbhd[on_coax] * n_hours + hours[on_coax],
+                      bits[on_coax])
+            dense = dense.reshape(n_servers, n_hours)
+            for neighborhood_id, meter in self._coax_meters.items():
+                fill(meter, dense[neighborhood_id])
+
+            upstream = row_code == idx.CODE_PEER
+            dense = np.zeros(n_servers * n_hours)
+            np.add.at(dense, row_nbhd[upstream] * n_hours + hours[upstream],
+                      bits[upstream])
+            dense = dense.reshape(n_servers, n_hours)
+            for neighborhood_id, meter in self._upstream_meters.items():
+                fill(meter, dense[neighborhood_id])
+
+            server_rows = row_code >= idx.CODE_BUSY
+            dense = np.zeros(n_hours)
+            np.add.at(dense, hours[server_rows], bits[server_rows])
+            fill(self._media_server.meter, dense)
+
+        return schedule.n_events

@@ -170,6 +170,18 @@ class SetTopBox:
         self._lease_ends.append(now + duration_seconds)
         return True
 
+    def grant_playback_lease(self, end_time: float) -> None:
+        """Unconditionally lease a channel until ``end_time``.
+
+        The columnar walk's spelling of
+        ``open_stream(now, duration, enforce_limit=False)`` for the
+        viewer's own playback stream, with the ``now + duration`` sum
+        hoisted into the engine's precomputed session-end column: the
+        index server never denies a subscriber their own session, so no
+        sweep and no limit check are needed.
+        """
+        self._lease_ends.append(end_time)
+
     def open_stream(self, now: float, duration_seconds: float,
                     enforce_limit: bool = True) -> float:
         """Occupy one channel for ``duration_seconds`` starting at ``now``.

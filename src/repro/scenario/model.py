@@ -38,7 +38,7 @@ from repro.trace.synthetic import PowerInfoModel
 from repro.trace.workload import Workload
 
 #: Event-engine paths accepted by :func:`repro.core.runner.run_simulation`.
-ENGINES = ("bucket", "heap")
+ENGINES = ("bucket", "heap", "columnar")
 
 #: Component fields serialized even when they equal their defaults --
 #: the identity of a workload / deployment a reader wants to see.
@@ -145,8 +145,10 @@ class Scenario:
     config:
         Deployment and policy knobs (neighborhood, storage, strategy).
     engine:
-        Event-engine path, ``"bucket"`` (default) or ``"heap"``; both
-        are bit-identical, the heap path exists for equivalence tests.
+        Event-engine path: ``"bucket"`` (default), ``"heap"``, or
+        ``"columnar"`` (vectorized; silently falls back to ``bucket``
+        when numpy is unavailable).  All are bit-identical, so the
+        choice only affects speed.
     seed:
         Optional workload-seed override; ``None`` uses ``trace.seed``.
         Sweeping this axis re-runs one scenario over fresh workloads.

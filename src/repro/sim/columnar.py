@@ -1,0 +1,238 @@
+"""Columnar replay schedule: the drain loop's event stream, precomputed.
+
+The replay's event schedule is *static*: a session's segment flow is
+fully determined by its trace record (start, duration) and its program's
+segment count, and nothing an event does can cancel or reschedule
+another event.  The bucket engine already exploits per-session
+determinism (one :class:`~repro.sim.tickqueue.SessionArc` instead of a
+heap entry per segment); this module exploits whole-trace determinism:
+every event the drain loop would fire -- with its exact global ordering
+-- can be computed up front as flat numpy arrays.  The walk over those
+arrays (``CableVoDSystem._run_columnar``) then performs only the
+*stateful* per-event work (strategy decisions, channel leases, cache
+fills) while metering and outcome counting move to vectorized
+post-passes.
+
+Ordering contract (must match :mod:`repro.sim.engine` +
+:mod:`repro.sim.tickqueue` exactly):
+
+* global firing order is lexicographic ``(time, seq)``;
+* session start ``i`` (record ``i`` of the sorted trace) has
+  ``seq == i`` (``preload_sorted`` rebases the shared counter past the
+  slab);
+* every event that *deposits* a continuation draws the next counter
+  value for its child at its own firing -- so arc-event seqs depend on
+  how starts and continuations interleave.
+
+The structural fact that makes seq assignment batchable: a continuation
+fires exactly ``SEGMENT_SECONDS`` after its parent, and the tick width
+*is* ``SEGMENT_SECONDS``, so a child always lands in a strictly later
+tick bucket than its parent (for any time ``t >= 300 * B``, the float
+sum ``t + 300.0`` is ``>= 300 * (B + 1)``, which is exactly
+representable).  Walking buckets in time order therefore sees every
+member's seq already assigned; one lexsort per bucket reproduces the
+engine's firing order, and the counter values its deposits draw follow
+from that order.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import List, Sequence
+
+from repro import units
+
+_SEG = float(units.SEGMENT_SECONDS)
+_EPS = 1e-6
+
+
+def _floor_div_exact(values, width: float):
+    """True mathematical floor of ``values / width`` as int64.
+
+    ``np.floor(values / width)`` can be off by one when a value sits
+    within a rounding error of a multiple of ``width``, while Python's
+    float ``//`` (fmod-corrected) never is.  One correction step each
+    way restores the exact floor: the quotient is always within one of
+    the truth, and ``q * width`` is exact for the magnitudes involved
+    (integer-valued products far below 2**53).
+    """
+    import numpy as np
+
+    q = np.floor(values / width)
+    q[q * width > values] -= 1.0
+    q[(q + 1.0) * width <= values] += 1.0
+    return q.astype(np.int64)
+
+
+class ColumnarSchedule:
+    """The full event stream of one trace replay, in firing order.
+
+    ``n_events`` counts every event the scalar engines would fire,
+    including trailing arc steps that deliver nothing (the float-noise
+    guard in the drain loop); the parallel arrays exclude those no-ops,
+    since they mutate no state.  ``rec`` / ``time`` / ``watch`` /
+    ``segment`` describe the remaining events in exact firing order;
+    ``is_start`` marks session starts (which do session bookkeeping
+    even when nothing is delivered) and ``delivered`` marks events that
+    request a segment (false only for starts whose first segment is
+    float noise).
+    """
+
+    __slots__ = ("n_events", "rec", "time", "watch", "segment",
+                 "is_start", "delivered")
+
+    def __init__(self, n_events: int, rec, time, watch, segment,
+                 is_start, delivered) -> None:
+        self.n_events = n_events
+        self.rec = rec
+        self.time = time
+        self.watch = watch
+        self.segment = segment
+        self.is_start = is_start
+        self.delivered = delivered
+
+
+def build_schedule(
+    start_times: Sequence[float],
+    durations: Sequence[float],
+    program_ids: Sequence[int],
+    last_segment_by_program: Sequence[int],
+) -> ColumnarSchedule:
+    """Precompute the drain loop's event stream for one trace.
+
+    Every float here reproduces the scalar engines' arithmetic
+    operation for operation (same operands, same associativity), just
+    elementwise over the whole trace -- which is what makes the
+    columnar engine bit-identical rather than merely close.
+    """
+    import numpy as np
+
+    s = np.asarray(start_times, dtype=np.float64)
+    d = np.asarray(durations, dtype=np.float64)
+    p = np.asarray(program_ids, dtype=np.int64)
+    n = s.size
+    if n == 0:
+        empty_f = np.empty(0, dtype=np.float64)
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_b = np.empty(0, dtype=np.bool_)
+        return ColumnarSchedule(0, empty_i, empty_f, empty_f.copy(),
+                                empty_i.copy(), empty_b, empty_b.copy())
+    last = np.asarray(last_segment_by_program, dtype=np.int64)[p]
+    e = s + d
+
+    # ------------------------------------------------------------------
+    # Level-major expansion: level k is "the event that would deliver
+    # segment k" -- level 0 the session start, level k > 0 the
+    # (k-1)-th arc step.  Iterating levels (bounded by the longest
+    # program) with the whole trace vectorized mirrors the scalar
+    # per-event stepping: watch capping, the 1e-6 sliver guard, and the
+    # continuation test use the exact scalar expressions.
+    # ------------------------------------------------------------------
+    level_rec: List[np.ndarray] = []
+    level_time: List[np.ndarray] = []
+    level_watch: List[np.ndarray] = []
+    level_del: List[np.ndarray] = []
+    level_cont: List[np.ndarray] = []
+    alive = np.arange(n, dtype=np.int64)
+    t = s
+    k = 0
+    while alive.size:
+        watch = e[alive] - t
+        np.minimum(watch, _SEG, out=watch)
+        delivered = watch > _EPS
+        cont = delivered & (k < last[alive]) & (e[alive] > (t + _SEG) + _EPS)
+        level_rec.append(alive)
+        level_time.append(t)
+        level_watch.append(watch)
+        level_del.append(delivered)
+        level_cont.append(cont)
+        alive = alive[cont]
+        # Iterative accumulation, never a closed form: the engine's arc
+        # deposit computes each next tick as ``time + width``.
+        t = t[cont] + _SEG
+        k += 1
+
+    sizes = [a.size for a in level_rec]
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    total = int(offsets[-1])
+    flat_rec = np.concatenate(level_rec)
+    flat_time = np.concatenate(level_time)
+    flat_watch = np.concatenate(level_watch)
+    flat_del = np.concatenate(level_del)
+    flat_level = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+
+    # Child pointer: the j-th continuing event of level k (in level-array
+    # order) is the parent of the j-th event of level k + 1, because
+    # ``alive[k+1] = alive[k][cont[k]]`` preserves order.
+    child = np.full(total, -1, dtype=np.int64)
+    for level in range(len(sizes) - 1):
+        parents = np.flatnonzero(level_cont[level]) + offsets[level]
+        child[parents] = offsets[level + 1] + np.arange(
+            sizes[level + 1], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------
+    # Seq assignment: walk tick buckets in time order.  Start seqs are
+    # the record indices (slab preload); each bucket's firing order is
+    # its (time, seq) sort, and its depositing members hand the next
+    # counter values to their children -- which, living in strictly
+    # later buckets, are always assigned before they are ordered.
+    # ------------------------------------------------------------------
+    bucket = _floor_div_exact(flat_time, _SEG)
+    order = np.argsort(bucket, kind="stable")
+    sorted_buckets = bucket[order]
+    cuts = np.flatnonzero(sorted_buckets[1:] != sorted_buckets[:-1]) + 1
+    group_starts = np.concatenate(
+        (np.zeros(1, dtype=np.int64), cuts, np.asarray([total], dtype=np.int64))
+    )
+    seq = np.empty(total, dtype=np.int64)
+    seq[:n] = np.arange(n, dtype=np.int64)
+    firing = np.empty(total, dtype=np.int64)
+    has_child = child >= 0
+    next_seq = n
+    pos = 0
+    for g in range(group_starts.size - 1):
+        members = order[group_starts[g]:group_starts[g + 1]]
+        members = members[np.lexsort((seq[members], flat_time[members]))]
+        firing[pos:pos + members.size] = members
+        pos += members.size
+        depositors = members[has_child[members]]
+        if depositors.size:
+            seq[child[depositors]] = next_seq + np.arange(
+                depositors.size, dtype=np.int64
+            )
+            next_seq += depositors.size
+
+    # Arc steps whose watch collapsed to float noise fire but mutate
+    # nothing -- drop them from the walk, keep them in the event count.
+    keep = flat_del[firing] | (flat_level[firing] == 0)
+    walk = firing[keep]
+    return ColumnarSchedule(
+        n_events=total,
+        rec=flat_rec[walk],
+        time=flat_time[walk],
+        watch=flat_watch[walk],
+        segment=flat_level[walk],
+        is_start=flat_level[walk] == 0,
+        delivered=flat_del[walk],
+    )
+
+
+#: Per-trace schedule memo.  The schedule depends only on the trace and
+#: its catalog (segment counts), never on the deployment config, so a
+#: config sweep over one workload builds it once.  Weak keys: an entry
+#: dies with its trace, and the workload LRUs upstream bound how many
+#: traces are alive at once.
+_schedule_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def cached_schedule(trace, last_segment_by_program: Sequence[int]) -> ColumnarSchedule:
+    """The (memoized) columnar schedule for ``trace``."""
+    schedule = _schedule_cache.get(trace)
+    if schedule is None:
+        starts, _, program_ids, durations = trace.columns()
+        schedule = build_schedule(starts, durations, program_ids,
+                                  last_segment_by_program)
+        _schedule_cache[trace] = schedule
+    return schedule

@@ -28,6 +28,15 @@ Design notes
   cost to a couple of dict operations.
 * ``run(until=...)`` supports horizons so experiments can meter a warm
   window and stop.
+* When the whole event schedule is *static* -- nothing cancels or
+  reschedules anything, as in trace replay -- the drain loop itself can
+  be skipped: :mod:`repro.sim.columnar` precomputes the entire
+  ``(time, seq)``-ordered event stream as flat arrays (including the
+  exact sequence numbers this engine's shared counter would assign),
+  which is what ``engine="columnar"`` walks instead of running this
+  loop.  The ordering contract documented here is therefore load-
+  bearing for that module too: any change to the merge rule or the
+  counter discipline must be mirrored there.
 """
 
 from __future__ import annotations

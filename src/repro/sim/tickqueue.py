@@ -35,6 +35,13 @@ queue, record ``i`` simply *is* sequence number ``i``, which is exactly
 what a per-record :meth:`push` loop would have assigned: the resulting
 execution order is bit-identical, and buckets past a run's horizon
 never pay for materialization at all.
+
+The columnar engine (:mod:`repro.sim.columnar`) leans on two facts
+pinned here: start ``i`` holds sequence number ``i`` (the slab rebase),
+and an arc continuation deposited at ``time + tick_seconds`` always
+lands in a strictly later bucket than its parent -- so the whole
+bucket-by-bucket firing order can be reproduced without running the
+queue at all.
 """
 
 from __future__ import annotations

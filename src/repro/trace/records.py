@@ -180,6 +180,8 @@ class Trace:
             )
         self._n_users = n_users
         self._start_times = [r.start_time for r in self._records]
+        self._columns: Optional[Tuple[List[float], List[int], List[int],
+                                      List[float]]] = None
 
     # ------------------------------------------------------------------
     # Columnar construction (trusted fast path)
@@ -247,6 +249,11 @@ class Trace:
         trace._catalog = catalog
         trace._n_users = n_users
         trace._start_times = starts
+        # Seed the column cache from the caller's columns.  Materialize
+        # with list(): attach_trace hands in memoryviews over a mapped
+        # file whose buffer is released when the attach completes.
+        trace._columns = (starts, list(user_ids), list(program_ids),
+                          list(durations))
         return trace
 
     # ------------------------------------------------------------------
@@ -295,6 +302,26 @@ class Trace:
         internal list, not a copy -- treat it as immutable.
         """
         return self._records
+
+    def columns(self) -> Tuple[List[float], List[int], List[int], List[float]]:
+        """Parallel ``(start_times, user_ids, program_ids, durations)`` lists.
+
+        The trace's record stream as four read-only columns in record
+        order -- the columnar engine's input.  Built lazily on first use
+        and memoized (column-built traces arrive with the cache already
+        seeded), so replaying one trace across a config sweep extracts
+        the columns once.  Treat the lists as immutable views.
+        """
+        columns = self._columns
+        if columns is None:
+            records = self._records
+            columns = self._columns = (
+                self._start_times,
+                [r.user_id for r in records],
+                [r.program_id for r in records],
+                [r.duration_seconds for r in records],
+            )
+        return columns
 
     @property
     def start_time(self) -> float:

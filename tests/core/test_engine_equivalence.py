@@ -1,22 +1,28 @@
-"""The tick-bucket fast path must be bit-identical to the heap path.
+"""Every engine must be bit-identical to every other engine.
 
-The perf rebuild (session arcs + calendar buckets + meter fast path) is
-only admissible because it changes *nothing* observable: same trace +
-config must yield byte-for-byte equal counters and hourly meter buckets
-on both engines, and the parallel sweep runner must reproduce the
-serial rows exactly.
+The perf rebuilds (session arcs + calendar buckets + meter fast path,
+and now the columnar precomputed-schedule engine) are only admissible
+because they change *nothing* observable: same trace + config must
+yield byte-for-byte equal counters and hourly meter buckets on all
+engines, and the parallel sweep runner must reproduce the serial rows
+exactly.  The columnar engine additionally must fall back to ``bucket``
+bit-identically (trivially, since they are equal) when numpy is absent
+or ``REPRO_ENGINE=python`` closes the gate.
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
-from repro.cache.factory import LFUSpec, LRUSpec, OracleSpec
+from repro.cache.factory import LFUSpec, LRUSpec, OracleSpec, spec_from_name
+from repro.cache.policies import policy_names
 from repro.core.config import SimulationConfig
 from repro.core.parallel import run_many
-from repro.core.runner import run_simulation
-from repro.errors import SimulationError
-from repro.core.system import CableVoDSystem
+from repro.core.runner import resolve_engine, run_simulation, set_default_engine
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.system import CableVoDSystem, columnar_supported
 from repro.trace.synthetic import PowerInfoModel, generate_trace
 
 
@@ -54,11 +60,251 @@ class TestHeapBucketEquivalence:
         with pytest.raises(SimulationError):
             CableVoDSystem(tiny_trace, _config(), engine="quantum")
 
-    def test_default_engine_is_bucket(self, tiny_trace):
+    def test_default_engine_is_bucket(self, tiny_trace, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
         config = _config()
         default = run_simulation(tiny_trace, config)
         bucket = run_simulation(tiny_trace, config, engine="bucket")
         assert_identical(default, bucket)
+
+
+class TestColumnarEquivalence:
+    """The columnar engine against both scalar references.
+
+    Runs only where the gate is open (numpy importable and
+    ``REPRO_ENGINE`` not forcing python) -- on the numpy-absent CI leg
+    the fallback tests below carry the suite instead.
+    """
+
+    @pytest.mark.parametrize("policy", policy_names())
+    def test_three_way_for_every_registered_policy(self, tiny_trace, policy):
+        if not columnar_supported():
+            pytest.skip("columnar gate closed (no numpy or REPRO_ENGINE=python)")
+        config = _config(spec_from_name(policy))
+        heap = run_simulation(tiny_trace, config, engine="heap")
+        bucket = run_simulation(tiny_trace, config, engine="bucket")
+        columnar = run_simulation(tiny_trace, config, engine="columnar")
+        assert_identical(heap, bucket)
+        assert_identical(bucket, columnar)
+
+    def test_media_server_counters_match(self, tiny_trace):
+        if not columnar_supported():
+            pytest.skip("columnar gate closed")
+        config = _config()
+        systems = {
+            engine: CableVoDSystem(tiny_trace, config, engine=engine)
+            for engine in ("bucket", "columnar")
+        }
+        results = {engine: system.run() for engine, system in systems.items()}
+        assert_identical(results["bucket"], results["columnar"])
+        assert (systems["bucket"].media_server.deliveries
+                == systems["columnar"].media_server.deliveries)
+
+    def test_longer_trace_with_hour_spanning_meters(self, small_trace):
+        # The bigger fixture crosses many hour boundaries and exercises
+        # the split-interval path of the vectorized meter expansion.
+        if not columnar_supported():
+            pytest.skip("columnar gate closed")
+        config = _config()
+        bucket = run_simulation(small_trace, config, engine="bucket")
+        columnar = run_simulation(small_trace, config, engine="columnar")
+        assert_identical(bucket, columnar)
+
+    def test_parallel_columnar_matches_serial(self, tiny_model):
+        if not columnar_supported():
+            pytest.skip("columnar gate closed")
+        configs = [_config(LFUSpec()), _config(LRUSpec())]
+        parallel = run_many(tiny_model, configs, workers=2, engine="columnar")
+        trace = generate_trace(tiny_model)
+        serial = [run_simulation(trace, config, engine="columnar")
+                  for config in configs]
+        assert len(parallel) == len(serial)
+        for par, ser in zip(parallel, serial):
+            assert_identical(par, ser)
+
+    def test_empty_trace(self):
+        from repro.trace.records import Catalog, Program, Trace
+
+        if not columnar_supported():
+            pytest.skip("columnar gate closed")
+        trace = Trace([], Catalog([Program(0, 1800.0)]), n_users=4)
+        bucket = run_simulation(trace, _config(), engine="bucket")
+        columnar = run_simulation(trace, _config(), engine="columnar")
+        assert_identical(bucket, columnar)
+        assert columnar.events_processed == 0
+
+
+class TestColumnarFallback:
+    """``columnar`` must demote to ``bucket`` whenever the gate closes.
+
+    Demotion is *silent* (no error, no warning) precisely because the
+    engines are bit-identical -- these tests pin both the demotion and
+    the identity.
+    """
+
+    def test_repro_engine_python_forces_bucket(self, tiny_trace, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        assert not columnar_supported()
+        system = CableVoDSystem(tiny_trace, _config(), engine="columnar")
+        assert system._engine == "bucket"
+        assert_identical(system.run(),
+                         run_simulation(tiny_trace, _config(), engine="bucket"))
+
+    def test_numpy_absent_forces_bucket(self, tiny_trace, monkeypatch):
+        # sys.modules[name] = None makes ``import numpy`` raise
+        # ImportError -- the honest simulation of a numpy-less host.
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        assert not columnar_supported()
+        system = CableVoDSystem(tiny_trace, _config(), engine="columnar")
+        assert system._engine == "bucket"
+        result = system.run()
+        monkeypatch.undo()
+        assert_identical(result,
+                         run_simulation(tiny_trace, _config(), engine="bucket"))
+
+    def test_resolution_property_gate_never_changes_results(
+            self, tiny_trace, monkeypatch):
+        # Property over the whole gate surface: for every gate state,
+        # requesting "columnar" produces the bucket-identical result.
+        reference = run_simulation(tiny_trace, _config(), engine="bucket")
+        for close_gate in (
+            lambda: monkeypatch.setenv("REPRO_ENGINE", "python"),
+            lambda: monkeypatch.setitem(sys.modules, "numpy", None),
+            lambda: None,  # gate open: the real columnar path
+        ):
+            close_gate()
+            assert_identical(
+                run_simulation(tiny_trace, _config(), engine="columnar"),
+                reference,
+            )
+            monkeypatch.undo()
+
+
+class TestEngineResolution:
+    def test_default_chain(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine() == "bucket"
+        assert resolve_engine("heap") == "heap"
+        assert resolve_engine("python") == "bucket"
+
+    def test_env_variable_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        assert resolve_engine() == "heap"
+        monkeypatch.setenv("REPRO_ENGINE", "columnar")
+        assert resolve_engine() == ("columnar" if columnar_supported()
+                                    else "bucket")
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        assert resolve_engine() == "bucket"
+
+    def test_auto_tracks_the_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        if columnar_supported():
+            assert resolve_engine("auto") == "columnar"
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        assert resolve_engine("auto") == "bucket"
+
+    def test_unknown_names_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        with pytest.raises(ConfigurationError):
+            resolve_engine("quantum")
+        with pytest.raises(ConfigurationError):
+            set_default_engine("quantum")
+
+    def test_set_default_engine_mirrors_env_and_restores(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        try:
+            set_default_engine("bucket")
+            assert os.environ["REPRO_ENGINE"] == "bucket"
+            assert resolve_engine() == "bucket"
+            set_default_engine("auto")
+            assert os.environ["REPRO_ENGINE"] == "auto"
+            assert resolve_engine() in ("columnar", "bucket")
+        finally:
+            set_default_engine(None)
+        assert os.environ["REPRO_ENGINE"] == "heap"
+        assert resolve_engine() == "heap"
+
+    def test_clearing_without_override_is_a_noop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "heap")
+        set_default_engine(None)
+        import os
+
+        assert os.environ["REPRO_ENGINE"] == "heap"
+
+
+class TestColumnarInternals:
+    """Property tests for the numeric kernels the schedule relies on."""
+
+    def test_floor_div_exact_matches_python_floordiv(self):
+        if not columnar_supported():
+            pytest.skip("needs numpy")
+        import math
+
+        import numpy as np
+
+        from repro.sim.columnar import _floor_div_exact
+
+        values = []
+        for width in (300.0, 3600.0):
+            for k in range(0, 50, 7):
+                base = k * width
+                for _ in range(3):
+                    values.append(base)
+                    base = math.nextafter(base, math.inf)
+                base = k * width
+                for _ in range(3):
+                    base = math.nextafter(base, 0.0)
+                    values.append(base)
+            arr = np.asarray(values, dtype=np.float64)
+            expected = [int(v // width) for v in values]
+            assert _floor_div_exact(arr, width).tolist() == expected
+            values.clear()
+
+    def test_expand_intervals_matches_scalar_meter(self):
+        if not columnar_supported():
+            pytest.skip("needs numpy")
+        import random
+
+        import numpy as np
+
+        from repro.core.meter import HourlyMeter, expand_intervals
+
+        rng = random.Random(99)
+        starts, durations = [], []
+        for _ in range(500):
+            starts.append(rng.uniform(0.0, 50_000.0))
+            # Mix of sub-hour and multi-hour spans, plus boundary-huggers.
+            durations.append(rng.choice([
+                rng.uniform(1.0, 300.0),
+                rng.uniform(3_000.0, 9_000.0),
+                3600.0,
+            ]))
+        starts.append(7200.0)          # exactly on an hour boundary
+        durations.append(300.0)
+        scalar = HourlyMeter()
+        for start, duration in zip(starts, durations):
+            scalar.add_interval(start, duration)
+
+        _, hours, bits = expand_intervals(starts, durations)
+        dense = np.zeros(int(hours.max()) + 1)
+        np.add.at(dense, hours, bits)
+        vectorized = HourlyMeter()
+        nonzero = np.flatnonzero(dense)
+        vectorized.add_bits_bulk(nonzero.tolist(), dense[nonzero].tolist())
+        assert vectorized.buckets() == scalar.buckets()
+
+    def test_schedule_is_cached_per_trace(self, tiny_trace):
+        if not columnar_supported():
+            pytest.skip("needs numpy")
+        from repro.sim.columnar import cached_schedule
+
+        last = [p.num_segments - 1 for p in tiny_trace.catalog]
+        assert cached_schedule(tiny_trace, last) is cached_schedule(
+            tiny_trace, last
+        )
 
 
 class TestWorkerDefaults:

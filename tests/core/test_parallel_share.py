@@ -7,6 +7,7 @@ pin that no worker calls the generator when a share is published.
 """
 
 import multiprocessing as mp
+import os
 
 import pytest
 
@@ -78,24 +79,32 @@ class TestBitIdentity:
 @needs_fork
 class TestCountTheGenerations:
     def test_workers_attach_instead_of_regenerating(self, monkeypatch):
-        # Parent publishes each distinct workload once; a worker that
-        # fell back to regeneration would bump the fork-shared counter.
+        # The parent generates each distinct *shared* workload exactly
+        # once -- lazily, when the pool's feeder thread pulls its first
+        # task -- and its three tasks all attach instead of counting
+        # worker-side generations.  The population_x=2 singleton is the
+        # priced-in exception: workers fork before the lazy publish
+        # generates anything, so the one unshared task rebuilds the
+        # base trace in its worker rather than riding a fork-inherited
+        # memo.
         _clear_trace_caches()
-        generations = mp.Value("i", 0)
+        parent_pid = os.getpid()
+        parent_generations = mp.Value("i", 0)
+        worker_generations = mp.Value("i", 0)
         real_generate = synthetic.generate_trace
 
         def counting(model, backend=None):
-            with generations.get_lock():
-                generations.value += 1
+            counter = (parent_generations if os.getpid() == parent_pid
+                       else worker_generations)
+            with counter.get_lock():
+                counter.value += 1
             return real_generate(model, backend=backend)
 
         monkeypatch.setattr(synthetic, "generate_trace", counting)
         outcomes = _fingerprint(iter_task_results(_tasks(), workers=2))
         assert len(outcomes) == len(_tasks())
-        # One parent-side generation covers everything: the shared base
-        # workload is published for its three tasks, and the singleton
-        # population_x=2 task transforms the fork-inherited base trace.
-        assert generations.value == 1
+        assert parent_generations.value == 1
+        assert worker_generations.value == 1
 
     def test_regenerate_path_pays_per_worker(self, monkeypatch):
         # The same sweep with sharing off: cold workers regenerate, so
@@ -170,15 +179,78 @@ class TestFallback:
 
 class TestPublishPolicy:
     def test_only_shared_workloads_published(self):
-        from repro.core.parallel import _publish_task_traces
+        from repro.core.parallel import _iter_task_payloads
         from repro.trace.share import unlink_trace
 
-        handles = _publish_task_traces(_tasks())
+        tasks = _tasks()
+        handles = {}
         try:
+            payloads = list(_iter_task_payloads(tasks, handles))
             # The base workload backs three tasks -> published; the
             # population_x=2 singleton stays on the worker-side path
             # (publishing it would only serialize the sweep's start).
             assert set(handles) == {Workload(model=MODEL)}
+            shared = handles[Workload(model=MODEL)]
+            assert [(task, handle) for task, handle in payloads] == [
+                (tasks[0], shared),
+                (tasks[1], shared),
+                (tasks[2], None),
+                (tasks[3], shared),
+            ]
+        finally:
+            for handle in handles.values():
+                unlink_trace(handle)
+
+    def test_publish_is_lazy(self):
+        # Nothing is published until the first payload is pulled: the
+        # pool's feeder thread drives this generator, so publishes
+        # overlap running simulations instead of fronting the sweep.
+        from repro.core.parallel import _iter_task_payloads
+        from repro.trace.share import unlink_trace
+
+        handles = {}
+        payloads = _iter_task_payloads(_tasks(), handles)
+        try:
+            assert handles == {}
+            next(payloads)
+            assert set(handles) == {Workload(model=MODEL)}
+        finally:
+            payloads.close()
+            for handle in handles.values():
+                unlink_trace(handle)
+
+    def test_first_failure_keeps_earlier_handles(self, monkeypatch):
+        # A publish failure mid-stream stops *further* publishing but
+        # keeps serving already-published workloads.
+        from repro.core import parallel
+        from repro.trace.share import unlink_trace
+
+        base = SimulationConfig(neighborhood_size=60, warmup_days=0.5)
+        other = Workload(model=MODEL, population_x=2)
+        tasks = [
+            SimulationTask(workload=Workload(model=MODEL), config=base),
+            SimulationTask(workload=Workload(model=MODEL), config=base),
+            SimulationTask(workload=other, config=base),
+            SimulationTask(workload=other, config=base),
+        ]
+        real_publish = parallel.publish_trace
+        published = []
+
+        def publish_once_then_fail(trace, directory=None):
+            if published:
+                raise OSError("tmp filled up mid-sweep")
+            handle = real_publish(trace, directory)
+            published.append(handle)
+            return handle
+
+        monkeypatch.setattr(parallel, "publish_trace", publish_once_then_fail)
+        handles = {}
+        try:
+            payloads = list(parallel._iter_task_payloads(tasks, handles))
+            shared = handles[Workload(model=MODEL)]
+            assert [handle for _, handle in payloads] == [
+                shared, shared, None, None,
+            ]
         finally:
             for handle in handles.values():
                 unlink_trace(handle)

@@ -6,8 +6,9 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import ConfigurationError
 from repro.trace.records import Trace
 from repro.trace.scaling import scale_catalog, scale_population
+from repro.trace.synthetic import numpy_available, set_trace_backend
 
-from tests.conftest import make_catalog, make_record
+from tests.conftest import make_catalog, make_record, preserved_trace_backend
 
 
 @pytest.fixture
@@ -134,3 +135,70 @@ class TestCatalogScaling:
         assert len(scaled) == 2 * len(base_trace_fixture)
         assert len(scaled.catalog) == 3 * len(base_trace_fixture.catalog)
         assert scaled.n_users == 2 * base_trace_fixture.n_users
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy backend unavailable")
+class TestBackendBitIdentity:
+    """The vectorized scaling paths are BIT-identical to the scalar ones.
+
+    Unlike the generator backends (which only promise distributional
+    equivalence), both scaling transforms consume identical RNG draw
+    sequences and emit identically ordered records under either backend
+    -- the claim ``repro.trace.scaling``'s docstring pins here.
+    """
+
+    @staticmethod
+    def _rows(trace):
+        return [
+            (r.start_time, r.user_id, r.program_id, r.duration_seconds)
+            for r in trace
+        ]
+
+    @staticmethod
+    def _both_backends(transform, trace, factor):
+        with preserved_trace_backend():
+            set_trace_backend("python")
+            scalar = transform(trace, factor)
+            set_trace_backend("numpy")
+            vector = transform(trace, factor)
+        return scalar, vector
+
+    @pytest.mark.parametrize("factor", [2, 3, 5])
+    def test_population_scaling_matches_scalar(self, base_trace_fixture, factor):
+        scalar, vector = self._both_backends(
+            scale_population, base_trace_fixture, factor)
+        assert self._rows(vector) == self._rows(scalar)
+        assert vector.n_users == scalar.n_users
+
+    @pytest.mark.parametrize("factor", [2, 3, 5])
+    def test_catalog_scaling_matches_scalar(self, base_trace_fixture, factor):
+        scalar, vector = self._both_backends(
+            scale_catalog, base_trace_fixture, factor)
+        assert self._rows(vector) == self._rows(scalar)
+        assert len(vector.catalog) == len(scalar.catalog)
+        assert [
+            (p.program_id, p.length_seconds) for p in vector.catalog
+        ] == [(p.program_id, p.length_seconds) for p in scalar.catalog]
+
+    def test_composed_transforms_match_scalar(self, base_trace_fixture):
+        def composed(trace, factor):
+            return scale_catalog(scale_population(trace, factor), factor + 1)
+
+        scalar, vector = self._both_backends(composed, base_trace_fixture, 2)
+        assert self._rows(vector) == self._rows(scalar)
+
+    def test_tie_heavy_trace_matches_scalar(self):
+        # Many records sharing (start, user) exercise the stable-sort
+        # contract: numpy's lexsort must break ties exactly like
+        # ``sorted`` over SessionRecord's (start, user, program) key.
+        catalog = make_catalog()
+        records = sorted(
+            (make_record(start=600.0 * (i % 2), user=i % 2,
+                         program=i % 4, minutes=5 + i)
+             for i in range(16)),
+            key=lambda r: (r.start_time, r.user_id, r.program_id),
+        )
+        trace = Trace(records, catalog, n_users=2)
+        for transform in (scale_population, scale_catalog):
+            scalar, vector = self._both_backends(transform, trace, 3)
+            assert self._rows(vector) == self._rows(scalar)
