@@ -26,7 +26,8 @@ import sys
 from pathlib import Path
 
 #: Metrics recorded per run: (history key, report path).  Lower is
-#: better for all of them (they are wall-clock seconds).
+#: better for all of them (wall-clock seconds, except the ``_rss_mb``
+#: entries, which are peak resident-set megabytes).
 RECORDED_METRICS = (
     ("end_to_end_s", ("end_to_end", "bucket_s")),
     # Columnar drain (PR 6): the batched replay core on the same
@@ -42,6 +43,14 @@ RECORDED_METRICS = (
     ("trace_generate_numpy_s", ("trace", "generate_numpy_s")),
     ("trace_share_publish_s", ("trace", "share_publish_s")),
     ("trace_share_attach_s", ("trace", "share_attach_s")),
+    # Peak RSS (PR 7): materialized monolithic vs. streamed sharded
+    # replay, in MB rather than seconds -- lower is still better.  The
+    # metro entries only appear on --metro runs; missing metrics are
+    # skipped as usual.
+    ("memory_materialized_rss_mb", ("memory", "materialized_peak_rss_mb")),
+    ("memory_streamed_rss_mb", ("memory", "streamed_peak_rss_mb")),
+    ("metro_wall_s", ("metro", "wall_s")),
+    ("metro_peak_rss_mb", ("metro", "peak_rss_mb")),
 )
 
 #: Only the end-to-end replay gates CI.  The cache micro metrics are

@@ -19,11 +19,18 @@ rebuilt:
   throughput reported as events/s per engine;
 * sweep wall-clock -- the same config sweep serial vs. multi-worker
   (with the worker count and CPU count recorded, since a single-CPU
-  host cannot show parallel speedup).
+  host cannot show parallel speedup);
+* peak RSS -- materialized monolithic replay vs. streamed sharded
+  replay of the same workload, each probed in its own interpreter
+  (``resource.getrusage`` reports a process-lifetime high-water mark,
+  so probes cannot share a process), plus -- under ``--metro`` -- a
+  million-user paper-catalog streamed metro replay whose bounded
+  footprint is the point of the streaming pipeline.
 
 Usage::
 
     python scripts/emit_bench.py [--quick] [--workers N] [--output PATH]
+                                 [--metro] [--metro-users N]
 
 Run it from the repository root (or with ``src`` on ``PYTHONPATH``).
 ``scripts/bench_trend.py`` appends the emitted report to
@@ -101,6 +108,109 @@ PR1_CACHE_REFERENCE = {
         "replay (the end_to_end section's workload)"
     ),
 }
+
+
+#: Child-interpreter scaffold for the RSS probes.  The body must define
+#: ``run() -> dict``; the scaffold times it and reports the process
+#: peak RSS (self + pool children, KB on Linux) as one JSON line.
+_PROBE_TEMPLATE = """\
+import json, resource, sys, time
+sys.path.insert(0, {src_path!r})
+{body}
+started = time.perf_counter()
+extra = run()
+wall = time.perf_counter() - started
+self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(json.dumps(dict(extra, wall_s=round(wall, 3),
+                      peak_rss_mb=round(max(self_kb, child_kb) / 1024.0, 1))))
+"""
+
+
+def rss_probe(body: str) -> dict:
+    """Run one workload in a fresh interpreter; return its RSS report.
+
+    ``ru_maxrss`` is a lifetime high-water mark, so a probe that shared
+    this process would inherit every earlier section's footprint; a
+    fresh child measures only its own workload.  ``RUSAGE_CHILDREN``
+    folds in pool workers (their RSS peaks after they exit, which is
+    when the kernel rolls them into the parent's children counter).
+    """
+    import subprocess
+
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    code = _PROBE_TEMPLATE.format(src_path=src, body=body)
+    proc = subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True, check=True)
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _memory_bodies(quick: bool, users: int, days: float):
+    """The materialized-vs-streamed probe bodies for the memory section.
+
+    Full mode probes the fast experiment profile (the suite's standard
+    operating point); quick mode reuses the small end-to-end model so
+    CI stays fast.  Both compare one monolithic materialized bucket
+    replay against the same workload streamed through sharded replay.
+    """
+    if quick:
+        prologue = (
+            "from repro.core.config import SimulationConfig\n"
+            "from repro.trace.synthetic import PowerInfoModel\n"
+            f"model = PowerInfoModel(n_users={users}, "
+            f"n_programs={users // 5}, days={days}, seed=5)\n"
+            "config = SimulationConfig(neighborhood_size=60, "
+            "warmup_days=0.5)\n"
+        )
+        n_shards = 2
+    else:
+        prologue = (
+            "from repro.core.config import SimulationConfig\n"
+            "from repro.experiments.profiles import FAST\n"
+            "model = FAST.model()\n"
+            "config = SimulationConfig("
+            "neighborhood_size=FAST.neighborhood_size(1_000), "
+            "warmup_days=FAST.warmup_days)\n"
+        )
+        n_shards = 4
+    materialized = prologue + (
+        "def run():\n"
+        "    from repro.core.runner import run_simulation\n"
+        "    from repro.trace.synthetic import generate_trace\n"
+        "    trace = generate_trace(model)\n"
+        "    result = run_simulation(trace, config, engine='bucket')\n"
+        "    return {'sessions': result.counters.sessions}\n"
+    )
+    streamed = prologue + (
+        "def run():\n"
+        "    from repro.core.shard import run_sharded\n"
+        f"    result = run_sharded(model, config, n_shards={n_shards}, "
+        "streaming=True, workers=1)\n"
+        "    return {'sessions': result.counters.sessions}\n"
+    )
+    return materialized, streamed, n_shards
+
+
+def _metro_body(users: int, programs: int, days: float,
+                neighborhood_size: int, shards: int, workers: int,
+                chunk_hours: int) -> str:
+    """The metro probe: streamed sharded replay, never a full trace."""
+    return (
+        "from repro.core.config import SimulationConfig\n"
+        "from repro.core.shard import run_sharded\n"
+        "from repro.trace.synthetic import PowerInfoModel\n"
+        f"model = PowerInfoModel(n_users={users}, n_programs={programs}, "
+        f"days={days}, seed=7)\n"
+        f"config = SimulationConfig(neighborhood_size={neighborhood_size}, "
+        "warmup_days=0.5)\n"
+        "def run():\n"
+        f"    result = run_sharded(model, config, n_shards={shards}, "
+        f"streaming=True, workers={workers}, chunk_hours={chunk_hours})\n"
+        "    return {'sessions': result.counters.sessions,\n"
+        "            'events': result.events_processed,\n"
+        "            'peak_server_gbps': "
+        "round(result.peak_server_gbps(), 3)}\n"
+    )
 
 
 def _cpu_model() -> str:
@@ -233,6 +343,22 @@ def main() -> int:
                         help="worker count for the sweep measurement")
     parser.add_argument("--output", default="BENCH_micro.json",
                         help="where to write the JSON report")
+    parser.add_argument("--metro", action="store_true",
+                        help="run the million-user streamed metro replay "
+                             "(minutes of wall time; RSS stays bounded)")
+    parser.add_argument("--metro-users", type=int, default=1_000_000,
+                        help="metro subscriber count (default 1,000,000)")
+    parser.add_argument("--metro-programs", type=int, default=8_278,
+                        help="metro catalog size (default: the paper's "
+                             "8,278-program PowerInfo catalog)")
+    parser.add_argument("--metro-days", type=float, default=2.0,
+                        help="metro trace window in days (default 2.0)")
+    parser.add_argument("--metro-shards", type=int, default=8,
+                        help="neighborhood groups for the metro replay")
+    parser.add_argument("--metro-ab", action="store_true",
+                        help="also replay the metro workload materialized "
+                             "and monolithic (the A/B the streamed numbers "
+                             "are compared against; gigabytes of RSS)")
     args = parser.parse_args()
 
     sessions, segments = (10, 500) if args.quick else (20, 1_000)
@@ -450,6 +576,87 @@ def main() -> int:
             "with cpu_count=1 this measures multiprocessing overhead only"
         ),
     }
+
+    # ---- peak RSS: materialized vs. streamed ---------------------------
+    # Fresh interpreter per probe (see rss_probe); the streamed number
+    # is the one the streaming pipeline exists to bound.
+    materialized_body, streamed_body, mem_shards = _memory_bodies(
+        args.quick, users, days)
+    materialized_probe = rss_probe(materialized_body)
+    streamed_probe = rss_probe(streamed_body)
+    report["memory"] = {
+        "workload": "quick-e2e" if args.quick else "fast-profile",
+        "shards": mem_shards,
+        "sessions": streamed_probe["sessions"],
+        "materialized_peak_rss_mb": materialized_probe["peak_rss_mb"],
+        "materialized_wall_s": materialized_probe["wall_s"],
+        "streamed_peak_rss_mb": streamed_probe["peak_rss_mb"],
+        "streamed_wall_s": streamed_probe["wall_s"],
+        "note": (
+            "peak RSS (ru_maxrss, self+children) of one replay in a "
+            "fresh interpreter: monolithic on the materialized trace "
+            "vs. sharded streaming replay of the identical workload "
+            "(bit-identical results; the equivalence suite pins it)"
+        ),
+    }
+
+    # ---- metro: million-user streamed replay ---------------------------
+    if args.metro:
+        metro_size = 1_000
+        metro_chunk_hours = 6
+        metro_probe = rss_probe(_metro_body(
+            args.metro_users, args.metro_programs, args.metro_days,
+            metro_size, args.metro_shards, args.workers,
+            metro_chunk_hours))
+        report["metro"] = {
+            "users": args.metro_users,
+            "programs": args.metro_programs,
+            "days": args.metro_days,
+            "neighborhood_size": metro_size,
+            "shards": args.metro_shards,
+            "workers": args.workers,
+            "chunk_hours": metro_chunk_hours,
+            "sessions": metro_probe["sessions"],
+            "events": metro_probe["events"],
+            "peak_server_gbps": metro_probe["peak_server_gbps"],
+            "wall_s": metro_probe["wall_s"],
+            "events_per_s": round(metro_probe["events"]
+                                  / metro_probe["wall_s"]),
+            "peak_rss_mb": metro_probe["peak_rss_mb"],
+            "note": (
+                "streamed sharded replay; the full trace never exists "
+                "-- each shard worker holds one generation chunk of "
+                "session columns at a time"
+            ),
+        }
+        if args.metro_ab:
+            ab_probe = rss_probe(
+                "from repro.core.config import SimulationConfig\n"
+                "from repro.trace.synthetic import PowerInfoModel\n"
+                f"model = PowerInfoModel(n_users={args.metro_users}, "
+                f"n_programs={args.metro_programs}, "
+                f"days={args.metro_days}, seed=7)\n"
+                f"config = SimulationConfig("
+                f"neighborhood_size={metro_size}, warmup_days=0.5)\n"
+                "def run():\n"
+                "    from repro.core.runner import run_simulation\n"
+                "    from repro.trace.synthetic import generate_trace\n"
+                "    trace = generate_trace(model)\n"
+                "    result = run_simulation(trace, config, "
+                "engine='bucket')\n"
+                "    return {'sessions': result.counters.sessions,\n"
+                "            'events': result.events_processed}\n")
+            # Session/event counts must agree exactly -- the streamed
+            # sharded replay is the same workload, not an approximation.
+            report["metro"]["materialized"] = {
+                "sessions": ab_probe["sessions"],
+                "events": ab_probe["events"],
+                "wall_s": ab_probe["wall_s"],
+                "peak_rss_mb": ab_probe["peak_rss_mb"],
+                "rss_ratio_vs_streamed": round(
+                    ab_probe["peak_rss_mb"]
+                    / metro_probe["peak_rss_mb"], 2),
+            }
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -87,6 +87,12 @@ class StrategySpec(ABC):
     #: Set by specs whose strategies need the full future access schedule.
     requires_future_knowledge: bool = False
 
+    #: Set by specs whose strategies share one cross-neighborhood
+    #: popularity feed (:class:`GlobalPopularityFeed`).  Such builds
+    #: couple every neighborhood through mutable state, so a metro run
+    #: cannot be partitioned into independent shards.
+    uses_global_feed: bool = False
+
     @property
     @abstractmethod
     def label(self) -> str:
@@ -207,6 +213,8 @@ class GlobalLFUSpec(StrategySpec):
     lag_seconds: float = 0.0
     #: Build the pre-policy-engine implementation (equivalence reference).
     classic: bool = False
+
+    uses_global_feed = True
 
     @property
     def label(self) -> str:

@@ -249,6 +249,22 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
     parser.add_argument("file", help="path to a scenario/sweep JSON file")
     parser.add_argument("--out", default=None, metavar="CSV",
                         help="also write the result rows as CSV")
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "cut each replay into N per-neighborhood-group shard tasks "
+            "(bit-identical to the monolithic run; parallelizes across "
+            "--workers). Overrides the file's 'shards' field."
+        ),
+    )
+    parser.add_argument(
+        "--streaming", action="store_true",
+        help=(
+            "generate each trace lazily and replay it chunk by chunk "
+            "(bounded memory; bit-identical to the materialized run). "
+            "Overrides the file's 'streaming' field."
+        ),
+    )
     _add_workers_flag(parser)
     _add_trace_backend_flag(parser)
     _add_engine_flag(parser)
@@ -259,20 +275,27 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
     _apply_workers(args.workers)
     _apply_trace_backend(args.trace_backend)
     loaded = load(args.file)
+
+    overrides: Dict[str, Any] = {}
     if args.engine is not None:
         # Scenarios carry an explicit engine field, so a process-level
         # default would never reach them; rewrite the loaded object with
         # the flag's choice instead (aliases resolved to a concrete
         # engine first, since the scenario schema only accepts those).
-        from dataclasses import replace
-
         from repro.core.runner import resolve_engine
 
-        concrete = resolve_engine(args.engine)
+        overrides["engine"] = resolve_engine(args.engine)
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.streaming:
+        overrides["streaming"] = True
+    if overrides:
+        from dataclasses import replace
+
         if isinstance(loaded, Scenario):
-            loaded = replace(loaded, engine=concrete)
+            loaded = replace(loaded, **overrides)
         else:
-            loaded = replace(loaded, base=replace(loaded.base, engine=concrete))
+            loaded = replace(loaded, base=replace(loaded.base, **overrides))
     started = time.perf_counter()
     if isinstance(loaded, Scenario):
         rows = run_sweep(loaded)

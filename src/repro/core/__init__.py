@@ -23,6 +23,7 @@ from repro.core.runner import (
     run_simulation,
     set_default_engine,
 )
+from repro.core.shard import run_sharded
 from repro.core.system import CableVoDSystem, columnar_supported
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "SimulationResult",
     "run_simulation",
     "run_many",
+    "run_sharded",
     "resolve_engine",
     "set_default_engine",
     "columnar_supported",

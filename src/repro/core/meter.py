@@ -173,6 +173,25 @@ class HourlyMeter:
             merged._bits[hour] += bits
         return merged
 
+    @classmethod
+    def merged(cls, meters: Iterable["HourlyMeter"]) -> "HourlyMeter":
+        """Fold several meters into one, meter by meter in given order.
+
+        Each bucket accumulates its contributions in the iteration
+        order of ``meters``.  This is the canonical reduction for
+        per-neighborhood meters: both a monolithic run and a shard
+        merge fold in ascending global neighborhood id, so the float
+        additions happen in the identical sequence and the folded
+        buckets are bit-identical regardless of how the run was
+        partitioned.
+        """
+        out = cls()
+        bits = out._bits
+        for meter in meters:
+            for hour, value in meter._bits.items():
+                bits[hour] += value
+        return out
+
 
 def expand_intervals(starts, durations, rate_bps: float = units.STREAM_RATE_BPS):
     """Vectorized :meth:`HourlyMeter.add_interval` over event columns.

@@ -65,6 +65,50 @@ from repro.trace.workload import Workload, cached_workload_trace
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """Which slice of a sharded metro replay one task executes.
+
+    A run cut into ``n_shards`` dispatches one task per shard; each
+    worker recomputes the deterministic neighborhood partition
+    (:mod:`repro.topology.sharding`) from the task's workload and
+    config, so the spec itself stays three integers and a flag.
+
+    Attributes
+    ----------
+    n_shards:
+        Total shard count of the run this task belongs to.
+    index:
+        This task's shard (``0 <= index < n_shards``).
+    streaming:
+        Regenerate the trace lazily in the worker and replay it chunk
+        by chunk (:meth:`~repro.core.system.CableVoDSystem.run_streaming`)
+        instead of attaching/materializing the whole trace.
+    chunk_hours:
+        Generation chunk span for streaming replay (ignored otherwise).
+    """
+
+    n_shards: int
+    index: int
+    streaming: bool = False
+    chunk_hours: int = 6
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+        if not (0 <= self.index < self.n_shards):
+            raise ConfigurationError(
+                f"shard index must be in 0..{self.n_shards - 1}, "
+                f"got {self.index}"
+            )
+        if self.chunk_hours < 1:
+            raise ConfigurationError(
+                f"chunk_hours must be >= 1, got {self.chunk_hours}"
+            )
+
+
+@dataclass(frozen=True)
 class SimulationTask:
     """One simulator execution as a picklable value.
 
@@ -85,13 +129,25 @@ class SimulationTask:
     baselines:
         Names of baseline metrics (:data:`repro.baselines.registry`)
         to compute from this task's trace; the values come back in the
-        outcome's second element, unextrapolated.
+        outcome's second element, unextrapolated.  Baselines are
+        whole-trace analytics, so they cannot ride on a shard task.
+    shard:
+        When set, the task replays one neighborhood group of a sharded
+        metro run (:mod:`repro.core.shard`) instead of the whole plant.
     """
 
     workload: Workload
     config: SimulationConfig
     engine: Optional[str] = None
     baselines: Tuple[str, ...] = ()
+    shard: Optional[ShardSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.shard is not None and self.baselines:
+            raise ConfigurationError(
+                "baseline metrics are whole-trace analytics; request them "
+                "on an unsharded task"
+            )
 
 
 #: What one task returns: the simulation result plus the task's baseline
@@ -124,6 +180,10 @@ def _task_baselines(task: SimulationTask, trace: Trace) -> Dict[str, float]:
 
 def _execute_task(task: SimulationTask) -> TaskOutcome:
     """Run one task against the process-wide memoized (regenerated) trace."""
+    if task.shard is not None:
+        from repro.core.shard import execute_shard_task
+
+        return execute_shard_task(task), {}
     trace = cached_workload_trace(task.workload)
     result = run_simulation(trace, task.config, engine=task.engine)
     return result, _task_baselines(task, trace)
@@ -151,6 +211,10 @@ def _execute_shared(payload: Tuple[SimulationTask, Optional["TraceShareHandle"]]
     the sweep -- the two are bit-identical by construction.
     """
     task, handle = payload
+    if task.shard is not None:
+        from repro.core.shard import execute_shard_task
+
+        return execute_shard_task(task, handle=handle), {}
     trace: Optional[Trace] = None
     if handle is not None:
         from repro.errors import TraceError
@@ -279,12 +343,18 @@ def _iter_task_payloads(
     """
     references: Dict[Workload, int] = {}
     for task in tasks:
+        # Streaming shard tasks regenerate lazily in the worker and
+        # never touch the materialized trace -- publishing for them
+        # would build (and serialize) the very object streaming exists
+        # to avoid.
+        if task.shard is not None and task.shard.streaming:
+            continue
         references[task.workload] = references.get(task.workload, 0) + 1
     give_up = False
     for task in tasks:
         workload = task.workload
         handle = handles.get(workload)
-        if handle is None and not give_up and references[workload] > 1:
+        if handle is None and not give_up and references.get(workload, 0) > 1:
             try:
                 # Late-bound module global so tests (and callers) can
                 # monkeypatch the publish path.

@@ -90,6 +90,14 @@ class SimulationResult:
     #: coax traffic that relies on the paper's section IV-B.4
     #: bidirectional-amplifier requirement.  Empty when not metered.
     upstream_meters: Dict[int, HourlyMeter] = field(default_factory=dict)
+    #: Per-neighborhood decompositions of ``total_meter`` and
+    #: ``server_meter`` (keyed by *global* neighborhood id).  The engine
+    #: meters every delivery against its neighborhood and folds the
+    #: aggregate meters in ascending id order at result-build time; a
+    #: sharded run carries each shard's slice here so the reduction can
+    #: replay the identical fold.  Empty on hand-built results.
+    total_meters: Dict[int, HourlyMeter] = field(default_factory=dict)
+    server_meters: Dict[int, HourlyMeter] = field(default_factory=dict)
     events_processed: int = 0
     wall_seconds: float = 0.0
 
@@ -244,6 +252,76 @@ class SimulationResult:
         if not samples:
             return 0.0
         return max(samples) / units.COAX_VOD_CAPACITY_BPS
+
+    # ------------------------------------------------------------------
+    # Shard reduction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def merged(shards: Sequence["SimulationResult"]) -> "SimulationResult":
+        """Reduce per-shard results into one metro-wide result.
+
+        Each shard simulated a disjoint group of neighborhoods, so the
+        reduction is exact: integer counters sum, per-neighborhood
+        meter dicts union (they are disjoint by construction), and the
+        aggregate ``total_meter`` / ``server_meter`` are re-folded from
+        the unioned per-neighborhood meters in ascending global id --
+        the same fold a monolithic run performs, which is what makes
+        the merged result bit-identical to it (the shard-invariance
+        property pinned in ``tests/core/test_shard.py``).
+
+        ``wall_seconds`` sums the shards' simulation time (total work,
+        not elapsed wall clock); ``config`` is taken from the first
+        shard -- callers hand in shards of one run, in shard order.
+        """
+        if not shards:
+            raise SimulationError("cannot merge zero shard results")
+        for shard in shards:
+            if not shard.total_meters or not shard.server_meters:
+                raise SimulationError(
+                    "shard results must carry per-neighborhood "
+                    "total/server meters to be merged"
+                )
+        counters = SimulationCounters()
+        for shard in shards:
+            for field_name in vars(counters):
+                setattr(counters, field_name,
+                        getattr(counters, field_name)
+                        + getattr(shard.counters, field_name))
+
+        def union(pick) -> Dict[int, HourlyMeter]:
+            merged: Dict[int, HourlyMeter] = {}
+            for shard in shards:
+                for neighborhood_id, meter in pick(shard).items():
+                    if neighborhood_id in merged:
+                        raise SimulationError(
+                            f"shards overlap on neighborhood "
+                            f"{neighborhood_id}; groups must be disjoint"
+                        )
+                    merged[neighborhood_id] = meter
+            return merged
+
+        coax = union(lambda s: s.coax_meters)
+        upstream = union(lambda s: s.upstream_meters)
+        totals = union(lambda s: s.total_meters)
+        servers = union(lambda s: s.server_meters)
+        return SimulationResult(
+            config=shards[0].config,
+            n_users=sum(s.n_users for s in shards),
+            n_neighborhoods=sum(s.n_neighborhoods for s in shards),
+            trace_end_time=max(s.trace_end_time for s in shards),
+            server_meter=HourlyMeter.merged(
+                servers[k] for k in sorted(servers)),
+            total_meter=HourlyMeter.merged(
+                totals[k] for k in sorted(totals)),
+            coax_meters=coax,
+            upstream_meters=upstream,
+            total_meters=totals,
+            server_meters=servers,
+            counters=counters,
+            events_processed=sum(s.events_processed for s in shards),
+            wall_seconds=sum(s.wall_seconds for s in shards),
+        )
 
     # ------------------------------------------------------------------
     # Presentation helpers

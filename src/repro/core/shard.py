@@ -1,0 +1,287 @@
+"""Sharded metro replay: per-neighborhood-group tasks, exact reduction.
+
+A metro-scale deployment is hundreds of neighborhoods whose caches
+never interact (the index server at each headend manages only its own
+coax segment), so one giant replay can be cut into per-group
+:class:`~repro.core.parallel.SimulationTask` shards, dispatched through
+the ordinary sweep pool, and the shard results reduced back into the
+monolithic numbers -- bit-identically, because every float fold in the
+reduction (:meth:`~repro.core.results.SimulationResult.merged`) happens
+in the same ascending-global-neighborhood-id order the monolithic
+engines use internally.
+
+Each shard worker rebuilds the deterministic user placement from three
+integers, picks its contiguous neighborhood group
+(:mod:`repro.topology.sharding`), and replays only its own users'
+sessions:
+
+* **non-streaming** -- the parent publishes the workload's trace once
+  (:mod:`repro.trace.share`) and the worker filters the mapped columns
+  down to its users before building a single shard-sized
+  :class:`~repro.trace.records.Trace` slice (global user ids, global
+  ``n_users``, so placement and strategies see the unsharded world);
+* **streaming** -- the worker regenerates the trace lazily
+  (:mod:`repro.trace.streaming`), filters each hour-chunk to its users,
+  and feeds :meth:`~repro.core.system.CableVoDSystem.run_streaming`, so
+  peak resident session columns stay O(chunk) per worker and the full
+  trace never exists anywhere.
+
+Two configurations cannot shard and are rejected up front: strategies
+that share a cross-neighborhood popularity feed
+(``StrategySpec.uses_global_feed``) couple the shards, and
+future-knowledge strategies cannot run streamed (no full trace to take
+futures from).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.runner import resolve_engine
+from repro.core.system import CableVoDSystem
+from repro.errors import ConfigurationError
+from repro.topology.placement import place_users
+from repro.topology.sharding import n_neighborhoods_for, partition_neighborhoods
+from repro.trace.records import Trace
+from repro.trace.streaming import TraceChunk, open_trace_stream
+from repro.trace.synthetic import PowerInfoModel
+from repro.trace.workload import Workload, cached_workload_trace
+
+
+def workload_n_users(workload: Workload) -> int:
+    """The transformed trace's user count, without building the trace.
+
+    Population scaling multiplies the id space (copy ``k`` of user ``u``
+    is ``u + k * n_users``); catalog scaling leaves users alone.  This
+    is what lets shard planning -- neighborhood counts, group cuts,
+    membership tables -- run before any records exist.
+    """
+    return workload.model.n_users * workload.population_x
+
+
+def shard_neighborhood_groups(workload: Workload, config: SimulationConfig,
+                              n_shards: int) -> List[Tuple[int, ...]]:
+    """The deterministic shard -> neighborhood-ids cut for one run."""
+    count = n_neighborhoods_for(workload_n_users(workload),
+                                config.neighborhood_size)
+    return partition_neighborhoods(count, n_shards)
+
+
+def _shard_membership(n_users: int, config: SimulationConfig,
+                      ids: Sequence[int]) -> bytearray:
+    """Byte-per-user membership table for one shard's neighborhoods.
+
+    Rebuilt in every worker from the same deterministic placement the
+    simulator itself uses, so the filter and the simulation agree on
+    which users exist.
+    """
+    plant = place_users(n_users, config.neighborhood_size,
+                        config.placement_seed)
+    neighborhoods = plant.neighborhoods
+    member = bytearray(n_users)
+    for nid in ids:
+        for user_id in neighborhoods[nid].user_ids:
+            member[user_id] = 1
+    return member
+
+
+def _filter_columns(
+    member: bytearray,
+    start_times: Sequence[float],
+    user_ids: Sequence[int],
+    program_ids: Sequence[int],
+    durations: Sequence[float],
+) -> Tuple[List[float], List[int], List[int], List[float]]:
+    """Keep only the rows whose user belongs to this shard.
+
+    Row order (and therefore sortedness) is preserved; output columns
+    are plain python lists regardless of input sequence type, so a
+    numpy-filtered slice feeds the simulator the same pure-python
+    scalars the fallback loop produces.
+    """
+    try:
+        import numpy as np
+    except ImportError:
+        np = None
+    if np is not None:
+        users = np.asarray(user_ids, dtype=np.int64)
+        mask = np.frombuffer(bytes(member), dtype=np.uint8)[users] != 0
+        return (
+            np.asarray(start_times, dtype=np.float64)[mask].tolist(),
+            users[mask].tolist(),
+            np.asarray(program_ids, dtype=np.int64)[mask].tolist(),
+            np.asarray(durations, dtype=np.float64)[mask].tolist(),
+        )
+    starts_out: List[float] = []
+    users_out: List[int] = []
+    programs_out: List[int] = []
+    durations_out: List[float] = []
+    for i, user in enumerate(user_ids):
+        if member[user]:
+            starts_out.append(start_times[i])
+            users_out.append(user)
+            programs_out.append(program_ids[i])
+            durations_out.append(durations[i])
+    return starts_out, users_out, programs_out, durations_out
+
+
+def _shard_trace(workload: Workload, member: bytearray,
+                 handle=None) -> Trace:
+    """This shard's trace slice: global ids, global user count.
+
+    Prefers the parent-published mapped columns (filtered straight off
+    the views, so the worker never materializes foreign users' records);
+    a missing or corrupt share degrades to the deterministic
+    regenerate-and-filter path, bit-identically.
+    """
+    n_users = workload_n_users(workload)
+    if handle is not None:
+        from repro.errors import TraceError
+        from repro.trace.share import attach_columns
+
+        try:
+            with attach_columns(handle) as cols:
+                catalog = cols.catalog
+                columns = _filter_columns(member, cols.start_times,
+                                          cols.user_ids, cols.program_ids,
+                                          cols.durations)
+            return Trace.from_columns(*columns, catalog, n_users)
+        except (OSError, TraceError):
+            pass
+    trace = cached_workload_trace(workload)
+    columns = _filter_columns(member, *trace.columns())
+    return Trace.from_columns(*columns, trace.catalog, n_users)
+
+
+def _filtered_chunks(stream, member: bytearray) -> Iterator[TraceChunk]:
+    """This shard's view of a trace stream, chunk by chunk.
+
+    Chunks that lose every row to the filter are skipped (the stream
+    contract is non-empty chunks); surviving chunks keep their window
+    bounds, so the replay's drain horizon is unchanged.
+    """
+    for chunk in stream.chunks():
+        columns = _filter_columns(member, chunk.start_times, chunk.user_ids,
+                                  chunk.program_ids, chunk.durations)
+        if not columns[0]:
+            continue
+        yield TraceChunk(chunk.index, chunk.start_hour, chunk.end_hour,
+                         *columns)
+
+
+def validate_shard_plan(workload: Workload, config: SimulationConfig,
+                        n_shards: int, streaming: bool) -> None:
+    """Reject configurations that cannot be sharded or streamed exactly.
+
+    Raises :class:`~repro.errors.ConfigurationError` for: a
+    cross-neighborhood popularity feed under ``n_shards > 1`` (shards
+    would each build a private feed and diverge from the monolithic
+    run), streaming with a future-knowledge strategy (futures need the
+    whole trace), and streaming with a transformed workload (the
+    scaling transforms are whole-trace operations; only identity
+    workloads generate lazily).
+    """
+    strategy = config.strategy
+    if n_shards > 1 and strategy.uses_global_feed:
+        raise ConfigurationError(
+            f"strategy {strategy.label!r} shares a cross-neighborhood "
+            f"popularity feed and cannot run sharded"
+        )
+    if streaming:
+        if strategy.requires_future_knowledge:
+            raise ConfigurationError(
+                f"strategy {strategy.label!r} requires future knowledge "
+                f"of the whole trace and cannot run streamed"
+            )
+        if not workload.is_identity:
+            raise ConfigurationError(
+                "streaming replay supports identity workloads only; "
+                "population/catalog transforms need the materialized trace"
+            )
+
+
+def execute_shard_task(task, handle=None) -> SimulationResult:
+    """Run one shard task in this process (the pool-worker entry).
+
+    ``task`` is a :class:`~repro.core.parallel.SimulationTask` whose
+    ``shard`` field is set; ``handle`` is the parent-published trace
+    share for non-streaming shards (``None`` falls back to the memoized
+    regenerate path).  Streaming shards run on the bucket engine
+    regardless of the requested engine -- the engines are bit-identical,
+    so this is the same silent demotion ``columnar`` makes when numpy
+    is missing.
+    """
+    spec = task.shard
+    workload = task.workload
+    config = task.config
+    validate_shard_plan(workload, config, spec.n_shards, spec.streaming)
+    groups = shard_neighborhood_groups(workload, config, spec.n_shards)
+    ids = list(groups[spec.index])
+    n_users = workload_n_users(workload)
+    member = _shard_membership(n_users, config, ids)
+    if spec.streaming:
+        stream = open_trace_stream(workload.model,
+                                   chunk_hours=spec.chunk_hours)
+        system = CableVoDSystem(
+            None, config, engine="bucket", neighborhood_ids=ids,
+            catalog=stream.catalog, n_users=n_users,
+        )
+        return system.run_streaming(_filtered_chunks(stream, member))
+    trace = _shard_trace(workload, member, handle)
+    engine = resolve_engine(task.engine)
+    return CableVoDSystem(trace, config, engine=engine,
+                          neighborhood_ids=ids).run()
+
+
+def run_sharded(
+    trace_model: Union[PowerInfoModel, Workload],
+    config: SimulationConfig,
+    *,
+    n_shards: int = 1,
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    streaming: bool = False,
+    chunk_hours: Optional[int] = None,
+) -> SimulationResult:
+    """Replay one workload as ``n_shards`` independent shard tasks.
+
+    The metro entry point: cuts the plant into contiguous neighborhood
+    groups, dispatches one :class:`~repro.core.parallel.SimulationTask`
+    per group through :func:`~repro.core.parallel.iter_task_results`
+    (serial for ``workers=1``, pool otherwise), and reduces the shard
+    results with :meth:`~repro.core.results.SimulationResult.merged`.
+    Counters, ``events_processed``, and every meter bucket are
+    bit-identical to a monolithic ``run_simulation`` of the same
+    workload and config, for any shard count and any worker count.
+
+    ``streaming=True`` additionally bounds each worker's resident session
+    columns to one generation chunk (``chunk_hours``, default
+    :data:`~repro.trace.streaming.DEFAULT_CHUNK_HOURS`): the trace is
+    never materialized anywhere, which is what makes million-user
+    metros fit in memory.
+    """
+    from repro.core.parallel import ShardSpec, SimulationTask, iter_task_results
+    from repro.trace.streaming import DEFAULT_CHUNK_HOURS
+
+    if isinstance(trace_model, Workload):
+        workload = trace_model
+    else:
+        workload = Workload(model=trace_model)
+    if chunk_hours is None:
+        chunk_hours = DEFAULT_CHUNK_HOURS
+    validate_shard_plan(workload, config, n_shards, streaming)
+    # Fail fast on an over-cut plant (clearer here than in a worker).
+    shard_neighborhood_groups(workload, config, n_shards)
+    tasks = [
+        SimulationTask(
+            workload=workload, config=config, engine=engine,
+            shard=ShardSpec(n_shards=n_shards, index=index,
+                            streaming=streaming, chunk_hours=chunk_hours),
+        )
+        for index in range(n_shards)
+    ]
+    results = [result for result, _ in iter_task_results(tasks,
+                                                         workers=workers)]
+    return SimulationResult.merged(results)

@@ -16,9 +16,10 @@ trace through it:
 
 from __future__ import annotations
 
+import math
 import os
 import time as _time
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro import units
 from repro.cache.factory import BuildInputs
@@ -70,36 +71,74 @@ class CableVoDSystem:
     system per configuration; construction is cheap relative to the run.
     """
 
-    def __init__(self, trace: Trace, config: SimulationConfig,
-                 engine: str = "bucket") -> None:
+    def __init__(self, trace: Optional[Trace], config: SimulationConfig,
+                 engine: str = "bucket", *,
+                 neighborhood_ids: Optional[Sequence[int]] = None,
+                 catalog=None, n_users: Optional[int] = None) -> None:
         if engine not in ENGINE_MODES:
             raise SimulationError(
                 f"unknown engine {engine!r}; choose from {ENGINE_MODES}"
             )
         if engine == "columnar" and not columnar_supported():
             engine = "bucket"
+        if trace is not None:
+            catalog = trace.catalog
+            n_users = trace.n_users
+        elif catalog is None or n_users is None:
+            raise SimulationError(
+                "traceless construction (streaming replay) requires "
+                "catalog= and n_users="
+            )
         self._trace = trace
         self._config = config
         self._engine = engine
+        #: The full metro plant.  Placement is keyed only by
+        #: (n_users, neighborhood_size, seed), so every shard worker
+        #: rebuilds the identical layout and picks its group from it.
         self._plant = place_users(
-            trace.n_users, config.neighborhood_size, config.placement_seed
+            n_users, config.neighborhood_size, config.placement_seed
         )
+        neighborhoods = self._plant.neighborhoods
+        if neighborhood_ids is None:
+            selected = list(neighborhoods)
+        else:
+            ids = list(neighborhood_ids)
+            if ids != sorted(set(ids)):
+                raise SimulationError(
+                    "neighborhood_ids must be sorted and unique"
+                )
+            if ids and not (0 <= ids[0] and ids[-1] < len(neighborhoods)):
+                raise SimulationError(
+                    f"neighborhood_ids out of range 0..{len(neighborhoods) - 1}"
+                )
+            selected = [neighborhoods[i] for i in ids]
+        #: The neighborhoods this instance simulates (the whole plant in
+        #: a monolithic run, one group in a shard).  Always in ascending
+        #: global id order -- the fold below depends on it.
+        self._selected = selected
 
-        catalog = trace.catalog
         footprints = [cache_footprint_bytes(p) for p in catalog]
         #: program_id -> final segment index, hoisted out of the per-
         #: session path (Program.num_segments recomputes a divmod).
         self._last_segment: List[int] = [p.num_segments - 1 for p in catalog]
 
-        #: user id -> neighborhood index, flattened for the hot path.
-        self._user_neighborhood: List[int] = [0] * trace.n_users
-        for neighborhood in self._plant:
+        #: user id -> *local* index into the selected neighborhoods
+        #: (-1 outside this shard; such users never appear in a shard's
+        #: trace slice).  Equals the global neighborhood id when the
+        #: whole plant is selected.
+        self._user_neighborhood: List[int] = [-1] * n_users
+        for local, neighborhood in enumerate(selected):
             for user_id in neighborhood.user_ids:
-                self._user_neighborhood[user_id] = neighborhood.neighborhood_id
+                self._user_neighborhood[user_id] = local
 
+        if config.strategy.requires_future_knowledge and trace is None:
+            raise SimulationError(
+                f"strategy {config.strategy.label()!r} requires future "
+                f"knowledge of the whole trace and cannot run streamed"
+            )
         built = config.strategy.build(
             BuildInputs(
-                n_neighborhoods=len(self._plant),
+                n_neighborhoods=len(selected),
                 future_accesses=(
                     self._neighborhood_futures()
                     if config.strategy.requires_future_knowledge
@@ -113,7 +152,7 @@ class CableVoDSystem:
 
         self._boxes: List[Dict[int, SetTopBox]] = []
         self._servers: List[IndexServer] = []
-        for neighborhood, strategy in zip(self._plant, built.strategies):
+        for neighborhood, strategy in zip(selected, built.strategies):
             boxes = {
                 user_id: SetTopBox(
                     box_id=user_id,
@@ -137,14 +176,31 @@ class CableVoDSystem:
             self._servers.append(server)
 
         self._media_server = MediaServer()
-        self._total_meter = HourlyMeter()
-        self._coax_meters: Dict[int, HourlyMeter] = {
-            n.neighborhood_id: HourlyMeter() for n in self._plant
-        }
+        # Every meter is kept *per neighborhood* (local-index lists for
+        # the hot path, global-id dicts for results).  The aggregate
+        # total/server meters are folded from these in ascending global
+        # id at result-build time; since neighborhoods never interact,
+        # a shard reduction can union the per-neighborhood meters and
+        # replay the identical fold -- the keystone of shard/monolith
+        # bit-identity.
+        n_local = len(selected)
+        self._local_total = [HourlyMeter() for _ in range(n_local)]
+        self._local_server = [HourlyMeter() for _ in range(n_local)]
+        self._local_coax = [HourlyMeter() for _ in range(n_local)]
         # Peer-originated broadcasts only: the traffic that rides the
         # bidirectional amplifiers the paper requires in section IV-B.4.
+        self._local_upstream = [HourlyMeter() for _ in range(n_local)]
+        self._total_meters: Dict[int, HourlyMeter] = {
+            n.neighborhood_id: m for n, m in zip(selected, self._local_total)
+        }
+        self._server_meters: Dict[int, HourlyMeter] = {
+            n.neighborhood_id: m for n, m in zip(selected, self._local_server)
+        }
+        self._coax_meters: Dict[int, HourlyMeter] = {
+            n.neighborhood_id: m for n, m in zip(selected, self._local_coax)
+        }
         self._upstream_meters: Dict[int, HourlyMeter] = {
-            n.neighborhood_id: HourlyMeter() for n in self._plant
+            n.neighborhood_id: m for n, m in zip(selected, self._local_upstream)
         }
         self._sim = Simulator()
 
@@ -158,10 +214,16 @@ class CableVoDSystem:
         The trace is already time-sorted, so each program's list comes
         out sorted for free.
         """
-        futures: List[Dict[int, List[float]]] = [dict() for _ in range(len(self._plant))]
+        futures: List[Dict[int, List[float]]] = [
+            dict() for _ in range(len(self._selected))
+        ]
         for record in self._trace:
-            bucket = futures[self._user_neighborhood[record.user_id]]
-            bucket.setdefault(record.program_id, []).append(record.start_time)
+            local = self._user_neighborhood[record.user_id]
+            if local < 0:
+                continue  # a user outside this shard's neighborhoods
+            futures[local].setdefault(record.program_id, []).append(
+                record.start_time
+            )
         return futures
 
     # ------------------------------------------------------------------
@@ -213,8 +275,10 @@ class CableVoDSystem:
         self._deliver_segment(
             now,
             self._servers[neighborhood_id],
-            self._coax_meters[neighborhood_id],
-            self._upstream_meters[neighborhood_id],
+            self._local_total[neighborhood_id],
+            self._local_coax[neighborhood_id],
+            self._local_upstream[neighborhood_id],
+            self._local_server[neighborhood_id],
             record.user_id,
             record.program_id,
             segment_index,
@@ -265,10 +329,13 @@ class CableVoDSystem:
             watch = units.SEGMENT_SECONDS
         if watch <= 1e-6:
             return
-        coax_meter = self._coax_meters[neighborhood_id]
-        upstream_meter = self._upstream_meters[neighborhood_id]
+        total_meter = self._local_total[neighborhood_id]
+        coax_meter = self._local_coax[neighborhood_id]
+        upstream_meter = self._local_upstream[neighborhood_id]
+        server_meter = self._local_server[neighborhood_id]
         self._deliver_segment(
-            now, server, coax_meter, upstream_meter, user_id, program_id, 0, watch
+            now, server, total_meter, coax_meter, upstream_meter,
+            server_meter, user_id, program_id, 0, watch
         )
         last_segment = self._last_segment[program_id]
         if 0 < last_segment and end > now + units.SEGMENT_SECONDS + 1e-6:
@@ -276,17 +343,19 @@ class CableVoDSystem:
                 now + units.SEGMENT_SECONDS,
                 self._arc_step,
                 server,
+                total_meter,
                 coax_meter,
                 upstream_meter,
+                server_meter,
                 user_id,
                 program_id,
                 end,
                 last_segment,
             )
 
-    def _arc_step(self, now: float, index: int, server, coax_meter,
-                  upstream_meter, user_id: int, program_id: int, end: float,
-                  last_segment: int) -> bool:
+    def _arc_step(self, now: float, index: int, server, total_meter,
+                  coax_meter, upstream_meter, server_meter, user_id: int,
+                  program_id: int, end: float, last_segment: int) -> bool:
         """One arc step: deliver segment ``index + 1``; return whether to go on."""
         watch = end - now
         if watch > units.SEGMENT_SECONDS:
@@ -295,33 +364,37 @@ class CableVoDSystem:
             return False
         segment_index = index + 1
         self._deliver_segment(
-            now, server, coax_meter, upstream_meter,
-            user_id, program_id, segment_index, watch,
+            now, server, total_meter, coax_meter, upstream_meter,
+            server_meter, user_id, program_id, segment_index, watch,
         )
         return (segment_index < last_segment
                 and end > now + units.SEGMENT_SECONDS + 1e-6)
 
-    def _deliver_segment(self, now: float, server, coax_meter, upstream_meter,
-                         user_id: int, program_id: int, segment_index: int,
+    def _deliver_segment(self, now: float, server, total_meter, coax_meter,
+                         upstream_meter, server_meter, user_id: int,
+                         program_id: int, segment_index: int,
                          watch: float) -> None:
         """Route one segment delivery and meter it (both engine paths).
 
         Branches on the raw ``source`` string once instead of going
         through the ``on_coax`` / ``from_server`` properties -- two
         Python property calls per delivery are measurable at hundreds of
-        thousands of deliveries per run.
+        thousands of deliveries per run.  All four meters are the
+        requesting user's *neighborhood* meters; the system-wide total
+        and server meters are folds over these (see ``__init__``).
         """
         outcome = server.request_segment(
             now, user_id, program_id, segment_index, watch
         )
-        self._total_meter.add_interval(now, watch)
+        total_meter.add_interval(now, watch)
         source = outcome.source
         if source != "local":
             coax_meter.add_interval(now, watch)
             if source == "peer":
                 upstream_meter.add_interval(now, watch)
             else:  # "server" is the only other on-coax source
-                self._media_server.serve(now, watch)
+                server_meter.add_interval(now, watch)
+                self._media_server.deliveries += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -329,6 +402,11 @@ class CableVoDSystem:
 
     def run(self) -> SimulationResult:
         """Replay the whole trace and collect the results."""
+        if self._trace is None:
+            raise SimulationError(
+                "this system was built traceless; feed it chunks via "
+                "run_streaming()"
+            )
         started = _time.perf_counter()
         if self._engine == "columnar":
             events_processed = self._run_columnar()
@@ -350,7 +428,48 @@ class CableVoDSystem:
                     self._sim.at(record.start_time, self._start_session, record)
             self._sim.run()
             events_processed = self._sim.events_processed
+        return self._build_result(events_processed, self._trace.end_time,
+                                  started)
 
+    def run_streaming(self, chunks: Iterable) -> SimulationResult:
+        """Replay a chunked trace stream with O(chunk) resident records.
+
+        ``chunks`` yields :class:`~repro.trace.streaming.TraceChunk`-shaped
+        objects (ascending, non-overlapping).  Per chunk, the clock
+        first drains to just below the chunk's window start -- the
+        horizon-aware run leaves every later bucket unactivated -- then
+        the chunk's starts extend the calendar queue as slabs whose
+        columns are dropped as soon as their buckets drain.
+        Bit-identical to :meth:`run` on the materialized trace with
+        ``engine="bucket"`` (the sequence-band argument is laid out in
+        ``Simulator.extend_starts``), including ``trace_end_time``,
+        which is accumulated here exactly as ``Trace.end_time`` computes
+        it: the max session end over the replayed records.
+        """
+        if self._engine != "bucket":
+            raise SimulationError(
+                f"streaming replay runs on the bucket engine only "
+                f"(got {self._engine!r}); materialize the trace for "
+                f"heap/columnar runs"
+            )
+        started = _time.perf_counter()
+        sim = self._sim
+        end_time = 0.0
+        for chunk in chunks:
+            bound = chunk.start_second
+            if bound > sim.now:
+                sim.run(until=math.nextafter(bound, -math.inf))
+            records = chunk.records()
+            if records:
+                end_time = max(end_time,
+                               max(r.end_time for r in records))
+            sim.extend_starts(chunk.start_times, self._start_session_fast,
+                              records)
+        sim.run()
+        return self._build_result(sim.events_processed, end_time, started)
+
+    def _build_result(self, events_processed: int, trace_end_time: float,
+                      started: float) -> SimulationResult:
         counters = SimulationCounters()
         for server in self._servers:
             stats = server.stats
@@ -367,15 +486,21 @@ class CableVoDSystem:
             counters.evictions += stats.evictions
             counters.placement_failures += stats.placement_failures
 
+        # The canonical fold: ascending global neighborhood id.  A
+        # shard merge (SimulationResult.merged) unions the disjoint
+        # per-neighborhood dicts and folds in the same order, which is
+        # what keeps sharded and monolithic aggregates bit-identical.
         return SimulationResult(
             config=self._config,
-            n_users=self._trace.n_users,
-            n_neighborhoods=len(self._plant),
-            trace_end_time=self._trace.end_time,
-            server_meter=self._media_server.meter,
-            total_meter=self._total_meter,
+            n_users=sum(n.size for n in self._selected),
+            n_neighborhoods=len(self._selected),
+            trace_end_time=trace_end_time,
+            server_meter=HourlyMeter.merged(self._local_server),
+            total_meter=HourlyMeter.merged(self._local_total),
             coax_meters=self._coax_meters,
             upstream_meters=self._upstream_meters,
+            total_meters=self._total_meters,
+            server_meters=self._server_meters,
             counters=counters,
             events_processed=events_processed,
             wall_seconds=_time.perf_counter() - started,
@@ -503,32 +628,42 @@ class CableVoDSystem:
                     meter.add_bits_bulk(nonzero.tolist(),
                                         dense[nonzero].tolist())
 
-            dense = np.zeros(n_hours)
-            np.add.at(dense, hours, bits)
-            fill(self._total_meter, dense)
-
             row_nbhd = deliver_nbhd[event_ids]
             row_code = codes_arr[event_ids]
+
+            # Every meter family is per-neighborhood now (totals and
+            # server traffic included); np.add.at is order-preserving,
+            # so each (neighborhood, hour) cell accumulates through the
+            # same float additions as the scalar engines' per-
+            # neighborhood add_interval calls in event order.
+            dense = np.zeros(n_servers * n_hours)
+            np.add.at(dense, row_nbhd * n_hours + hours, bits)
+            dense = dense.reshape(n_servers, n_hours)
+            for local, meter in enumerate(self._local_total):
+                fill(meter, dense[local])
 
             on_coax = row_code != idx.CODE_LOCAL
             dense = np.zeros(n_servers * n_hours)
             np.add.at(dense, row_nbhd[on_coax] * n_hours + hours[on_coax],
                       bits[on_coax])
             dense = dense.reshape(n_servers, n_hours)
-            for neighborhood_id, meter in self._coax_meters.items():
-                fill(meter, dense[neighborhood_id])
+            for local, meter in enumerate(self._local_coax):
+                fill(meter, dense[local])
 
             upstream = row_code == idx.CODE_PEER
             dense = np.zeros(n_servers * n_hours)
             np.add.at(dense, row_nbhd[upstream] * n_hours + hours[upstream],
                       bits[upstream])
             dense = dense.reshape(n_servers, n_hours)
-            for neighborhood_id, meter in self._upstream_meters.items():
-                fill(meter, dense[neighborhood_id])
+            for local, meter in enumerate(self._local_upstream):
+                fill(meter, dense[local])
 
             server_rows = row_code >= idx.CODE_BUSY
-            dense = np.zeros(n_hours)
-            np.add.at(dense, hours[server_rows], bits[server_rows])
-            fill(self._media_server.meter, dense)
+            dense = np.zeros(n_servers * n_hours)
+            np.add.at(dense, row_nbhd[server_rows] * n_hours
+                      + hours[server_rows], bits[server_rows])
+            dense = dense.reshape(n_servers, n_hours)
+            for local, meter in enumerate(self._local_server):
+                fill(meter, dense[local])
 
         return schedule.n_events

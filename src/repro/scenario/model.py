@@ -174,6 +174,16 @@ class Scenario:
         Names of extra per-run metric sets
         (:mod:`repro.scenario.metrics`, e.g. ``"coax"``) merged into
         this scenario's result rows.
+    shards:
+        Cut the replay into this many per-neighborhood-group shard
+        tasks (:mod:`repro.core.shard`) and reduce the results --
+        bit-identical to ``shards=1`` for any count.  Strategies that
+        share a cross-neighborhood feed cannot shard.
+    streaming:
+        Generate the trace lazily and replay it chunk by chunk, so
+        peak resident session columns stay O(chunk) per worker; the
+        metro-scale switch.  Requires an untransformed workload, no
+        baselines, and a strategy without future knowledge.
     """
 
     trace: PowerInfoModel
@@ -186,6 +196,8 @@ class Scenario:
     catalog_x: int = 1
     baselines: Tuple[str, ...] = ()
     metrics: Tuple[str, ...] = ()
+    shards: int = 1
+    streaming: bool = False
 
     def __post_init__(self) -> None:
         if not isinstance(self.trace, PowerInfoModel):
@@ -215,6 +227,42 @@ class Scenario:
         object.__setattr__(self, "metrics", tuple(self.metrics))
         validate_baselines(self.baselines)
         validate_metrics(self.metrics)
+        if isinstance(self.shards, bool) or not isinstance(self.shards, int) \
+                or self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be an integer >= 1, got {self.shards!r}"
+            )
+        if not isinstance(self.streaming, bool):
+            raise ConfigurationError(
+                f"streaming must be a bool, got {self.streaming!r}"
+            )
+        if self.shards > 1 and self.config.strategy.uses_global_feed:
+            raise ConfigurationError(
+                f"strategy {self.config.strategy.label!r} shares a "
+                f"cross-neighborhood popularity feed and cannot run sharded"
+            )
+        if self.shards > 1 and self.baselines:
+            raise ConfigurationError(
+                "baseline metrics are whole-trace analytics and cannot "
+                "ride on a sharded scenario"
+            )
+        if self.streaming:
+            if self.config.strategy.requires_future_knowledge:
+                raise ConfigurationError(
+                    f"strategy {self.config.strategy.label!r} requires "
+                    f"future knowledge of the whole trace and cannot run "
+                    f"streamed"
+                )
+            if self.population_x != 1 or self.catalog_x != 1:
+                raise ConfigurationError(
+                    "streaming replay supports untransformed workloads "
+                    "only (population_x == catalog_x == 1)"
+                )
+            if self.baselines:
+                raise ConfigurationError(
+                    "baseline metrics need the materialized trace and "
+                    "cannot ride on a streaming scenario"
+                )
 
     # ------------------------------------------------------------------
     # Derived values
@@ -265,6 +313,10 @@ class Scenario:
             payload["baselines"] = list(self.baselines)
         if self.metrics:
             payload["metrics"] = list(self.metrics)
+        if self.shards != 1:
+            payload["shards"] = self.shards
+        if self.streaming:
+            payload["streaming"] = self.streaming
         payload["trace"] = model_to_dict(self.trace)
         payload["config"] = config_to_dict(self.config)
         return payload
@@ -288,7 +340,7 @@ class Scenario:
         config = (config_from_dict(data.pop("config"))
                   if "config" in data else SimulationConfig())
         known = {"engine", "seed", "label", "scale", "population_x",
-                 "catalog_x", "baselines", "metrics"}
+                 "catalog_x", "baselines", "metrics", "shards", "streaming"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(

@@ -32,6 +32,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from repro.baselines.registry import RATE_COLUMNS
 from repro.core.config import SimulationConfig
 from repro.core.parallel import (
+    ShardSpec,
     SimulationTask,
     iter_task_results,
 )
@@ -69,8 +70,42 @@ def scenario_task(scenario: Scenario) -> SimulationTask:
     )
 
 
+def scenario_tasks(scenario: Scenario) -> List[SimulationTask]:
+    """The task group executing one scenario (one task per shard).
+
+    Unsharded, non-streaming scenarios stay a single whole-plant task;
+    otherwise one :class:`ShardSpec`-carrying task per neighborhood
+    group, whose results the caller reduces with
+    :meth:`SimulationResult.merged` (sweeps do this per point).
+    """
+    if scenario.shards == 1 and not scenario.streaming:
+        return [scenario_task(scenario)]
+    workload = scenario.workload()
+    return [
+        SimulationTask(
+            workload=workload,
+            config=scenario.config,
+            engine=scenario.engine,
+            shard=ShardSpec(n_shards=scenario.shards, index=index,
+                            streaming=scenario.streaming),
+        )
+        for index in range(scenario.shards)
+    ]
+
+
 def run_scenario(scenario: Scenario) -> SimulationResult:
-    """Run one scenario against its (memoized, transformed) trace."""
+    """Run one scenario against its (memoized, transformed) trace.
+
+    Sharded or streaming scenarios go through
+    :func:`repro.core.shard.run_sharded` (worker count resolved from
+    the process default); the result is bit-identical either way.
+    """
+    if scenario.shards > 1 or scenario.streaming:
+        from repro.core.shard import run_sharded
+
+        return run_sharded(scenario.workload(), scenario.config,
+                           n_shards=scenario.shards, engine=scenario.engine,
+                           streaming=scenario.streaming)
     trace = cached_workload_trace(scenario.workload())
     return run_simulation(trace, scenario.config, engine=scenario.engine)
 
@@ -100,9 +135,14 @@ def scenario_row(scenario: Scenario,
     """
     baseline_values: Dict[str, float] = {}
     if result is None:
-        result, baseline_values = next(
-            iter_task_results([scenario_task(scenario)], workers=1)
-        )
+        if scenario.shards > 1 or scenario.streaming:
+            # Sharded/streaming scenarios carry no baselines (the
+            # Scenario validates that), so there are no columns to lose.
+            result = run_scenario(scenario)
+        else:
+            result, baseline_values = next(
+                iter_task_results([scenario_task(scenario)], workers=1)
+            )
     row = _scenario_row(scenario, result, baseline_values)
     if scenario.label:
         row["label"] = scenario.label
@@ -121,11 +161,31 @@ def run_scenarios(
     ``--workers`` flag, else ``REPRO_WORKERS``, else one per CPU).
     """
     # Baselines are row-level; result-only callers skip computing them.
-    tasks = [
-        SimulationTask(workload=s.workload(), config=s.config, engine=s.engine)
+    groups = [
+        scenario_tasks(s) if (s.shards > 1 or s.streaming) else
+        [SimulationTask(workload=s.workload(), config=s.config,
+                        engine=s.engine)]
         for s in scenarios
     ]
-    return [result for result, _ in iter_task_results(tasks, workers=workers)]
+    outcomes = iter_task_results([t for group in groups for t in group],
+                                 workers=workers)
+    return [_reduce_group(len(group), outcomes) for group in groups]
+
+
+def _reduce_group(size: int, outcomes: Iterator[Tuple[SimulationResult,
+                                                      Dict[str, float]]]
+                  ) -> SimulationResult:
+    """Collapse one scenario's next ``size`` outcomes into its result.
+
+    A single-task group passes its result straight through (keeping the
+    monolithic path byte-for-byte untouched); a shard group reduces
+    through :meth:`SimulationResult.merged`, which reproduces the
+    monolithic fold exactly.
+    """
+    results = [next(outcomes)[0] for _ in range(size)]
+    if size == 1:
+        return results[0]
+    return SimulationResult.merged(results)
 
 
 def iter_sweep_rows(
@@ -144,9 +204,15 @@ def iter_sweep_rows(
         expanded: List[Tuple[Scenario, Dict[str, Any]]] = [(sweep, {})]
     else:
         expanded = sweep.expand()
-    tasks = [scenario_task(scenario) for scenario, _ in expanded]
-    outcomes = iter_task_results(tasks, workers=workers)
-    for (scenario, cols), (result, baseline_values) in zip(expanded, outcomes):
+    groups = [scenario_tasks(scenario) for scenario, _ in expanded]
+    outcomes = iter_task_results([t for group in groups for t in group],
+                                 workers=workers)
+    for (scenario, cols), group in zip(expanded, groups):
+        if len(group) == 1 and group[0].shard is None:
+            result, baseline_values = next(outcomes)
+        else:
+            result = _reduce_group(len(group), outcomes)
+            baseline_values = {}
         yield _scenario_row(scenario, result, baseline_values, cols)
 
 

@@ -76,7 +76,8 @@ class Simulator:
     10.0
     """
 
-    __slots__ = ("_now", "_queue", "_buckets", "_events_processed", "_running")
+    __slots__ = ("_now", "_queue", "_buckets", "_events_processed",
+                 "_running", "_start_seq")
 
     def __init__(self, start_time: float = 0.0,
                  tick_seconds: float = DEFAULT_TICK_SECONDS) -> None:
@@ -86,6 +87,9 @@ class Simulator:
         self._buckets = TickBucketQueue(counter, tick_seconds)
         self._events_processed = 0
         self._running = False
+        #: Next session-start sequence number handed to extend_starts
+        #: (streamed replay keeps starts in a low band, see below).
+        self._start_seq = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -196,6 +200,64 @@ class Simulator:
         counter = itertools.count(n)
         self._queue._counter = counter
         self._buckets._counter = counter
+
+    #: Sequence band for dynamically scheduled events under streamed
+    #: replay.  extend_starts() cannot know the total record count up
+    #: front the way preload_starts() can, so instead of rebasing the
+    #: shared counter past the starts it parks *dynamic* draws in a high
+    #: band and numbers starts 0, 1, 2, ... chunk after chunk.  Relative
+    #: order within each class is unchanged and every start still
+    #: precedes any coincident dynamic event -- the same total order the
+    #: whole-trace preload produces (sequence values differ, comparisons
+    #: do not).
+    _STREAM_DYNAMIC_SEQ = 1 << 62
+
+    def extend_starts(self, times: Any, callback: EventCallback,
+                      payloads: Any) -> None:
+        """Register one chunk of a start-sorted event storm mid-run.
+
+        The streamed counterpart of :meth:`preload_starts`: call once
+        per trace chunk, in chronological chunk order, after running
+        the clock to just before the chunk's window (so every earlier
+        bucket has drained -- :meth:`run` with a horizon just below a
+        tick boundary leaves later buckets unactivated for exactly this
+        reason).  The first call must find a fresh simulator and
+        switches dynamic sequence numbering to the high band described
+        above; replaying a trace chunk-by-chunk through this API is
+        bit-identical to one whole-trace :meth:`preload_starts`.
+
+        Raises
+        ------
+        SimulationError
+            If called from inside :meth:`run`, on a non-fresh simulator
+            for the first chunk, with a start before the clock, or with
+            a mis-ordered / overlapping chunk.
+        """
+        if self._running:
+            raise SimulationError(
+                "simulator is not reentrant: extend_starts() called from "
+                "a callback"
+            )
+        if len(times) and times[0] < self._now:
+            raise SimulationError(
+                f"cannot extend with a start at t={times[0]:.6f}, clock "
+                f"is already at t={self._now:.6f}"
+            )
+        if self._start_seq == 0:
+            if self._events_processed or len(self._queue) or len(self._buckets):
+                raise SimulationError(
+                    "extend_starts requires a fresh simulator for the "
+                    "first chunk (no events executed or pending)"
+                )
+            counter = itertools.count(self._STREAM_DYNAMIC_SEQ)
+            self._queue._counter = counter
+            self._buckets._counter = counter
+        try:
+            n = self._buckets.extend_sorted(times, payloads, callback,
+                                            self._start_seq)
+        except ValueError as error:
+            raise SimulationError(str(error)) from None
+        self._start_seq += n
 
     def start_arc(self, time: float, fn, *args: Any) -> SessionArc:
         """Register a session arc whose first step fires at ``time``.
@@ -369,19 +431,38 @@ class Simulator:
                 while True:
                     if front is None or pos >= front_len:
                         buckets._front_pos = pos
-                        buckets._activate_next_bucket()
-                        front = buckets._front
-                        pos = buckets._front_pos
-                        if front is not None:
-                            front_len = len(front)
-                            next_tick = buckets._front_tick + 1
-                            next_lo = next_tick * width
-                            next_hi = next_lo + width
-                            next_bucket = bucket_map.get(next_tick)
-                        else:
+                        if tick_heap and tick_heap[0] * width > limit:
+                            # Horizon-aware activation: the earliest
+                            # pending bucket starts past the horizon, so
+                            # every bucket does (ticks are aligned).
+                            # Leave them *unactivated* -- activation
+                            # would advance _front_tick and make
+                            # accepts()/extend_sorted reject exactly the
+                            # ticks a streamed replay appends its next
+                            # chunk to after this run() returns.  Heap
+                            # events inside the horizon still execute
+                            # below; the check re-runs each iteration in
+                            # case one deposits an earlier bucket.
+                            front = None
                             front_len = 0
                             next_bucket = None
                             next_lo = next_hi = -1.0
+                            if not heap:
+                                break
+                        else:
+                            buckets._activate_next_bucket()
+                            front = buckets._front
+                            pos = buckets._front_pos
+                            if front is not None:
+                                front_len = len(front)
+                                next_tick = buckets._front_tick + 1
+                                next_lo = next_tick * width
+                                next_hi = next_lo + width
+                                next_bucket = bucket_map.get(next_tick)
+                            else:
+                                front_len = 0
+                                next_bucket = None
+                                next_lo = next_hi = -1.0
                     if heap:
                         while heap and heap[0][2].cancelled:
                             heappop(heap)

@@ -98,7 +98,7 @@ class TickBucketQueue:
 
     __slots__ = ("width", "_counter", "_buckets", "_tick_heap",
                  "_front", "_front_pos", "_front_tick", "_live",
-                 "_slabs", "_slab_source")
+                 "_slabs")
 
     def __init__(self, counter: Iterator[int],
                  tick_seconds: float = DEFAULT_TICK_SECONDS) -> None:
@@ -114,11 +114,14 @@ class TickBucketQueue:
         #: Tick index of ``_front`` (-1 before any bucket is activated).
         self._front_tick = -1
         self._live = 0
-        #: tick -> (lo, hi) slice of the preloaded start column; the
-        #: record at global index ``i`` carries sequence number ``i``.
-        self._slabs: dict[int, Tuple[int, int]] = {}
-        #: (times, payloads, callback) backing the slab slices.
-        self._slab_source: Optional[tuple] = None
+        #: tick -> (lo, hi, (times, payloads, callback, base_seq)):
+        #: a slice of a preloaded start column plus its backing source.
+        #: The record at slice index ``i`` carries sequence number
+        #: ``base_seq + i`` (0 for the whole-trace preload, a running
+        #: chunk offset for streamed extensions).  Per-slab sources let
+        #: a chunk's columns be released as soon as its last bucket
+        #: drains -- the whole point of streaming replay.
+        self._slabs: dict[int, Tuple[int, int, tuple]] = {}
 
     def __len__(self) -> int:
         return self._live
@@ -202,17 +205,72 @@ class TickBucketQueue:
         if not all(map(operator.le, times, islice(times, 1, None))):
             raise ValueError("preload_sorted requires ascending times")
         width = self.width
+        src = (times, payloads, callback, 0)
         lo = 0
         while lo < n:
             tick = int(times[lo] // width)
             hi = bisect_left(times, (tick + 1) * width, lo)
-            self._slabs[tick] = (lo, hi)
+            self._slabs[tick] = (lo, hi, src)
             # Pre-create the bucket so later deposits into a slab tick
             # append instead of double-pushing the tick onto the heap.
             self._buckets[tick] = []
             heapq.heappush(self._tick_heap, tick)
             lo = hi
-        self._slab_source = (times, payloads, callback)
+        self._live += n
+        return n
+
+    def extend_sorted(self, times: Sequence[float], payloads: Sequence[Any],
+                      callback: Callable[..., None], base_seq: int) -> int:
+        """Append a later slab of sorted starts to a *running* queue.
+
+        The streaming-replay counterpart of :meth:`preload_sorted`: the
+        trace arrives chunk by chunk, so each chunk's columns are
+        registered mid-run, after earlier buckets have already drained.
+        Entry ``i`` of this slab takes sequence number ``base_seq + i``
+        -- the caller threads a running record index through so a
+        streamed replay assigns every record the same sequence number
+        the whole-trace preload would have.
+
+        ``times`` must be ascending and must land strictly past the
+        bucket currently being drained (the chunk protocol: the driver
+        runs the clock to just before a chunk's window start before
+        extending, and hour-aligned windows are tick-aligned because
+        the 3600 s hour is a multiple of the 300 s tick).  Ticks that
+        already hold deposited entries (arc continuations scheduled
+        into the new chunk's window) are merged, not overwritten.
+        """
+        n = len(times)
+        if len(payloads) != n:
+            raise ValueError(
+                f"extend columns disagree: {n} times vs "
+                f"{len(payloads)} payloads"
+            )
+        if not all(map(operator.le, times, islice(times, 1, None))):
+            raise ValueError("extend_sorted requires ascending times")
+        if n == 0:
+            return 0
+        width = self.width
+        if int(times[0] // width) <= self._front_tick:
+            raise ValueError(
+                "extend_sorted slab starts at or before the bucket "
+                "being drained; run the clock past the chunk boundary "
+                "before extending"
+            )
+        src = (times, payloads, callback, base_seq)
+        lo = 0
+        while lo < n:
+            tick = int(times[lo] // width)
+            hi = bisect_left(times, (tick + 1) * width, lo)
+            if tick in self._slabs:
+                raise ValueError(
+                    f"extend_sorted slab collides with an existing slab "
+                    f"at tick {tick}"
+                )
+            self._slabs[tick] = (lo, hi, src)
+            if tick not in self._buckets:
+                self._buckets[tick] = []
+                heapq.heappush(self._tick_heap, tick)
+            lo = hi
         self._live += n
         return n
 
@@ -243,9 +301,8 @@ class TickBucketQueue:
             entries = self._buckets.pop(tick)
             slab = self._slabs.pop(tick, None)
             if slab is not None:
-                times, payloads, callback = self._slab_source
-                lo, hi = slab
-                built = [(times[i], i, callback, (payloads[i],))
+                lo, hi, (times, payloads, callback, base) = slab
+                built = [(times[i], base + i, callback, (payloads[i],))
                          for i in range(lo, hi)]
                 if entries:
                     entries.extend(built)

@@ -7,10 +7,20 @@ coax (headend <-> subscribers).  This package models that hierarchy:
 
 * :mod:`repro.topology.hfc` -- the topology objects and capacity facts;
 * :mod:`repro.topology.placement` -- the deterministic uniform-random
-  assignment of trace users to neighborhoods required by section V-B.
+  assignment of trace users to neighborhoods required by section V-B;
+* :mod:`repro.topology.sharding` -- the contiguous neighborhood-group
+  partition behind sharded metro replay.
 """
 
 from repro.topology.hfc import CablePlant, Headend, Neighborhood
 from repro.topology.placement import place_users
+from repro.topology.sharding import n_neighborhoods_for, partition_neighborhoods
 
-__all__ = ["CablePlant", "Headend", "Neighborhood", "place_users"]
+__all__ = [
+    "CablePlant",
+    "Headend",
+    "Neighborhood",
+    "n_neighborhoods_for",
+    "partition_neighborhoods",
+    "place_users",
+]

@@ -1,0 +1,76 @@
+"""Partitioning a metro plant into per-shard neighborhood groups.
+
+Neighborhood caches are independent by construction -- an index server
+only ever talks to its own coax segment, and user placement
+(:mod:`repro.topology.placement`) is keyed by ``(n_users,
+neighborhood_size, placement_seed)`` alone -- so a metro-scale replay
+can be cut along neighborhood boundaries and the per-shard results
+reduced exactly (:meth:`repro.core.results.SimulationResult.merged`).
+This module owns the cut itself: a deterministic partition of the dense
+neighborhood id range into contiguous, balanced groups.
+
+Contiguity is deliberate: group ``k`` is a range, every worker computes
+the same partition from three integers, and the ascending-global-id
+meter fold that bit-identity rests on falls out of simple
+concatenation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import TopologyError
+
+
+def n_neighborhoods_for(n_users: int, neighborhood_size: int) -> int:
+    """How many neighborhoods ``place_users`` will cut this plant into.
+
+    The count is derivable without building the plant -- the shuffle
+    only permutes users, the cut sizes are fixed -- which is what lets
+    shard planning happen before any trace or topology exists.
+    """
+    if n_users <= 0:
+        raise TopologyError(f"n_users must be positive, got {n_users}")
+    if neighborhood_size <= 0:
+        raise TopologyError(
+            f"neighborhood_size must be positive, got {neighborhood_size}"
+        )
+    return math.ceil(n_users / neighborhood_size)
+
+
+def partition_neighborhoods(n_neighborhoods: int,
+                            n_shards: int) -> List[Tuple[int, ...]]:
+    """Cut ``0..n_neighborhoods-1`` into ``n_shards`` contiguous groups.
+
+    The first ``n_neighborhoods % n_shards`` groups hold one extra id,
+    so group sizes differ by at most one.  Concatenating the groups in
+    order reproduces the full ascending id range -- the property the
+    shard reduction's meter fold depends on.
+
+    Raises
+    ------
+    TopologyError
+        If either count is non-positive, or there are more shards than
+        neighborhoods (an empty shard would simulate nothing and break
+        the disjoint-union reduction).
+    """
+    if n_neighborhoods <= 0:
+        raise TopologyError(
+            f"n_neighborhoods must be positive, got {n_neighborhoods}"
+        )
+    if n_shards <= 0:
+        raise TopologyError(f"n_shards must be positive, got {n_shards}")
+    if n_shards > n_neighborhoods:
+        raise TopologyError(
+            f"cannot cut {n_neighborhoods} neighborhoods into {n_shards} "
+            f"shards; every shard needs at least one neighborhood"
+        )
+    base, extra = divmod(n_neighborhoods, n_shards)
+    groups: List[Tuple[int, ...]] = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        groups.append(tuple(range(start, start + size)))
+        start += size
+    return groups

@@ -115,6 +115,85 @@ def publish_trace(trace: Trace, directory: Optional[str] = None) -> TraceShareHa
                             n_programs=len(catalog), n_users=trace.n_users)
 
 
+class SharedColumns:
+    """Typed views over a mapped trace share, without record objects.
+
+    The shard runner's attach path: a worker that simulates one
+    neighborhood group wants to *filter* the published columns down to
+    its own users before paying for ``SessionRecord`` construction, so
+    it needs the raw columns rather than the finished ``Trace``.  Use
+    as a context manager; every view (and the mapping behind it) dies
+    at ``__exit__``, so copy whatever survives the block.
+    """
+
+    def __init__(self, handle: TraceShareHandle) -> None:
+        n, m = handle.n_records, handle.n_programs
+        expected = _HEADER.size + 8 * (4 * n + 2 * m)
+        self._views: list = []
+        self._mapped: Optional[mmap.mmap] = None
+        with open(handle.path, "rb") as fh:
+            if os.fstat(fh.fileno()).st_size != expected:
+                raise TraceError(
+                    f"trace share {handle.path} has the wrong size for "
+                    f"{n} records / {m} programs"
+                )
+            # length=0 maps the whole file; an empty trace share is
+            # smaller than a page but mmap handles that fine.
+            self._mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            magic, fn, fm, fusers = _HEADER.unpack_from(self._mapped, 0)
+            if magic != _MAGIC or (fn, fm, fusers) != (n, m, handle.n_users):
+                raise TraceError(
+                    f"trace share {handle.path} header does not match its "
+                    f"handle (corrupt or stale file)"
+                )
+            view = memoryview(self._mapped)
+            self._views.append(view)
+            offset = _HEADER.size
+            sections = []
+            for code, count in (("d", n), ("d", n), ("q", n), ("q", n),
+                                ("d", m), ("d", m)):
+                size = 8 * count
+                section = view[offset:offset + size].cast(code)
+                self._views.append(section)
+                sections.append(section)
+                offset += size
+            starts, durations, users, programs, lengths, introduced = sections
+            self.start_times = starts
+            self.durations = durations
+            self.user_ids = users
+            self.program_ids = programs
+            self.catalog = Catalog([
+                Program(program_id=i, length_seconds=lengths[i],
+                        introduced_at=introduced[i])
+                for i in range(m)
+            ])
+            self.n_users = handle.n_users
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Release every view and the mapping (idempotent)."""
+        for section in reversed(self._views):
+            section.release()
+        self._views.clear()
+        if self._mapped is not None:
+            self._mapped.close()
+            self._mapped = None
+
+    def __enter__(self) -> "SharedColumns":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_columns(handle: TraceShareHandle) -> SharedColumns:
+    """Map ``handle``'s column file into typed views (no records built)."""
+    return SharedColumns(handle)
+
+
 def attach_trace(handle: TraceShareHandle) -> Trace:
     """Rebuild the published trace by mapping ``handle``'s column file.
 
@@ -125,44 +204,10 @@ def attach_trace(handle: TraceShareHandle) -> Trace:
     re-checks the ordering/id invariants -- rather than feeding a
     damaged trace to a simulation.
     """
-    n, m = handle.n_records, handle.n_programs
-    expected = _HEADER.size + 8 * (4 * n + 2 * m)
-    with open(handle.path, "rb") as fh:
-        if os.fstat(fh.fileno()).st_size != expected:
-            raise TraceError(
-                f"trace share {handle.path} has the wrong size for "
-                f"{n} records / {m} programs"
-            )
-        # length=0 maps the whole file; an empty trace share is smaller
-        # than a page but mmap handles that fine.
-        with mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ) as mapped:
-            magic, fn, fm, fusers = _HEADER.unpack_from(mapped, 0)
-            if magic != _MAGIC or (fn, fm, fusers) != (n, m, handle.n_users):
-                raise TraceError(
-                    f"trace share {handle.path} header does not match its "
-                    f"handle (corrupt or stale file)"
-                )
-            view = memoryview(mapped)
-            try:
-                offset = _HEADER.size
-                sections = []
-                for code, count in (("d", n), ("d", n), ("q", n), ("q", n),
-                                    ("d", m), ("d", m)):
-                    size = 8 * count
-                    sections.append(view[offset:offset + size].cast(code))
-                    offset += size
-                starts, durations, users, programs, lengths, introduced = sections
-                catalog = Catalog([
-                    Program(program_id=i, length_seconds=lengths[i],
-                            introduced_at=introduced[i])
-                    for i in range(m)
-                ])
-                return Trace.from_columns(starts, users, programs, durations,
-                                          catalog, handle.n_users)
-            finally:
-                for section in sections:
-                    section.release()
-                view.release()
+    with attach_columns(handle) as cols:
+        return Trace.from_columns(cols.start_times, cols.user_ids,
+                                  cols.program_ids, cols.durations,
+                                  cols.catalog, cols.n_users)
 
 
 def unlink_trace(handle: TraceShareHandle) -> None:

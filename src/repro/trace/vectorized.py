@@ -96,6 +96,7 @@ def _program_picks(
     release_flags: Sequence[bool],
     counts: np.ndarray,
     rng: np.random.Generator,
+    hour_offset: int = 0,
 ) -> np.ndarray:
     """Program ids for every session, grouped by simulated hour.
 
@@ -103,6 +104,11 @@ def _program_picks(
     ``zipf * decay(age)`` for releases and ``zipf`` for back-catalog,
     exactly as ``_HourlyProgramSampler._refresh`` computes it (including
     the all-weights-vanished fallback to the static Zipf mix).
+
+    ``hour_offset`` shifts ``counts[0]`` to an absolute simulated hour so
+    the streaming generator can hand in one chunk of counts at a time and
+    still evaluate decay at the same absolute midpoints as a whole-trace
+    call.
     """
     n = len(catalog)
     zipf = np.asarray(
@@ -124,7 +130,7 @@ def _program_picks(
     chunk_hours = max(1, min(len(active_hours), 2_000_000 // max(n, 1)))
     for start in range(0, len(active_hours), chunk_hours):
         hours = active_hours[start:start + chunk_hours]
-        midpoints = (hours + 0.5) * units.SECONDS_PER_HOUR
+        midpoints = (hours + hour_offset + 0.5) * units.SECONDS_PER_HOUR
         age = midpoints[:, None] - introduced[None, :]
         decay = floor + (1.0 - floor) * np.exp(-np.maximum(age, 0.0) / tau)
         decay[age < 0.0] = 0.0
@@ -159,12 +165,29 @@ def _session_durations(
     ``[min(min_session, L/2), L]`` band as the scalar sampler.
     """
     total = program_lengths.size
-    mu, sigma = model.short_session_mu, model.short_session_sigma
     full_mask = rng.random(total) < model.full_view_probability
+    body_u = rng.random(int((~full_mask).sum()))
+    return _session_durations_from(model, program_lengths, full_mask, body_u)
+
+
+def _session_durations_from(
+    model: PowerInfoModel,
+    program_lengths: np.ndarray,
+    full_mask: np.ndarray,
+    body_u: np.ndarray,
+) -> np.ndarray:
+    """Durations from pre-drawn uniforms (elementwise, so chunk-safe).
+
+    Split out of :func:`_session_durations` because the streaming
+    generator draws the full-view mask and the body uniforms from two
+    generator clones (batch order draws *all* masks before *any* body
+    uniform, which a single sequentially-consumed stream cannot
+    reproduce chunk by chunk).
+    """
+    mu, sigma = model.short_session_mu, model.short_session_sigma
     durations = np.where(full_mask, program_lengths, 0.0)
 
     body_idx = np.nonzero(~full_mask)[0]
-    body_u = rng.random(body_idx.size)
     body_len = program_lengths[body_idx]
     for length in np.unique(body_len):
         lower = min(model.min_session_seconds, length / 2.0)
@@ -264,3 +287,126 @@ def generate_records_numpy(
         catalog,
         model.n_users,
     )
+
+
+def stream_records_numpy(
+    model: PowerInfoModel,
+    catalog: Catalog,
+    release_flags: Sequence[bool],
+    daily_sessions: float,
+    shares: List[float],
+    user_cum: Sequence[float],
+    chunk_hours: int,
+):
+    """Yield the batch generator's records hour-chunk by hour-chunk.
+
+    Bit-identical to :func:`generate_records_numpy`: every chunk's
+    columns equal the corresponding slice of the whole-trace batch.
+    Holding that equality while keeping memory O(chunk) relies on three
+    PCG64 facts (all pinned by ``tests/trace/test_streaming.py``):
+
+    * ``Generator.random(n)`` consumed in sequential pieces equals one
+      batch draw, so the times/users/programs/mask streams are simply
+      drawn per chunk in order;
+    * ``bit_generator.advance(k)`` skips exactly ``k`` doubles, which
+      lets the final-hour overshoot (the only hour the batch path
+      filters) be *peeked* up front from a clone of the times stream,
+      and lets the body-duration uniforms come from a clone of the
+      lengths stream advanced past all ``total`` full-view mask draws
+      (batch order draws every mask before any body uniform);
+    * ``Generator.poisson(lam_array)`` consumes its stream element by
+      element, so the O(hours) hourly counts can be drawn whole-trace
+      up front.
+
+    Chunks are yielded as ``(start_hour, end_hour, starts, users,
+    programs, durations)`` tuples of numpy arrays, ascending and
+    non-overlapping; empty chunks are skipped.  Each chunk is sorted by
+    ``(start, user, program)`` exactly as the batch path orders the
+    same rows: hour blocks are disjoint (a start never leaves its
+    hour), so the batch's global sort is the concatenation of the
+    per-chunk sorts.  The one theoretical divergence is a start that
+    rounds to exactly a chunk-boundary float *and* collides with a
+    start on the far side -- a sub-2^-50 coincidence the batch path's
+    own tie fallback already treats as pathological.
+    """
+    if chunk_hours < 1:
+        raise ConfigurationError(
+            f"chunk_hours must be >= 1, got {chunk_hours}")
+    seed = model.seed
+    total_hours = int(math.ceil(model.days * units.HOURS_PER_DAY))
+    window_end = model.duration_seconds
+
+    lam = daily_sessions * np.asarray(shares)[
+        np.arange(total_hours) % units.HOURS_PER_DAY
+    ]
+    counts = _rng(seed, "hourly-counts").poisson(lam)
+    pre_total = int(counts.sum())
+    if pre_total == 0:
+        return
+
+    # Peek the trailing partial hour: the batch path drops starts past
+    # the window *before* drawing users/programs/durations, so the kept
+    # total must be known before the first chunk is emitted (it sizes
+    # the advance() of the body-uniform clone below).
+    dropped = 0
+    c_last = int(counts[-1])
+    if c_last > 0:
+        peek = _rng(seed, "event-times")
+        peek.bit_generator.advance(pre_total - c_last)
+        last_starts = (
+            (total_hours - 1) * float(units.SECONDS_PER_HOUR)
+            + peek.random(c_last) * units.SECONDS_PER_HOUR
+        )
+        dropped = int((last_starts >= window_end).sum())
+    total_kept = pre_total - dropped
+    if total_kept == 0:
+        return
+
+    rng_times = _rng(seed, "event-times")
+    rng_users = _rng(seed, "event-users")
+    rng_programs = _rng(seed, "event-programs")
+    rng_mask = _rng(seed, "event-lengths")
+    rng_body = _rng(seed, "event-lengths")
+    rng_body.bit_generator.advance(total_kept)
+
+    user_cum_arr = np.asarray(user_cum)
+    lengths = np.fromiter((p.length_seconds for p in catalog),
+                          dtype=np.float64, count=len(catalog))
+
+    for h0 in range(0, total_hours, chunk_hours):
+        h1 = min(h0 + chunk_hours, total_hours)
+        chunk_counts = counts[h0:h1]
+        c_pre = int(chunk_counts.sum())
+        if c_pre == 0:
+            continue
+        hour_of = np.repeat(np.arange(h0, h1), chunk_counts)
+        starts = (
+            hour_of * float(units.SECONDS_PER_HOUR)
+            + rng_times.random(c_pre) * units.SECONDS_PER_HOUR
+        )
+        keep = starts < window_end
+        if not keep.all():
+            starts = starts[keep]
+            hour_of = hour_of[keep]
+            chunk_counts = np.bincount(hour_of - h0, minlength=h1 - h0)
+        total = starts.size
+        if total == 0:
+            continue
+        starts.sort()
+
+        users = np.searchsorted(user_cum_arr, rng_users.random(total),
+                                side="left")
+        programs = _program_picks(model, catalog, release_flags,
+                                  chunk_counts, rng_programs,
+                                  hour_offset=h0)
+        full_mask = rng_mask.random(total) < model.full_view_probability
+        body_u = rng_body.random(int((~full_mask).sum()))
+        durations = _session_durations_from(model, lengths[programs],
+                                            full_mask, body_u)
+
+        if total > 1 and bool((starts[1:] == starts[:-1]).any()):
+            order = np.lexsort((programs, users, starts))
+            starts, users = starts[order], users[order]
+            programs, durations = programs[order], durations[order]
+
+        yield (h0, h1, starts, users, programs, durations)

@@ -88,3 +88,54 @@ class TestMembership:
         oracle = OracleStrategy({1: [100.0] * 9, 2: [200.0]})
         bind(oracle, capacity=150.0, sizes={1: 200.0})
         assert oracle.members == frozenset({2})
+
+
+class TestIncrementalSlide:
+    """The incremental window slide must equal the from-scratch scan."""
+
+    def _futures(self):
+        # Deterministic but irregular: bursts, gaps, shared timestamps.
+        futures = {}
+        for pid in range(12):
+            times = [(pid * 37 + k * k * 211) % (9 * DAY) for k in range(25)]
+            times += [float(pid) * DAY / 3.0] * 3  # repeated timestamps
+            futures[pid] = [float(t) for t in times]
+        futures[99] = []  # empty lists are dropped on construction
+        return futures
+
+    def test_slides_match_full_recompute(self):
+        oracle = OracleStrategy(self._futures(), window_days=2.0)
+        nows = [0.0, 0.1, 0.1, 0.4 * DAY, 0.4 * DAY + 1e-9, 1.7 * DAY,
+                2.0 * DAY, 5.3 * DAY, 8.999 * DAY, 20.0 * DAY]
+        for now in nows:
+            incremental = dict(oracle.window_counts(now))
+            assert incremental == oracle.full_window_counts(now), now
+
+    def test_rewind_falls_back_to_full_scan(self):
+        oracle = OracleStrategy(self._futures(), window_days=1.0)
+        oracle.window_counts(3.0 * DAY)
+        assert (oracle.window_counts(1.0 * DAY)
+                == oracle.full_window_counts(1.0 * DAY))
+
+    def test_run_equals_forced_full_recompute(self, monkeypatch):
+        """A whole simulated run is bit-identical either way."""
+        from repro.core.config import SimulationConfig
+        from repro.core.runner import run_simulation
+        from repro.cache.factory import OracleSpec
+        from repro.trace.synthetic import PowerInfoModel, generate_trace
+
+        trace = generate_trace(
+            PowerInfoModel(n_users=240, n_programs=48, days=3.0, seed=19))
+        config = SimulationConfig(neighborhood_size=60, warmup_days=0.5,
+                                  strategy=OracleSpec())
+        incremental = run_simulation(trace, config, engine="bucket")
+        monkeypatch.setattr(
+            OracleStrategy, "window_counts",
+            lambda self, now: self.full_window_counts(now))
+        full = run_simulation(trace, config, engine="bucket")
+        assert incremental.counters == full.counters
+        assert incremental.events_processed == full.events_processed
+        assert (incremental.server_meter.buckets()
+                == full.server_meter.buckets())
+        assert (incremental.total_meter.buckets()
+                == full.total_meter.buckets())

@@ -1,0 +1,105 @@
+"""Sharded/streaming scenarios: lossless files, bit-identical rows.
+
+The ``shards``/``streaming`` knobs must serialize losslessly (and stay
+invisible in files that never set them), validate their restrictions
+eagerly at construction, and -- the real invariant -- produce exactly
+the rows the monolithic path produces, through every runner entry
+point (``run_scenario``, ``run_scenarios``, ``iter_sweep_rows``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cache.factory import GlobalLFUSpec, LRUSpec, OracleSpec
+from repro.core.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, Sweep, run_scenario, run_sweep
+from repro.scenario.runner import run_scenarios, scenario_tasks
+from repro.trace.synthetic import PowerInfoModel
+
+MODEL = PowerInfoModel(n_users=300, n_programs=60, days=4.0, seed=11)
+
+BASE = Scenario(
+    trace=MODEL,
+    config=SimulationConfig(neighborhood_size=60, warmup_days=0.5),
+    scale=0.05,
+)
+
+
+class TestRoundTrip:
+    def test_defaults_stay_out_of_files(self):
+        assert "shards" not in BASE.to_dict()
+        assert "streaming" not in BASE.to_dict()
+
+    def test_round_trip_is_lossless(self):
+        scenario = dataclasses.replace(BASE, shards=3, streaming=True)
+        rebuilt = Scenario.from_json(scenario.to_json())
+        assert rebuilt == scenario
+        assert rebuilt.shards == 3
+        assert rebuilt.streaming is True
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            dataclasses.replace(BASE, shards=0)
+        with pytest.raises(ConfigurationError, match="streaming"):
+            dataclasses.replace(BASE, streaming="yes")
+        with pytest.raises(ConfigurationError, match="feed"):
+            Scenario(trace=MODEL, shards=2,
+                     config=SimulationConfig(strategy=GlobalLFUSpec()))
+        with pytest.raises(ConfigurationError, match="baseline"):
+            dataclasses.replace(BASE, shards=2, baselines=("no_cache",))
+        with pytest.raises(ConfigurationError, match="future"):
+            Scenario(trace=MODEL, streaming=True,
+                     config=SimulationConfig(strategy=OracleSpec()))
+        with pytest.raises(ConfigurationError, match="untransformed"):
+            dataclasses.replace(BASE, streaming=True, population_x=2)
+
+    def test_task_group_shapes(self):
+        assert len(scenario_tasks(BASE)) == 1
+        assert scenario_tasks(BASE)[0].shard is None
+        sharded = scenario_tasks(dataclasses.replace(BASE, shards=3))
+        assert [t.shard.index for t in sharded] == [0, 1, 2]
+        streaming = scenario_tasks(dataclasses.replace(BASE, streaming=True))
+        assert len(streaming) == 1 and streaming[0].shard.streaming
+
+
+class TestRowEquality:
+    @pytest.mark.parametrize("overrides", [
+        {"shards": 3},
+        {"streaming": True},
+        {"shards": 2, "streaming": True},
+    ], ids=["sharded", "streamed", "sharded-streamed"])
+    def test_run_scenario_matches_monolithic(self, overrides):
+        mono = run_scenario(BASE)
+        split = run_scenario(dataclasses.replace(BASE, **overrides))
+        assert split.counters == mono.counters
+        assert split.events_processed == mono.events_processed
+        assert split.server_meter.buckets() == mono.server_meter.buckets()
+        assert split.total_meter.buckets() == mono.total_meter.buckets()
+
+    def test_run_scenarios_mixed_groups(self):
+        scenarios = [
+            BASE,
+            dataclasses.replace(BASE, shards=2),
+            dataclasses.replace(
+                BASE, config=dataclasses.replace(
+                    BASE.config, strategy=LRUSpec())),
+        ]
+        mixed = run_scenarios(scenarios, workers=1)
+        flat = run_scenarios([dataclasses.replace(s, shards=1)
+                              for s in scenarios], workers=1)
+        assert len(mixed) == 3
+        for split, mono in zip(mixed, flat):
+            assert split.counters == mono.counters
+            assert split.server_meter.buckets() == mono.server_meter.buckets()
+
+    @pytest.mark.parametrize("workers", [1, 2], ids=["serial", "pool"])
+    def test_sweep_rows_identical(self, workers):
+        axes = {"config.strategy": ["lfu", "lru"]}
+        mono_rows = run_sweep(Sweep(base=BASE, axes=axes), workers=1)
+        sharded = Sweep(base=dataclasses.replace(BASE, shards=2), axes=axes)
+        sharded_rows = run_sweep(sharded, workers=workers)
+        assert sharded_rows == mono_rows
