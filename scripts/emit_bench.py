@@ -522,6 +522,61 @@ def main() -> int:
             PR1_CACHE_REFERENCE["end_to_end_s"] / bucket_e2e, 2
         )
 
+    # ---- live headend drain -------------------------------------------
+    # The online serving mode (PR 8): the same replay behind the
+    # admission layer.  The no-op drain prices the wrapper itself
+    # (bit-identical results; tests/live/test_live_equivalence.py), the
+    # active drain prices a real throttle+fairness policy on an
+    # abusive-user workload and records its verdict mix.
+    from repro.live import AdmissionController, FairnessSpec, ThrottleSpec
+
+    def live_noop():
+        from repro.core.system import CableVoDSystem
+
+        controller = AdmissionController(throttle=ThrottleSpec(),
+                                         fairness=FairnessSpec())
+        return CableVoDSystem(trace, config).run_live(controller)
+
+    abusive_model = PowerInfoModel(n_users=users, n_programs=users // 5,
+                                   days=days, seed=5, abusive_fraction=0.1,
+                                   abusive_rate_x=6.0)
+    abusive_trace = generate_trace(abusive_model)
+
+    def live_active():
+        from repro.core.system import CableVoDSystem
+
+        controller = AdmissionController(
+            throttle=ThrottleSpec(user_budget=4,
+                                  user_window_seconds=86400.0),
+            fairness=FairnessSpec(lead_seconds=14400.0, fill_weight=2.0),
+        )
+        return CableVoDSystem(abusive_trace, config).run_live(controller)
+
+    noop_s = best_of(live_noop, repeats=2)
+    active_s = best_of(live_active, repeats=2)
+    active_report = live_active().live
+    report["live"] = {
+        "users": users,
+        "days": days,
+        "noop_drain_s": round(noop_s, 3),
+        "noop_events_per_s": round(drain_events / noop_s),
+        "noop_overhead_vs_bucket": round(noop_s / bucket_e2e, 3),
+        "active_drain_s": round(active_s, 3),
+        "active_requests_per_s": round(
+            (active_report.admitted + active_report.denied
+             + active_report.deferrals) / active_s),
+        "admitted": active_report.admitted,
+        "denied": active_report.denied,
+        "deferrals": active_report.deferrals,
+        "note": (
+            "noop = all-default specs on the end_to_end trace "
+            "(bit-identical to the bucket engine; the ratio prices the "
+            "admission wrapper); active = throttle(4/24h) + "
+            "vtc(lead 4h, fill_weight 2) on the same-size workload with "
+            "10% abusive users at 6x request rate"
+        ),
+    }
+
     # ---- fast-profile run vs. the recorded seed baseline ---------------
     if not args.quick:
         from repro.experiments.profiles import FAST, base_trace

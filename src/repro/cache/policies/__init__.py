@@ -37,8 +37,12 @@ from repro.cache.policies.eviction import (
 from repro.cache.policies.registry import (
     PolicyInfo,
     eviction_names,
+    get_live_admission,
     get_policy,
+    iter_live_admissions,
     iter_policies,
+    live_admission,
+    live_admission_names,
     named_eviction,
     policy,
     policy_names,
@@ -64,4 +68,8 @@ __all__ = [
     "iter_policies",
     "named_eviction",
     "eviction_names",
+    "live_admission",
+    "live_admission_names",
+    "get_live_admission",
+    "iter_live_admissions",
 ]

@@ -137,6 +137,78 @@ def eviction_family(name: str) -> Callable[[SpecClass], SpecClass]:
     return register
 
 
+#: Live admission-side policies (:mod:`repro.live`): the overload
+#: throttle and fairness-scheduler specs that gate *session starts* in
+#: front of the index server, as opposed to the cache policies above
+#: that gate *program placement* behind it.  Same registration idiom,
+#: separate namespace -- an admission policy is not a runnable cache
+#: strategy and must not leak into ``spec_from_name``.
+_LIVE_ADMISSIONS: Dict[str, PolicyInfo] = {}
+
+
+def live_admission(name: str, summary: str = "") -> Callable[[SpecClass], SpecClass]:
+    """Class decorator registering a live admission spec under ``name``."""
+
+    def register(spec_class: SpecClass) -> SpecClass:
+        if name in _LIVE_ADMISSIONS:
+            raise ConfigurationError(
+                f"live admission policy {name!r} registered twice "
+                f"({_LIVE_ADMISSIONS[name].spec_class.__name__} and "
+                f"{spec_class.__name__})"
+            )
+        doc = (spec_class.__doc__ or "").strip().splitlines()
+        _LIVE_ADMISSIONS[name] = PolicyInfo(
+            name=name,
+            spec_class=spec_class,
+            summary=summary or (doc[0] if doc else ""),
+        )
+        spec_class.policy_name = name
+        return spec_class
+
+    return register
+
+
+def _live_table() -> Dict[str, PolicyInfo]:
+    """The live table with registrations guaranteed to have run.
+
+    The spec classes live in :mod:`repro.live.specs`; importing it here
+    (lazily, to keep this module import-cycle-free) makes lookups work
+    no matter which package the caller entered through.
+    """
+    import repro.live.specs  # noqa: F401  (registration side effect)
+
+    return _LIVE_ADMISSIONS
+
+
+def live_admission_names() -> List[str]:
+    """Registered live admission policy names, sorted."""
+    return sorted(_live_table())
+
+
+def get_live_admission(name: str) -> PolicyInfo:
+    """Look up one registered live admission policy family.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names, listing the registered ones.
+    """
+    table = _live_table()
+    try:
+        return table[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown live admission policy {name!r}"
+            f"{suggest(name, live_admission_names())} "
+            f"(choose from {live_admission_names()})"
+        ) from None
+
+
+def iter_live_admissions() -> List[PolicyInfo]:
+    """All registered live admission policy families, in name order."""
+    return [_LIVE_ADMISSIONS[name] for name in live_admission_names()]
+
+
 def named_eviction(name: str):
     """Build a default-parameter eviction policy by short name."""
     try:

@@ -153,6 +153,28 @@ def _print_strategies() -> None:
     for name, label, params, summary in rows:
         print(f"{name:<{name_width}}  {label:<{label_width}}  "
               f"{params:<{param_width}}  {summary}")
+    _print_live_admissions()
+
+
+def _print_live_admissions() -> None:
+    """Append the live admission-side policies to the registry listing."""
+    from repro.cache.policies import iter_live_admissions
+
+    rows = []
+    for info in iter_live_admissions():
+        params = ", ".join(
+            f"{name}={default!r}" for name, default in info.parameters()
+        ) or "-"
+        rows.append((info.name, params, info.summary))
+    if not rows:
+        return
+    print()
+    print("live admission policies (repro-vod run --live "
+          "[--throttle SPEC] [--fairness SPEC]):")
+    name_width = max(len(row[0]) for row in rows)
+    param_width = max(len(row[1]) for row in rows)
+    for name, params, summary in rows:
+        print(f"{name:<{name_width}}  {params:<{param_width}}  {summary}")
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +287,32 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
             "Overrides the file's 'streaming' field."
         ),
     )
+    parser.add_argument(
+        "--live", action="store_true",
+        help=(
+            "drain each workload through the live headend mode (online "
+            "request stream behind admission control; bit-identical to "
+            "the offline replay when no admission policy is set). "
+            "Overrides the file's 'live' field."
+        ),
+    )
+    parser.add_argument(
+        "--throttle", default=None, metavar="SPEC",
+        help=(
+            "live sliding-window overload throttle, e.g. "
+            "'throttle:4,86400' or "
+            "'throttle:user_budget=4,program_budget=60' (implies --live). "
+            "Overrides the file's 'throttle' field."
+        ),
+    )
+    parser.add_argument(
+        "--fairness", default=None, metavar="SPEC",
+        help=(
+            "live virtual-counter fairness scheduler, e.g. "
+            "'vtc:1800' or 'vtc:lead_seconds=1800,fill_weight=2' "
+            "(implies --live). Overrides the file's 'fairness' field."
+        ),
+    )
     _add_workers_flag(parser)
     _add_trace_backend_flag(parser)
     _add_engine_flag(parser)
@@ -289,6 +337,14 @@ def _cmd_run_or_sweep(subcommand: str, argv: List[str]) -> int:
         overrides["shards"] = args.shards
     if args.streaming:
         overrides["streaming"] = True
+    if args.live or args.throttle is not None or args.fairness is not None:
+        overrides["live"] = True
+    if args.throttle is not None:
+        # Strings are fine: Scenario coerces name[:args] specs on
+        # construction, so the flag reuses the schema's own grammar.
+        overrides["throttle"] = args.throttle
+    if args.fairness is not None:
+        overrides["fairness"] = args.fairness
     if overrides:
         from dataclasses import replace
 

@@ -134,6 +134,13 @@ class SimulationTask:
     shard:
         When set, the task replays one neighborhood group of a sharded
         metro run (:mod:`repro.core.shard`) instead of the whole plant.
+    live:
+        When set, the task drains its trace through the live headend
+        mode (:meth:`~repro.core.system.CableVoDSystem.run_live`)
+        instead of the offline replay: a ``(throttle, fairness)`` pair
+        of optional admission specs (:mod:`repro.live.specs`), both
+        tiny frozen dataclasses so the pickle stays small.  Live tasks
+        are monolithic -- they cannot carry a shard.
     """
 
     workload: Workload
@@ -141,12 +148,18 @@ class SimulationTask:
     engine: Optional[str] = None
     baselines: Tuple[str, ...] = ()
     shard: Optional[ShardSpec] = None
+    live: Optional[Tuple] = None
 
     def __post_init__(self) -> None:
         if self.shard is not None and self.baselines:
             raise ConfigurationError(
                 "baseline metrics are whole-trace analytics; request them "
                 "on an unsharded task"
+            )
+        if self.live is not None and self.shard is not None:
+            raise ConfigurationError(
+                "live mode is a single arrival-order drain; it cannot "
+                "ride on a shard task"
             )
 
 
@@ -178,6 +191,16 @@ def _task_baselines(task: SimulationTask, trace: Trace) -> Dict[str, float]:
     return dict(items)
 
 
+def _run_live_task(task: SimulationTask, trace: Trace) -> SimulationResult:
+    """Drain one live task: arrival-order replay behind admission."""
+    from repro.core.system import CableVoDSystem
+    from repro.live.admission import AdmissionController
+
+    throttle, fairness = task.live
+    controller = AdmissionController(throttle=throttle, fairness=fairness)
+    return CableVoDSystem(trace, task.config).run_live(controller)
+
+
 def _execute_task(task: SimulationTask) -> TaskOutcome:
     """Run one task against the process-wide memoized (regenerated) trace."""
     if task.shard is not None:
@@ -185,6 +208,8 @@ def _execute_task(task: SimulationTask) -> TaskOutcome:
 
         return execute_shard_task(task), {}
     trace = cached_workload_trace(task.workload)
+    if task.live is not None:
+        return _run_live_task(task, trace), _task_baselines(task, trace)
     result = run_simulation(trace, task.config, engine=task.engine)
     return result, _task_baselines(task, trace)
 
@@ -225,6 +250,8 @@ def _execute_shared(payload: Tuple[SimulationTask, Optional["TraceShareHandle"]]
             trace = None
     if trace is None:
         trace = cached_workload_trace(task.workload)
+    if task.live is not None:
+        return _run_live_task(task, trace), _task_baselines(task, trace)
     result = run_simulation(trace, task.config, engine=task.engine)
     return result, _task_baselines(task, trace)
 

@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import units
 from repro.core.config import SimulationConfig
 from repro.core.meter import HourlyMeter
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # import-cycle-free: only the annotation needs it
+    from repro.live.admission import LiveReport
 
 
 def quantile(samples: Sequence[float], q: float) -> float:
@@ -100,6 +103,12 @@ class SimulationResult:
     server_meters: Dict[int, HourlyMeter] = field(default_factory=dict)
     events_processed: int = 0
     wall_seconds: float = 0.0
+    #: Per-user live-admission accounting
+    #: (:class:`repro.live.admission.LiveReport`), set by
+    #: :meth:`~repro.core.system.CableVoDSystem.run_live`.  ``None`` on
+    #: offline replays and on merged shard results (live runs are
+    #: monolithic).
+    live: Optional["LiveReport"] = None
 
     # ------------------------------------------------------------------
     # Peak-hour server load (the headline metric)
@@ -343,4 +352,10 @@ class SimulationResult:
             f"coax peak mean    : {self.coax_peak_mean_mbps():.0f} Mb/s "
             f"(p95 {self.coax_peak_quantile_mbps():.0f} Mb/s)",
         ]
+        if self.live is not None:
+            lines.append(
+                f"live admission    : {self.live.admitted} admitted / "
+                f"{self.live.denied} denied / "
+                f"{self.live.deferrals} deferrals"
+            )
         return "\n".join(lines)

@@ -203,6 +203,10 @@ class CableVoDSystem:
             n.neighborhood_id: m for n, m in zip(selected, self._local_upstream)
         }
         self._sim = Simulator()
+        #: Live admission controller (:mod:`repro.live`), bound by
+        #: :meth:`run_live`.  ``None`` on every offline path -- the
+        #: delivery hook below is a single identity check then.
+        self._live = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -309,6 +313,18 @@ class CableVoDSystem:
     # tests/core/test_engine_equivalence.py.
 
     def _start_session_fast(self, record: SessionRecord) -> None:
+        args = self._open_session(record)
+        if args is not None:
+            sim = self._sim
+            sim.start_arc(sim.now + units.SEGMENT_SECONDS, self._arc_step, *args)
+
+    def _open_session(self, record: SessionRecord):
+        """Shared session-start prologue (both continuation flavors).
+
+        Opens the viewer stream, delivers the first segment, and returns
+        the continuation argument tuple for the remaining segments --
+        or ``None`` when the session fits inside one segment.
+        """
         sim = self._sim
         now = sim.now
         user_id = record.user_id
@@ -328,7 +344,7 @@ class CableVoDSystem:
         if watch > units.SEGMENT_SECONDS:
             watch = units.SEGMENT_SECONDS
         if watch <= 1e-6:
-            return
+            return None
         total_meter = self._local_total[neighborhood_id]
         coax_meter = self._local_coax[neighborhood_id]
         upstream_meter = self._local_upstream[neighborhood_id]
@@ -339,19 +355,30 @@ class CableVoDSystem:
         )
         last_segment = self._last_segment[program_id]
         if 0 < last_segment and end > now + units.SEGMENT_SECONDS + 1e-6:
-            sim.start_arc(
-                now + units.SEGMENT_SECONDS,
-                self._arc_step,
-                server,
-                total_meter,
-                coax_meter,
-                upstream_meter,
-                server_meter,
-                user_id,
-                program_id,
-                end,
-                last_segment,
-            )
+            return (server, total_meter, coax_meter, upstream_meter,
+                    server_meter, user_id, program_id, end, last_segment)
+        return None
+
+    def _start_session_heap(self, record: SessionRecord) -> None:
+        """Session start whose segment walk runs on the heap, not an arc.
+
+        Retried (deferred) live admissions fire from heap events, which
+        may execute behind the calendar's already-activated front
+        bucket -- ``start_arc`` would reject the continuation there, so
+        the remaining segments are scheduled with ``sim.at`` instead.
+        Delivery order and metering are identical to the arc path.
+        """
+        args = self._open_session(record)
+        if args is not None:
+            sim = self._sim
+            sim.at(sim.now + units.SEGMENT_SECONDS, self._heap_step, 0, *args)
+
+    def _heap_step(self, index: int, *args) -> None:
+        """One heap-driven segment step; reschedules itself while live."""
+        sim = self._sim
+        if self._arc_step(sim.now, index, *args):
+            sim.at(sim.now + units.SEGMENT_SECONDS, self._heap_step,
+                   index + 1, *args)
 
     def _arc_step(self, now: float, index: int, server, total_meter,
                   coax_meter, upstream_meter, server_meter, user_id: int,
@@ -395,6 +422,10 @@ class CableVoDSystem:
             else:  # "server" is the only other on-coax source
                 server_meter.add_interval(now, watch)
                 self._media_server.deliveries += 1
+        live = self._live
+        if live is not None:
+            live.on_delivery(user_id, self._user_neighborhood[user_id],
+                             source, outcome.filled, watch)
 
     # ------------------------------------------------------------------
     # Execution
@@ -467,6 +498,149 @@ class CableVoDSystem:
                               records)
         sim.run()
         return self._build_result(sim.events_processed, end_time, started)
+
+    # ------------------------------------------------------------------
+    # Live headend mode (repro.live)
+    # ------------------------------------------------------------------
+
+    def run_live(self, admission=None, requests: Optional[Iterable] = None
+                 ) -> SimulationResult:
+        """Serve the request stream online through an admission layer.
+
+        The live headend drain (:mod:`repro.live`): session starts pass
+        through ``admission`` (an
+        :class:`~repro.live.admission.AdmissionController`) *before*
+        they reach the index server -- admitted requests start exactly
+        as the offline replay starts them, deferred requests are
+        re-decided after their retry-after (watching whatever remains
+        of their session window), denied requests never touch the
+        plant.  The returned result carries the controller's per-user
+        served/denied/deferred accounting as ``result.live``.
+
+        ``requests`` optionally feeds the drain from a generator of
+        time-ordered :class:`~repro.trace.records.SessionRecord`\\ s
+        instead of the materialized trace, with O(hour) resident
+        records (the streamed calendar-extension protocol).
+
+        With ``admission=None`` -- or a controller built from no-op
+        specs (unlimited windows, unlimited lead) -- the drain is
+        bit-identical to ``run()`` on ``engine="bucket"``: the
+        admission wrapper degenerates to the same per-record callback
+        at the same ``(time, seq)`` slots, and the delivery hook adds
+        no float operations to the metering path
+        (tests/live/test_live_equivalence.py).
+        """
+        if self._engine != "bucket":
+            raise SimulationError(
+                f"live mode drains on the bucket engine only "
+                f"(got {self._engine!r})"
+            )
+        started = _time.perf_counter()
+        callback = self._start_session_fast
+        if admission is not None:
+            admission.bind([n.size for n in self._selected])
+            self._live = admission
+            callback = self._live_request
+        if requests is None:
+            if self._trace is None:
+                raise SimulationError(
+                    "this system was built traceless; pass requests= to "
+                    "feed the live drain"
+                )
+            self._sim.preload_starts(
+                self._trace.start_times, callback, self._trace.records
+            )
+            self._sim.run()
+            end_time = self._trace.end_time
+        else:
+            end_time = self._drain_request_stream(requests, callback)
+        result = self._build_result(self._sim.events_processed, end_time,
+                                    started)
+        if admission is not None:
+            result.live = admission.report
+        return result
+
+    def _drain_request_stream(self, requests: Iterable, callback) -> float:
+        """Feed an arrival-ordered record stream into the running clock.
+
+        Buffers the stream into hour-aligned spans (hours are a
+        multiple of the calendar tick, so span boundaries are always
+        extendable slab boundaries), runs the clock to just below each
+        span, and extends the calendar with the span's starts -- the
+        same protocol :meth:`run_streaming` uses, driven by a plain
+        iterator instead of trace chunks.  Returns the max session end
+        seen (what ``Trace.end_time`` would report).
+        """
+        sim = self._sim
+        span_seconds = float(units.SECONDS_PER_HOUR)
+        end_time = 0.0
+        times: List[float] = []
+        records: List[SessionRecord] = []
+        span_index: Optional[int] = None
+
+        def flush(span_start: float, times: List[float],
+                  records: List[SessionRecord]) -> None:
+            # Run to just below the hour-aligned span boundary (never a
+            # mid-tick time), so the slab's first tick is strictly past
+            # the draining bucket -- the extend protocol's requirement.
+            if span_start > sim.now:
+                sim.run(until=math.nextafter(span_start, -math.inf))
+            sim.extend_starts(times, callback, records)
+
+        for record in requests:
+            start = record.start_time
+            index = int(start // span_seconds)
+            if span_index is None:
+                span_index = index
+            elif index != span_index:
+                flush(span_index * span_seconds, times, records)
+                # The calendar keeps the slab columns alive until their
+                # buckets drain; rebind instead of clearing.
+                times, records = [], []
+                span_index = index
+            elif times and start < times[-1]:
+                raise SimulationError(
+                    f"live requests must arrive in time order "
+                    f"(got t={start:.6f} after t={times[-1]:.6f})"
+                )
+            times.append(start)
+            records.append(record)
+            if record.end_time > end_time:
+                end_time = record.end_time
+        if times:
+            flush(span_index * span_seconds, times, records)
+        sim.run()
+        return end_time
+
+    def _live_request(self, record: SessionRecord) -> None:
+        """Admission-wrapped session start (the live drain's callback)."""
+        self._live_attempt(record, 0)
+
+    def _live_attempt(self, record: SessionRecord, attempts: int) -> None:
+        """Decide one (re)try of a session-start request."""
+        sim = self._sim
+        now = sim.now
+        user_id = record.user_id
+        verdict = self._live.decide(
+            now, user_id, record.program_id,
+            self._user_neighborhood[user_id], attempts,
+            deadline=record.end_time,
+        )
+        action = verdict.action
+        if action == "admit":
+            # First-attempt admissions fire from the calendar walk and
+            # may use the arc fast path; retries fire from heap events
+            # that can run behind the activated front bucket, so their
+            # segment walk stays on the heap.
+            if attempts:
+                self._start_session_heap(record)
+            else:
+                self._start_session_fast(record)
+        elif action == "defer":
+            sim.at(now + verdict.retry_after, self._live_attempt,
+                   record, attempts + 1)
+        # "deny": accounted inside the controller; nothing reaches the
+        # plant.
 
     def _build_result(self, events_processed: int, trace_end_time: float,
                       started: float) -> SimulationResult:

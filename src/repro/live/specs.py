@@ -1,0 +1,279 @@
+"""Config-level specs for the live admission policies.
+
+Mirrors :mod:`repro.cache.factory`'s strategy-spec surface for the
+admission side of the live headend: each spec is a frozen dataclass
+registered by short name in the policy registry
+(:func:`repro.cache.policies.registry.live_admission`), serializable to
+and from plain dicts (``{"name": ..., **non_default_fields}``) and
+buildable from ``name:args`` CLI strings -- so ``throttle`` / ``vtc``
+knobs round-trip through scenario JSON exactly like cache strategies
+do.
+
+The *defaults are deliberately no-ops*: a default
+:class:`ThrottleSpec` has unlimited windows and a default
+:class:`FairnessSpec` has an unlimited virtual-time lead, so a live run
+configured with them admits every request -- the configuration the
+bit-identity property test pins against the offline ``bucket`` engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.cache.factory import _coerce_arg, _spec_fields
+from repro.cache.policies.registry import get_live_admission, live_admission
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LiveAdmissionSpec:
+    """Base class for live admission-side policy specs.
+
+    Subclasses are frozen dataclasses whose fields are the tunable
+    knobs; registration (``@live_admission``) attaches the short
+    ``policy_name`` the serializers key on.
+    """
+
+    @property
+    def label(self) -> str:
+        """``name`` or ``name:key=value,...`` over non-default fields."""
+        name = getattr(self, "policy_name", type(self).__name__)
+        args = []
+        for field in _spec_fields(type(self)):
+            value = getattr(self, field.name)
+            if field.default is not dataclasses.MISSING and value == field.default:
+                continue
+            args.append(f"{field.name}={value}")
+        return f"{name}:{','.join(args)}" if args else name
+
+
+@live_admission(
+    "throttle",
+    summary="sliding-window overload throttle (per-user / per-program "
+            "session budgets)",
+)
+@dataclass(frozen=True)
+class ThrottleSpec(LiveAdmissionSpec):
+    """Sliding-window overload throttle over session-start requests.
+
+    FAIRSERVE's OIT idea applied to the headend: a subscriber (and,
+    independently, a program) may start at most ``budget`` sessions per
+    trailing ``window_seconds``.  A request over budget is *deferred*
+    with a retry-after equal to the time until the oldest in-window
+    start ages out; after ``max_defers`` unsuccessful retries (or once
+    the viewer's own session window has passed) it is *denied*.
+
+    ``None`` budgets are unlimited -- the all-default spec admits
+    everything and is the no-op half of the bit-identity guarantee.
+    """
+
+    user_budget: Optional[int] = None
+    user_window_seconds: float = 3600.0
+    program_budget: Optional[int] = None
+    program_window_seconds: float = 3600.0
+    max_defers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.user_budget is not None and self.user_budget < 1:
+            raise ConfigurationError(
+                f"user_budget must be >= 1 or None, got {self.user_budget}"
+            )
+        if self.program_budget is not None and self.program_budget < 1:
+            raise ConfigurationError(
+                f"program_budget must be >= 1 or None, got {self.program_budget}"
+            )
+        if self.user_window_seconds <= 0 or self.program_window_seconds <= 0:
+            raise ConfigurationError(
+                "throttle windows must be positive, got "
+                f"{self.user_window_seconds} / {self.program_window_seconds}"
+            )
+        if self.max_defers < 0:
+            raise ConfigurationError(
+                f"max_defers must be >= 0, got {self.max_defers}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no budget can ever block a request."""
+        return self.user_budget is None and self.program_budget is None
+
+
+@live_admission(
+    "vtc",
+    summary="virtual-counter fairness over consumed coax bits and "
+            "peer-storage fills",
+)
+@dataclass(frozen=True)
+class FairnessSpec(LiveAdmissionSpec):
+    """Virtual-counter (VTC) fairness scheduling of session starts.
+
+    Every subscriber carries a virtual counter of the weighted service
+    they have consumed, in *stream-seconds*: each coax delivery on
+    their behalf adds ``coax_weight x watch-seconds`` and each
+    peer-storage fill their request triggered adds ``fill_weight x one
+    segment's stream-seconds``.  The neighborhood's virtual clock is
+    the equal share of everything it has served (total weighted cost /
+    subscribers), and a session start is admitted only while the
+    requester's counter leads that clock by at most ``lead_seconds``
+    -- competing starts are thereby ordered by virtual time: users
+    behind the clock always pass, users too far ahead are deferred
+    ``retry_seconds`` and, after ``max_defers`` retries, denied.
+
+    ``lead_seconds=None`` is unlimited (the no-op half of the
+    bit-identity guarantee); the two weights are the sweepable
+    "fairness weight" axis -- how heavily coax bits vs. peer-storage
+    admissions count toward a subscriber's share.
+    """
+
+    lead_seconds: Optional[float] = None
+    coax_weight: float = 1.0
+    fill_weight: float = 1.0
+    retry_seconds: float = 300.0
+    max_defers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lead_seconds is not None and self.lead_seconds < 0:
+            raise ConfigurationError(
+                f"lead_seconds must be >= 0 or None, got {self.lead_seconds}"
+            )
+        if self.coax_weight < 0 or self.fill_weight < 0:
+            raise ConfigurationError(
+                "fairness weights must be >= 0, got "
+                f"coax_weight={self.coax_weight} fill_weight={self.fill_weight}"
+            )
+        if self.retry_seconds <= 0:
+            raise ConfigurationError(
+                f"retry_seconds must be positive, got {self.retry_seconds}"
+            )
+        if self.max_defers < 0:
+            raise ConfigurationError(
+                f"max_defers must be >= 0, got {self.max_defers}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no lead bound can ever block a request."""
+        return self.lead_seconds is None
+
+
+# --------------------------------------------------------------------------
+# Serialization (the live mirror of factory.spec_from_name & friends)
+# --------------------------------------------------------------------------
+
+
+def live_spec_from_name(name: str) -> LiveAdmissionSpec:
+    """Build a live admission spec from ``name`` or ``name:args``.
+
+    Same grammar as :func:`repro.cache.factory.spec_from_name`, resolved
+    against the live admission table::
+
+        live_spec_from_name("throttle")
+        live_spec_from_name("throttle:6,86400")          # positional
+        live_spec_from_name("vtc:lead_seconds=1800")     # keyword
+    """
+    base, _, argstr = name.partition(":")
+    info = get_live_admission(base.strip())
+    if not argstr.strip():
+        return info.spec_class()
+    fields = _spec_fields(info.spec_class)
+    names = [field.name for field in fields]
+    kwargs: Dict[str, object] = {}
+    for position, token in enumerate(argstr.split(",")):
+        token = token.strip()
+        if "=" in token:
+            key, _, raw = token.partition("=")
+            key = key.strip()
+            if key not in names:
+                raise ConfigurationError(
+                    f"live admission policy {base!r} has no parameter "
+                    f"{key!r} (have {names})"
+                )
+        else:
+            if position >= len(fields):
+                raise ConfigurationError(
+                    f"live admission policy {base!r} takes at most "
+                    f"{len(fields)} parameters ({names}), got extra {token!r}"
+                )
+            key, raw = fields[position].name, token
+        if key in kwargs:
+            raise ConfigurationError(
+                f"live admission policy {base!r} parameter {key!r} "
+                f"given twice in {name!r}"
+            )
+        kwargs[key] = _coerce_arg(raw.strip())
+    return info.spec_class(**kwargs)
+
+
+def live_spec_to_dict(spec: LiveAdmissionSpec) -> Dict[str, object]:
+    """Serialize a live spec: registry name + non-default fields."""
+    name = getattr(spec, "policy_name", None)
+    if name is None:
+        raise ConfigurationError(
+            f"{type(spec).__name__} is not a registered live admission "
+            f"spec; register it with @live_admission to make it "
+            f"serializable"
+        )
+    payload: Dict[str, object] = {"name": name}
+    for field in dataclasses.fields(spec):
+        if not field.init:
+            continue
+        value = getattr(spec, field.name)
+        if field.default is not dataclasses.MISSING and value == field.default:
+            continue
+        payload[field.name] = value
+    return payload
+
+
+def live_spec_from_dict(payload: Dict[str, object]) -> LiveAdmissionSpec:
+    """Rebuild a live spec from its :func:`live_spec_to_dict` form."""
+    if not isinstance(payload, dict) or "name" not in payload:
+        raise ConfigurationError(
+            f"a live admission dict needs a 'name' key, got {payload!r}"
+        )
+    params = dict(payload)
+    info = get_live_admission(str(params.pop("name")))
+    valid = {field.name for field in dataclasses.fields(info.spec_class)
+             if field.init}
+    unknown = sorted(set(params) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"live admission policy {info.name!r} has no parameters "
+            f"{unknown} (have {sorted(valid)})"
+        )
+    return info.spec_class(**params)
+
+
+def coerce_live_spec(
+    value: Union[None, str, Dict[str, object], LiveAdmissionSpec],
+    expected: Optional[type] = None,
+) -> Optional[LiveAdmissionSpec]:
+    """Normalize a scenario-level admission knob to a spec (or ``None``).
+
+    Accepts ``None`` (policy off), a registered spec instance, a
+    ``name[:args]`` string, or a ``{"name": ...}`` dict.  ``expected``
+    optionally pins the spec class a scenario field must carry (the
+    ``throttle`` knob takes a :class:`ThrottleSpec`, ``fairness`` a
+    :class:`FairnessSpec`) so a typo'd name fails at construction, not
+    mid-run.
+    """
+    if value is None:
+        spec: Optional[LiveAdmissionSpec] = None
+    elif isinstance(value, LiveAdmissionSpec):
+        spec = value
+    elif isinstance(value, str):
+        spec = live_spec_from_name(value)
+    elif isinstance(value, dict):
+        spec = live_spec_from_dict(value)
+    else:
+        raise ConfigurationError(
+            f"cannot interpret {value!r} as a live admission policy "
+            f"(want None, a name, a dict, or a spec)"
+        )
+    if spec is not None and expected is not None and not isinstance(spec, expected):
+        raise ConfigurationError(
+            f"expected a {getattr(expected, 'policy_name', expected.__name__)!r} "
+            f"policy here, got {spec.label!r}"
+        )
+    return spec

@@ -46,9 +46,46 @@ def coax_columns(scenario: "Scenario",
     }
 
 
+def live_columns(scenario: "Scenario",
+                 result: SimulationResult) -> Dict[str, Any]:
+    """Admission accounting of a live run, split abusive vs. normal.
+
+    Requires a ``live=true`` scenario (the columns read the
+    :class:`~repro.live.admission.LiveReport` the drain produced).  The
+    abusive population is the workload model's seeded
+    :func:`~repro.trace.synthetic.abusive_user_ids` set -- empty when
+    ``abusive_fraction`` is 0, in which case the share columns are 0
+    and the "normal" columns cover everyone.
+    """
+    from repro.trace.synthetic import abusive_user_ids
+
+    report = result.live
+    if report is None:
+        raise ConfigurationError(
+            "the 'live' metric set reads admission accounting; it needs "
+            "a live=true scenario"
+        )
+    model = scenario.model()
+    abusers = set(abusive_user_ids(model))
+    normals = [uid for uid in range(model.n_users) if uid not in abusers]
+    return {
+        "live_admitted": report.admitted,
+        "live_denied": report.denied,
+        "live_deferrals": report.deferrals,
+        "admit_pct": 100.0 * report.admit_rate(),
+        "abuser_admit_pct": 100.0 * report.admit_rate(abusers),
+        "normal_admit_pct": 100.0 * report.admit_rate(normals),
+        "abuser_coax_share_pct": 100.0 * report.coax_share(abusers),
+        "abuser_fill_share_pct": 100.0 * report.fill_share(abusers),
+        "normal_served_hours": (report.served_seconds(normals)
+                                / units.SECONDS_PER_HOUR),
+    }
+
+
 #: Metric-set name -> column builder.
 ROW_METRICS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "coax": coax_columns,
+    "live": live_columns,
 }
 
 #: Every registered metric-set name, in registration order.

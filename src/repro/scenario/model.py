@@ -33,6 +33,12 @@ from repro.cache.factory import (
 )
 from repro.core.config import SimulationConfig
 from repro.errors import ConfigurationError
+from repro.live.specs import (
+    FairnessSpec,
+    ThrottleSpec,
+    coerce_live_spec,
+    live_spec_to_dict,
+)
 from repro.scenario.metrics import validate_metrics
 from repro.trace.synthetic import PowerInfoModel
 from repro.trace.workload import Workload
@@ -184,6 +190,20 @@ class Scenario:
         peak resident session columns stay O(chunk) per worker; the
         metro-scale switch.  Requires an untransformed workload, no
         baselines, and a strategy without future knowledge.
+    live:
+        Drain the workload through the live headend mode
+        (:mod:`repro.live`): requests flow in arrival order through an
+        admission layer in front of the index server.  Requires the
+        ``bucket`` engine, runs monolithic (no shards, no streaming).
+        With no admission policies configured the run is bit-identical
+        to the offline replay.
+    throttle:
+        Optional :class:`~repro.live.specs.ThrottleSpec` (the
+        ``"throttle"`` admission policy) -- accepts a spec, a
+        ``name[:args]`` string, or a spec dict.  Requires ``live``.
+    fairness:
+        Optional :class:`~repro.live.specs.FairnessSpec` (the ``"vtc"``
+        admission policy), coerced the same way.  Requires ``live``.
     """
 
     trace: PowerInfoModel
@@ -198,6 +218,9 @@ class Scenario:
     metrics: Tuple[str, ...] = ()
     shards: int = 1
     streaming: bool = False
+    live: bool = False
+    throttle: Optional[ThrottleSpec] = None
+    fairness: Optional[FairnessSpec] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.trace, PowerInfoModel):
@@ -245,6 +268,35 @@ class Scenario:
             raise ConfigurationError(
                 "baseline metrics are whole-trace analytics and cannot "
                 "ride on a sharded scenario"
+            )
+        if not isinstance(self.live, bool):
+            raise ConfigurationError(
+                f"live must be a bool, got {self.live!r}"
+            )
+        object.__setattr__(
+            self, "throttle", coerce_live_spec(self.throttle, ThrottleSpec))
+        object.__setattr__(
+            self, "fairness", coerce_live_spec(self.fairness, FairnessSpec))
+        if self.live:
+            if self.engine != "bucket":
+                raise ConfigurationError(
+                    f"live mode drains on the bucket engine only "
+                    f"(got engine={self.engine!r})"
+                )
+            if self.shards > 1:
+                raise ConfigurationError(
+                    "live mode is a single arrival-order drain and "
+                    "cannot run sharded"
+                )
+            if self.streaming:
+                raise ConfigurationError(
+                    "live mode feeds the drain itself; streaming replay "
+                    "does not compose with it"
+                )
+        elif self.throttle is not None or self.fairness is not None:
+            raise ConfigurationError(
+                "throttle / fairness are live admission policies; set "
+                "live=true to use them"
             )
         if self.streaming:
             if self.config.strategy.requires_future_knowledge:
@@ -317,6 +369,12 @@ class Scenario:
             payload["shards"] = self.shards
         if self.streaming:
             payload["streaming"] = self.streaming
+        if self.live:
+            payload["live"] = self.live
+        if self.throttle is not None:
+            payload["throttle"] = live_spec_to_dict(self.throttle)
+        if self.fairness is not None:
+            payload["fairness"] = live_spec_to_dict(self.fairness)
         payload["trace"] = model_to_dict(self.trace)
         payload["config"] = config_to_dict(self.config)
         return payload
@@ -340,7 +398,8 @@ class Scenario:
         config = (config_from_dict(data.pop("config"))
                   if "config" in data else SimulationConfig())
         known = {"engine", "seed", "label", "scale", "population_x",
-                 "catalog_x", "baselines", "metrics", "shards", "streaming"}
+                 "catalog_x", "baselines", "metrics", "shards", "streaming",
+                 "live", "throttle", "fairness"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ConfigurationError(

@@ -67,6 +67,8 @@ def scenario_task(scenario: Scenario) -> SimulationTask:
         config=scenario.config,
         engine=scenario.engine,
         baselines=scenario.baselines,
+        live=((scenario.throttle, scenario.fairness)
+              if scenario.live else None),
     )
 
 
@@ -107,6 +109,13 @@ def run_scenario(scenario: Scenario) -> SimulationResult:
                            n_shards=scenario.shards, engine=scenario.engine,
                            streaming=scenario.streaming)
     trace = cached_workload_trace(scenario.workload())
+    if scenario.live:
+        from repro.core.system import CableVoDSystem
+        from repro.live.admission import AdmissionController
+
+        controller = AdmissionController(throttle=scenario.throttle,
+                                         fairness=scenario.fairness)
+        return CableVoDSystem(trace, scenario.config).run_live(controller)
     return run_simulation(trace, scenario.config, engine=scenario.engine)
 
 
@@ -164,7 +173,8 @@ def run_scenarios(
     groups = [
         scenario_tasks(s) if (s.shards > 1 or s.streaming) else
         [SimulationTask(workload=s.workload(), config=s.config,
-                        engine=s.engine)]
+                        engine=s.engine,
+                        live=(s.throttle, s.fairness) if s.live else None)]
         for s in scenarios
     ]
     outcomes = iter_task_results([t for group in groups for t in group],

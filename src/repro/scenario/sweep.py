@@ -19,10 +19,18 @@ Axis points come in three shapes, all normalized internally:
   the axis name is then just a label.
 
 Paths address scenario fields (``label``, ``engine``, ``seed``,
-``scale``, and the trace transforms ``population_x`` / ``catalog_x``)
-or one level into the components (``config.*``, ``trace.*``).
-``config.strategy`` values may be registry names (``"lfu:72"``), spec
-dicts, or spec objects.
+``scale``, ``live``, and the trace transforms ``population_x`` /
+``catalog_x``), the live admission knobs (``throttle`` / ``fairness``
+swap a whole spec -- names, dicts, specs, or ``null`` for
+admission-off points -- while ``throttle.<field>`` / ``fairness.<field>``
+move one knob of the base's spec), or one level into the components
+(``config.*``, ``trace.*``).  ``config.strategy`` values may be
+registry names (``"lfu:72"``), spec dicts, or spec objects.
+
+Axes multiply out as a cartesian product by default; a sweep's ``zip``
+groups instead advance named axes in lockstep (pairing their points
+index-by-index), so a throttle axis and its label axis -- or any other
+correlated pair -- contribute one grid dimension instead of two.
 """
 
 from __future__ import annotations
@@ -36,6 +44,13 @@ from typing import Any, Dict, List, Mapping, Tuple, Union
 
 from repro.cache.factory import StrategySpec, spec_to_dict
 from repro.errors import ConfigurationError
+from repro.live.specs import (
+    FairnessSpec,
+    LiveAdmissionSpec,
+    ThrottleSpec,
+    coerce_live_spec,
+    live_spec_to_dict,
+)
 from repro.scenario.model import (
     Scenario,
     _tuple_fields,
@@ -46,7 +61,12 @@ from repro.scenario.model import (
 #: transforms live here too, so an axis like ``"population_x": [1, 2,
 #: 3]`` sweeps the *workload* (the Fig 15 grid), not just the config.
 _SCENARIO_FIELDS = ("label", "engine", "seed", "scale",
-                    "population_x", "catalog_x")
+                    "population_x", "catalog_x", "live")
+
+#: Live admission knobs: bare paths swap the whole spec (names, dicts,
+#: specs, or ``null`` for policy-off points); dotted paths move one
+#: field of the base scenario's spec.
+_LIVE_FIELDS = {"throttle": ThrottleSpec, "fairness": FairnessSpec}
 
 
 def apply_path(scenario: Scenario, path: str, value: Any) -> Scenario:
@@ -58,6 +78,30 @@ def apply_path(scenario: Scenario, path: str, value: Any) -> Scenario:
                 f"scenario field {head!r} has no sub-field {rest!r}"
             )
         return replace(scenario, **{head: value})
+    if head in _LIVE_FIELDS:
+        if not rest:
+            return replace(scenario, **{head: value})
+        if "." in rest:
+            raise ConfigurationError(
+                f"axis path {path!r} must name one {head} field "
+                f"({head}.<field>)"
+            )
+        spec = getattr(scenario, head)
+        if spec is None:
+            raise ConfigurationError(
+                f"cannot set {path!r}: the base scenario has no {head} "
+                f"policy; sweep the bare {head!r} path instead"
+            )
+        try:
+            spec = replace(spec, **{rest: value})
+        except TypeError:
+            fields = sorted(
+                f.name for f in dataclasses.fields(type(spec)) if f.init
+            )
+            raise ConfigurationError(
+                f"{head} has no field {rest!r} (have {fields})"
+            ) from None
+        return replace(scenario, **{head: spec})
     if head in ("config", "trace"):
         if not rest or "." in rest:
             raise ConfigurationError(
@@ -81,7 +125,7 @@ def apply_path(scenario: Scenario, path: str, value: Any) -> Scenario:
         return replace(scenario, **{head: component})
     raise ConfigurationError(
         f"axis path {path!r} must start with one of "
-        f"{list(_SCENARIO_FIELDS) + ['config', 'trace']}"
+        f"{list(_SCENARIO_FIELDS) + sorted(_LIVE_FIELDS) + ['config', 'trace']}"
     )
 
 
@@ -101,6 +145,10 @@ def _diff_scenario(base: Scenario, scenario: Scenario) -> Dict[str, Any]:
     """
     sets: Dict[str, Any] = {}
     for name in _SCENARIO_FIELDS:
+        value = getattr(scenario, name)
+        if value != getattr(base, name):
+            sets[name] = value
+    for name in _LIVE_FIELDS:
         value = getattr(scenario, name)
         if value != getattr(base, name):
             sets[name] = value
@@ -171,6 +219,8 @@ def _coerce_value(path: str, value: Any) -> Any:
     """Canonicalize one assignment value for storage inside a point."""
     if path == "config.strategy":
         return coerce_strategy(value)
+    if path in _LIVE_FIELDS:
+        return coerce_live_spec(value, _LIVE_FIELDS[path])
     return _freeze(value)
 
 
@@ -182,6 +232,8 @@ def _point_to_dict(axis: SweepAxis, point: SweepPoint) -> Any:
     def emit(value: Any) -> Any:
         if isinstance(value, StrategySpec):
             return spec_to_dict(value)
+        if isinstance(value, LiveAdmissionSpec):
+            return live_spec_to_dict(value)
         if isinstance(value, tuple):
             return list(value)
         return value
@@ -189,8 +241,9 @@ def _point_to_dict(axis: SweepAxis, point: SweepPoint) -> Any:
     if on_axis and not point.cols:
         value = sets[axis.name]
         # A bare dict would be misread as a value/set point on reload,
-        # so strategy points always keep the explicit {"value": ...}.
-        if not isinstance(value, StrategySpec):
+        # so strategy and live-spec points always keep the explicit
+        # {"value": ...}.
+        if not isinstance(value, (StrategySpec, LiveAdmissionSpec)):
             return emit(value)
         return {"value": emit(value)}
     payload: Dict[str, Any] = {}
@@ -212,6 +265,10 @@ class Sweep:
     to the same canonical form, so equality and round-tripping behave.
     ``columns`` optionally fixes the table column order for rendering
     (rows always carry every standard metric regardless).
+    ``zip_groups`` (the JSON file's ``"zip"`` key) names groups of
+    axes that advance in lockstep instead of multiplying out: every
+    group's axes must exist, have equal point counts, and belong to at
+    most one group.
     """
 
     base: Scenario
@@ -219,6 +276,7 @@ class Sweep:
     sweep_id: str = "sweep"
     title: str = ""
     columns: Tuple[str, ...] = ()
+    zip_groups: Tuple[Tuple[str, ...], ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.base, Scenario):
@@ -244,6 +302,34 @@ class Sweep:
                     )
         object.__setattr__(self, "axes", normalized)
         object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(
+            self, "zip_groups",
+            tuple(tuple(str(name) for name in group)
+                  for group in self.zip_groups))
+        lengths = {axis.name: len(axis.points) for axis in self.axes}
+        zipped: set = set()
+        for group in self.zip_groups:
+            if len(group) < 2:
+                raise ConfigurationError(
+                    f"a zip group pairs at least two axes, got {list(group)}"
+                )
+            for name in group:
+                if name not in lengths:
+                    raise ConfigurationError(
+                        f"zip group names unknown axis {name!r} "
+                        f"(have {sorted(lengths)})"
+                    )
+                if name in zipped:
+                    raise ConfigurationError(
+                        f"axis {name!r} appears in more than one zip group"
+                    )
+                zipped.add(name)
+            counts = {lengths[name] for name in group}
+            if len(counts) > 1:
+                raise ConfigurationError(
+                    f"zipped axes must have equal point counts, got "
+                    f"{ {name: lengths[name] for name in group} }"
+                )
         # Validate every point independently against the base now, so a
         # bad path or value fails at construction, not mid-sweep.
         for axis in self.axes:
@@ -255,29 +341,56 @@ class Sweep:
     # Expansion
     # ------------------------------------------------------------------
 
+    def _blocks(self) -> List[List[Tuple[SweepPoint, ...]]]:
+        """Axes grouped for expansion: one block per product dimension.
+
+        An ungrouped axis is its own block; a zip group collapses its
+        member axes into a single block whose entries pair the members'
+        points index-by-index (lockstep), positioned where the group's
+        first-declared member sits.  The cartesian product over blocks
+        is the sweep's grid.
+        """
+        group_of: Dict[str, Tuple[str, ...]] = {}
+        for group in self.zip_groups:
+            for name in group:
+                group_of[name] = group
+        blocks: List[List[Tuple[SweepPoint, ...]]] = []
+        emitted: set = set()
+        for axis in self.axes:
+            group = group_of.get(axis.name)
+            if group is None:
+                blocks.append([(point,) for point in axis.points])
+            elif axis.name not in emitted:
+                members = [a for a in self.axes if a.name in group]
+                emitted.update(group)
+                blocks.append(list(zip(*(m.points for m in members))))
+        return blocks
+
     def __len__(self) -> int:
         total = 1
-        for axis in self.axes:
-            total *= len(axis.points)
+        for block in self._blocks():
+            total *= len(block)
         return total
 
     def expand(self) -> List[Tuple[Scenario, Dict[str, Any]]]:
         """The full grid: ``(scenario, extra_columns)`` per run.
 
-        The cartesian product iterates axes in declaration order with
-        the first axis slowest -- the row order of the nested loops a
-        sweep replaces.
+        The cartesian product iterates blocks in declaration order with
+        the first block slowest -- the row order of the nested loops a
+        sweep replaces.  Zipped axes advance together inside one block
+        instead of multiplying out.
         """
         if not self.axes:
             return [(self.base, {})]
         grid: List[Tuple[Scenario, Dict[str, Any]]] = []
-        for combo in itertools.product(*(axis.points for axis in self.axes)):
+        for combo in itertools.product(*self._blocks()):
             scenario = self.base
             cols: Dict[str, Any] = {}
-            for point in combo:
-                for path, value in point.sets:
-                    scenario = apply_path(scenario, path, value)
-                cols.update(dict(point.cols))
+            for points in combo:
+                for point in points:
+                    for path, value in point.sets:
+                        scenario = apply_path(scenario, path, value)
+                    cols.update(dict(point.cols))
             grid.append((scenario, cols))
         return grid
 
@@ -309,7 +422,9 @@ class Sweep:
             points.append(SweepPoint(sets=tuple(sets.items()),
                                      cols=tuple(cols.items())))
         axis = SweepAxis(name="point", points=tuple(points))
-        return replace(self, axes=(axis,))
+        # The inlined grid already encodes any lockstep pairing, so the
+        # flattened sweep carries no zip groups.
+        return replace(self, axes=(axis,), zip_groups=())
 
     # ------------------------------------------------------------------
     # Serialization
@@ -327,6 +442,8 @@ class Sweep:
                 for axis in self.axes
             },
         }
+        if self.zip_groups:
+            payload["zip"] = [list(group) for group in self.zip_groups]
         if self.columns:
             payload["columns"] = list(self.columns)
         return payload
@@ -351,12 +468,20 @@ class Sweep:
             kwargs["sweep_id"] = str(data.pop("id"))
         if "title" in data:
             kwargs["title"] = str(data.pop("title"))
+        if "zip" in data:
+            groups = data.pop("zip")
+            if not isinstance(groups, (list, tuple)):
+                raise ConfigurationError(
+                    f"'zip' must be a list of axis-name groups, got {groups!r}"
+                )
+            kwargs["zip_groups"] = tuple(tuple(group) for group in groups)
         if "columns" in data:
             kwargs["columns"] = tuple(data.pop("columns"))
         if data:
             raise ConfigurationError(
                 f"sweep has no fields {sorted(data)} "
-                f"(have ['kind', 'id', 'title', 'base', 'axes', 'columns'])"
+                f"(have ['kind', 'id', 'title', 'base', 'axes', 'zip', "
+                f"'columns'])"
             )
         return cls(base=base, axes=axes, **kwargs)
 

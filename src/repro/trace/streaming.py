@@ -43,11 +43,11 @@ from repro.sim.random_streams import RandomStreams
 from repro.trace.records import Catalog, SessionRecord, Trace
 from repro.trace.synthetic import (
     PowerInfoModel,
+    _arrival_profile,
     _build_catalog,
     _HourlyProgramSampler,
     _sample_poisson,
     _SessionLengthSampler,
-    _user_activity_cumulative,
     calibrate_sessions_per_user_per_day,
     resolve_trace_backend,
 )
@@ -284,6 +284,8 @@ def open_trace_stream(
     rate = calibrate_sessions_per_user_per_day(model, catalog, release_flags)
     shares = model.normalized_diurnal()
     daily_sessions = rate * model.n_users
-    user_cum = _user_activity_cumulative(model, streams)
+    user_cum, session_mass_x = _arrival_profile(model, streams)
+    if session_mass_x != 1.0:
+        daily_sessions *= session_mass_x
     return TraceStream(model, backend, chunk_hours, catalog, release_flags,
                        daily_sessions, shares, user_cum)

@@ -217,6 +217,15 @@ class PowerInfoModel:
     user_activity_sigma:
         Lognormal spread of per-user activity propensity (0 = all users
         equally active).
+    abusive_fraction / abusive_rate_x:
+        Adversarial workload knob (FAIRSERVE's ``abusive_users``): a
+        seeded ``abusive_fraction`` of subscribers arrive with their
+        activity propensity inflated ``abusive_rate_x``-fold.  Abusers
+        add real load *on top of* the calibrated baseline -- every other
+        subscriber's absolute arrival rate is unchanged -- so the knob
+        models a binge minority stressing admission control rather than
+        a recalibrated plant.  ``abusive_fraction = 0.0`` (the default)
+        leaves generation bit-identical to a model without the knob.
     diurnal_weights:
         24 relative hourly intensities.
     length_minutes / length_weights:
@@ -249,6 +258,8 @@ class PowerInfoModel:
     decay_floor: float = 0.02
     backcatalog_max_age_days: float = 120.0
     user_activity_sigma: float = 0.6
+    abusive_fraction: float = 0.0
+    abusive_rate_x: float = 6.0
     diurnal_weights: Tuple[float, ...] = DEFAULT_DIURNAL_WEIGHTS
     length_minutes: Tuple[float, ...] = DEFAULT_LENGTH_MINUTES
     length_weights: Tuple[float, ...] = DEFAULT_LENGTH_WEIGHTS
@@ -285,6 +296,14 @@ class PowerInfoModel:
             raise ConfigurationError(
                 "length_minutes and length_weights must have equal lengths "
                 f"({len(self.length_minutes)} vs {len(self.length_weights)})"
+            )
+        if not 0.0 <= self.abusive_fraction <= 1.0:
+            raise ConfigurationError(
+                f"abusive_fraction must be in [0, 1], got {self.abusive_fraction}"
+            )
+        if self.abusive_rate_x <= 0:
+            raise ConfigurationError(
+                f"abusive_rate_x must be positive, got {self.abusive_rate_x}"
             )
         if self.target_peak_gbps is None and self.sessions_per_user_per_day is None:
             raise ConfigurationError(
@@ -608,7 +627,9 @@ def generate_trace(model: PowerInfoModel, backend: Optional[str] = None) -> Trac
     shares = model.normalized_diurnal()
     daily_sessions = rate * model.n_users
 
-    user_cum = _user_activity_cumulative(model, streams)
+    user_cum, session_mass_x = _arrival_profile(model, streams)
+    if session_mass_x != 1.0:
+        daily_sessions *= session_mass_x
 
     if backend == "numpy":
         from repro.trace.vectorized import generate_records_numpy
@@ -693,3 +714,51 @@ def _user_activity_cumulative(model: PowerInfoModel, streams: RandomStreams) -> 
     sigma = model.user_activity_sigma
     weights = [rng.lognormvariate(0.0, sigma) for _ in range(model.n_users)]
     return dist.cumulative(weights)
+
+
+def abusive_user_ids(model: PowerInfoModel) -> Tuple[int, ...]:
+    """The seeded abusive-subscriber subset, in ascending id order.
+
+    Drawn from its own named stream, so enabling the knob never
+    perturbs catalog, calibration, or per-session draws; metrics and
+    exhibits use this to split served/denied accounting into abuser
+    vs. ordinary-subscriber shares.  Empty when the knob is off (or
+    the fraction rounds to zero users).
+    """
+    count = int(round(model.abusive_fraction * model.n_users))
+    if count <= 0:
+        return ()
+    rng = RandomStreams(model.seed).fresh("abusive-users")
+    return tuple(sorted(rng.sample(range(model.n_users), count)))
+
+
+def _arrival_profile(
+    model: PowerInfoModel, streams: RandomStreams
+) -> Tuple[List[float], float]:
+    """Per-user selection cumulative plus the arrival-mass multiplier.
+
+    The shared-prologue hook through which ``abusive_fraction`` reaches
+    both generator backends (and the streaming generator): abusers'
+    activity weights are inflated ``abusive_rate_x``-fold *after* the
+    base mix is drawn, and the total-mass ratio comes back as a
+    multiplier on the calibrated daily session count.  Because the
+    per-event user draw selects user ``i`` with probability
+    ``w_i / W'`` while arrivals scale by ``W' / W``, non-abusers keep
+    their absolute rates and abusers contribute ``rate_x`` times
+    theirs.  With the knob off the base cumulative passes through
+    untouched (multiplier exactly 1.0).
+    """
+    cum = _user_activity_cumulative(model, streams)
+    if model.abusive_fraction <= 0.0:
+        return cum, 1.0
+    abusers = abusive_user_ids(model)
+    if not abusers:
+        return cum, 1.0
+    weights = list(cum)
+    for i in range(len(weights) - 1, 0, -1):
+        weights[i] -= weights[i - 1]
+    for user_id in abusers:
+        weights[user_id] *= model.abusive_rate_x
+    # ``cum`` is normalized (tail pinned at 1.0), so the inflated sum
+    # *is* the mass ratio W'/W.
+    return dist.cumulative(weights), sum(weights)

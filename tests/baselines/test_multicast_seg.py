@@ -1,0 +1,136 @@
+"""Segment-granular multicast bound."""
+
+import pytest
+
+from repro import units
+from repro.baselines.multicast import MulticastModel, SegmentMulticastModel
+from repro.baselines.registry import baseline_columns
+from repro.errors import ConfigurationError
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+SEG = units.SEGMENT_SECONDS  # 300 s
+
+
+def trace_of(sessions, length_seconds=6000.0):
+    """Build a single-program trace from (start, duration) pairs."""
+    catalog = Catalog([Program(0, length_seconds)])
+    records = [
+        SessionRecord(start, i % 5, 0, duration)
+        for i, (start, duration) in enumerate(sessions)
+    ]
+    return Trace(records, catalog, n_users=5)
+
+
+class TestSegmentGrouping:
+    def test_lone_session_is_all_singletons(self):
+        report = SegmentMulticastModel(600.0).evaluate(
+            trace_of([(0.0, 2 * SEG)]))
+        assert report.groups == 2           # one per watched segment
+        assert report.singleton_groups == 2
+        assert report.server_stream_seconds == pytest.approx(2 * SEG)
+        assert report.unicast_stream_seconds == pytest.approx(2 * SEG)
+        assert report.savings_fraction == pytest.approx(0.0)
+
+    def test_simultaneous_viewers_share_every_segment(self):
+        report = SegmentMulticastModel(600.0).evaluate(
+            trace_of([(0.0, 2 * SEG), (0.0, 2 * SEG)]))
+        assert report.groups == 2
+        assert report.members == 4
+        assert report.mean_group_size == pytest.approx(2.0)
+        assert report.server_stream_seconds == pytest.approx(2 * SEG)
+        assert report.savings_fraction == pytest.approx(0.5)
+
+    def test_late_joiner_shares_same_numbered_segments(self):
+        # Viewer 2 starts segment 0 one segment after viewer 1 -- still
+        # inside the window, so segments 0 and 1 are shared; viewer 1's
+        # segment 2 plays alone.  No patches exist at segment grain.
+        report = SegmentMulticastModel(600.0).evaluate(
+            trace_of([(0.0, 3 * SEG), (SEG, 2 * SEG)]))
+        assert report.groups == 3
+        assert report.members == 5
+        assert report.singleton_groups == 1
+        assert report.server_stream_seconds == pytest.approx(3 * SEG)
+        assert report.unicast_stream_seconds == pytest.approx(5 * SEG)
+
+    def test_requests_outside_window_split_groups(self):
+        report = SegmentMulticastModel(600.0).evaluate(
+            trace_of([(0.0, SEG), (700.0, SEG)]))
+        assert report.groups == 2
+        assert report.singleton_groups == 2
+        assert report.savings_fraction == pytest.approx(0.0)
+
+    def test_partial_tail_segment_is_clipped(self):
+        report = SegmentMulticastModel(600.0).evaluate(
+            trace_of([(0.0, SEG + 150.0)]))
+        assert report.groups == 2
+        assert report.unicast_stream_seconds == pytest.approx(SEG + 150.0)
+        assert report.server_stream_seconds == pytest.approx(SEG + 150.0)
+
+    def test_group_cost_is_longest_member_watch(self):
+        # Both viewers request segment 1 at t=SEG; one watches 150 s of
+        # it, the other the full segment: the broadcast pays the max.
+        report = SegmentMulticastModel(600.0).evaluate(
+            trace_of([(0.0, SEG + 150.0), (0.0, 2 * SEG)]))
+        assert report.groups == 2
+        assert report.server_stream_seconds == pytest.approx(2 * SEG)
+        assert report.unicast_stream_seconds == pytest.approx(
+            (SEG + 150.0) + 2 * SEG)
+
+    def test_different_programs_never_share(self):
+        catalog = Catalog([Program(0, 6000.0), Program(1, 6000.0)])
+        records = [SessionRecord(0.0, 0, 0, SEG),
+                   SessionRecord(0.0, 1, 1, SEG)]
+        report = SegmentMulticastModel(600.0).evaluate(
+            Trace(records, catalog, n_users=2))
+        assert report.groups == 2
+        assert report.singleton_groups == 2
+
+
+class TestAgainstProgramModel:
+    def test_unicast_totals_agree(self, tiny_trace):
+        program = MulticastModel().evaluate(tiny_trace)
+        segment = SegmentMulticastModel().evaluate(tiny_trace)
+        assert segment.unicast_stream_seconds == pytest.approx(
+            program.unicast_stream_seconds, rel=1e-6)
+
+    def test_savings_within_bounds(self, tiny_trace):
+        report = SegmentMulticastModel().evaluate(tiny_trace)
+        assert 0.0 <= report.savings_fraction < 1.0
+        assert report.mean_group_size >= 1.0
+        assert 0.0 <= report.fraction_singleton_groups <= 1.0
+
+
+class TestReportSurface:
+    def test_empty_report_is_all_zeros(self):
+        report = SegmentMulticastModel().evaluate(trace_of([]))
+        assert report.groups == 0
+        assert report.savings_fraction == 0.0
+        assert report.mean_group_size == 0.0
+        assert report.fraction_singleton_groups == 0.0
+
+    def test_gbps_equivalent(self):
+        report = SegmentMulticastModel().evaluate(trace_of([(0.0, SEG)]))
+        bits = SEG * units.STREAM_RATE_BPS
+        assert report.server_gbps_equivalent(3600.0) == pytest.approx(
+            units.to_gbps(bits / 3600.0))
+        with pytest.raises(ConfigurationError):
+            report.server_gbps_equivalent(0.0)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentMulticastModel(-1.0)
+
+
+class TestRegistryBaseline:
+    def test_named_columns(self, tiny_trace):
+        columns = baseline_columns(("multicast_seg",), tiny_trace)
+        assert set(columns) == {
+            "multicast_seg_saving_pct",
+            "multicast_seg_mean_group",
+            "multicast_seg_singleton_pct",
+        }
+
+    def test_composes_with_program_level_baseline(self, tiny_trace):
+        columns = baseline_columns(("multicast", "multicast_seg"), tiny_trace)
+        assert "multicast_saving_pct" in columns
+        assert "multicast_seg_saving_pct" in columns

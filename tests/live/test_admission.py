@@ -1,0 +1,245 @@
+"""Live admission layer: specs, throttle, VTC scheduler, controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.cache.policies import get_live_admission, live_admission_names
+from repro.errors import ConfigurationError
+from repro.live import (
+    ADMIT,
+    DEFER,
+    DENY,
+    AdmissionController,
+    FairnessSpec,
+    SlidingWindowThrottle,
+    ThrottleSpec,
+    VirtualCounterScheduler,
+    coerce_live_spec,
+    live_spec_from_dict,
+    live_spec_from_name,
+    live_spec_to_dict,
+)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert live_admission_names() == ["throttle", "vtc"]
+
+    def test_lookup_returns_spec_class(self):
+        assert get_live_admission("throttle").spec_class is ThrottleSpec
+        assert get_live_admission("vtc").spec_class is FairnessSpec
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ConfigurationError, match="throttle"):
+            get_live_admission("throtle")
+
+    def test_parameters_introspection(self):
+        names = [name for name, _ in get_live_admission("vtc").parameters()]
+        assert "lead_seconds" in names
+        assert "retry_seconds" in names
+
+
+class TestSpecs:
+    def test_defaults_are_noops(self):
+        assert ThrottleSpec().is_noop
+        assert FairnessSpec().is_noop
+        assert not ThrottleSpec(user_budget=3).is_noop
+        assert not FairnessSpec(lead_seconds=600.0).is_noop
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(user_budget=0),
+        dict(program_budget=-1),
+        dict(user_window_seconds=0.0),
+        dict(program_window_seconds=-5.0),
+        dict(max_defers=-1),
+    ])
+    def test_throttle_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ThrottleSpec(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(lead_seconds=-1.0),
+        dict(coax_weight=-0.5),
+        dict(fill_weight=-2.0),
+        dict(retry_seconds=0.0),
+        dict(max_defers=-3),
+    ])
+    def test_fairness_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FairnessSpec(**kwargs)
+
+    def test_from_name_positional_and_keyword(self):
+        assert live_spec_from_name("throttle") == ThrottleSpec()
+        assert live_spec_from_name("throttle:6,86400") == ThrottleSpec(
+            user_budget=6, user_window_seconds=86400.0)
+        assert live_spec_from_name("vtc:lead_seconds=1800") == FairnessSpec(
+            lead_seconds=1800.0)
+
+    def test_from_name_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            live_spec_from_name("throttle:no_such=1")
+        with pytest.raises(ConfigurationError):
+            live_spec_from_name("throttle:1,2,3,4,5,6")
+        with pytest.raises(ConfigurationError):
+            live_spec_from_name("throttle:user_budget=1,user_budget=2")
+
+    def test_dict_round_trip(self):
+        spec = ThrottleSpec(user_budget=4, program_budget=50)
+        payload = live_spec_to_dict(spec)
+        assert payload["name"] == "throttle"
+        assert "user_window_seconds" not in payload  # default elided
+        assert live_spec_from_dict(payload) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            live_spec_from_dict({"name": "vtc", "bogus": 1})
+        with pytest.raises(ConfigurationError):
+            live_spec_from_dict({"lead_seconds": 1})
+
+    def test_coerce_forms(self):
+        spec = FairnessSpec(lead_seconds=600.0)
+        assert coerce_live_spec(None) is None
+        assert coerce_live_spec(spec) is spec
+        assert coerce_live_spec("vtc:600") == spec
+        assert coerce_live_spec({"name": "vtc", "lead_seconds": 600.0}) == spec
+        with pytest.raises(ConfigurationError):
+            coerce_live_spec(3.14)
+
+    def test_coerce_pins_expected_class(self):
+        with pytest.raises(ConfigurationError):
+            coerce_live_spec("vtc", ThrottleSpec)
+
+    def test_label(self):
+        assert ThrottleSpec().label == "throttle"
+        assert FairnessSpec(lead_seconds=600.0).label == "vtc:lead_seconds=600.0"
+
+
+class TestSlidingWindowThrottle:
+    def test_unlimited_budget_never_waits(self):
+        throttle = SlidingWindowThrottle(ThrottleSpec())
+        for t in range(10):
+            assert throttle.check(float(t), 0, 0) == 0.0
+            throttle.commit(float(t), 0, 0)
+
+    def test_user_budget_blocks_with_retry_after(self):
+        spec = ThrottleSpec(user_budget=2, user_window_seconds=100.0)
+        throttle = SlidingWindowThrottle(spec)
+        throttle.commit(0.0, 7, 1)
+        throttle.commit(10.0, 7, 2)
+        # Third request at t=20: oldest start ages out at 0+100.
+        assert throttle.check(20.0, 7, 3) == pytest.approx(80.0)
+        assert throttle.check(20.0, 8, 3) == 0.0  # other users unaffected
+
+    def test_window_purge_readmits(self):
+        spec = ThrottleSpec(user_budget=1, user_window_seconds=50.0)
+        throttle = SlidingWindowThrottle(spec)
+        throttle.commit(0.0, 0, 0)
+        assert throttle.check(30.0, 0, 0) == pytest.approx(20.0)
+        assert throttle.check(51.0, 0, 0) == 0.0
+
+    def test_program_budget_blocks_all_users(self):
+        spec = ThrottleSpec(program_budget=1, program_window_seconds=100.0)
+        throttle = SlidingWindowThrottle(spec)
+        throttle.commit(0.0, 0, 9)
+        assert throttle.check(10.0, 1, 9) == pytest.approx(90.0)
+        assert throttle.check(10.0, 1, 8) == 0.0
+
+    def test_wait_is_max_of_user_and_program(self):
+        spec = ThrottleSpec(user_budget=1, user_window_seconds=40.0,
+                            program_budget=1, program_window_seconds=90.0)
+        throttle = SlidingWindowThrottle(spec)
+        throttle.commit(0.0, 0, 0)
+        assert throttle.check(10.0, 0, 0) == pytest.approx(80.0)
+
+
+class TestVirtualCounterScheduler:
+    def test_unlimited_lead_is_noop(self):
+        vtc = VirtualCounterScheduler(FairnessSpec(), [10])
+        vtc.charge(0, 0, 1e9)
+        assert vtc.check(0.0, 0, 0) == 0.0
+
+    def test_user_ahead_of_clock_is_deferred(self):
+        spec = FairnessSpec(lead_seconds=100.0, retry_seconds=60.0)
+        vtc = VirtualCounterScheduler(spec, [10])
+        # One user consumes 2000 stream-seconds: clock = 200, vt = 2000.
+        vtc.charge(0, 0, 2000.0)
+        assert vtc.check(0.0, 0, 0) == pytest.approx(60.0)
+        # Everyone else is behind the clock and passes.
+        assert vtc.check(0.0, 1, 0) == 0.0
+
+    def test_clock_is_equal_share(self):
+        spec = FairnessSpec(lead_seconds=50.0)
+        vtc = VirtualCounterScheduler(spec, [4])
+        for user in range(4):
+            vtc.charge(user, 0, 100.0)
+        # clock = 400 / 4 = 100; every vt == 100, lead 0 <= 50.
+        for user in range(4):
+            assert vtc.check(0.0, user, 0) == 0.0
+
+
+class TestAdmissionController:
+    def _active(self):
+        controller = AdmissionController(
+            throttle=ThrottleSpec(user_budget=1, user_window_seconds=1000.0,
+                                  max_defers=2),
+        )
+        controller.bind([5])
+        return controller
+
+    def test_noop_controller_admits_everything(self):
+        controller = AdmissionController(ThrottleSpec(), FairnessSpec())
+        controller.bind([5])
+        for attempt in range(50):
+            verdict = controller.decide(float(attempt), 0, 0, 0, 0)
+            assert verdict.action == ADMIT
+        assert controller.report.admitted == 50
+        assert controller.report.denied == 0
+        assert controller.report.deferrals == 0
+
+    def test_defer_then_deny_after_max_defers(self):
+        controller = self._active()
+        assert controller.decide(0.0, 0, 0, 0, 0).action == ADMIT
+        first = controller.decide(1.0, 0, 1, 0, 0)
+        assert first.action == DEFER
+        assert first.retry_after == pytest.approx(999.0)
+        assert controller.decide(2.0, 0, 1, 0, 1).action == DEFER
+        assert controller.decide(3.0, 0, 1, 0, 2).action == DENY
+        report = controller.report
+        assert report.admitted == 1
+        assert report.deferrals == 2
+        assert report.denied == 1
+        # Two distinct requests, counted once each across retries.
+        assert report.user_requests == {0: 2}
+
+    def test_walkaway_deadline_denies_instead_of_deferring(self):
+        controller = self._active()
+        controller.decide(0.0, 0, 0, 0, 0)
+        verdict = controller.decide(1.0, 0, 1, 0, 0, deadline=500.0)
+        assert verdict.action == DENY
+
+    def test_on_delivery_accounting(self):
+        spec = FairnessSpec(lead_seconds=500.0, coax_weight=1.0,
+                            fill_weight=2.0)
+        controller = AdmissionController(fairness=spec)
+        controller.bind([4])
+        controller.on_delivery(3, 0, "peer", False, 300.0)
+        controller.on_delivery(3, 0, "server", True, 100.0)
+        controller.on_delivery(3, 0, "local", False, 300.0)
+        report = controller.report
+        assert report.user_served_seconds[3] == pytest.approx(700.0)
+        assert report.user_coax_bits[3] == pytest.approx(
+            400.0 * units.STREAM_RATE_BPS)
+        assert report.user_fills[3] == 1
+        assert report.coax_share([3]) == pytest.approx(1.0)
+        assert report.fill_share([3]) == pytest.approx(1.0)
+        # vt = coax 400 + fill 2 x 300 = 1000; clock = 1000/4 = 250.
+        scheduler = controller._fairness
+        assert scheduler._vt[3] == pytest.approx(1000.0)
+        assert scheduler.check(0.0, 3, 0) == pytest.approx(spec.retry_seconds)
+
+    def test_admit_rate_defaults_to_one_when_idle(self):
+        report = AdmissionController().report
+        assert report.admit_rate() == 1.0
+        assert report.admit_rate([1, 2]) == 1.0

@@ -1,0 +1,142 @@
+"""Zipped sweep axes: lockstep pairing instead of cartesian product."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.scenario import Scenario, Sweep
+from repro.trace.synthetic import PowerInfoModel
+
+MODEL = PowerInfoModel(n_users=300, n_programs=60, days=4.0, seed=11)
+
+BASE = Scenario(
+    trace=MODEL,
+    config=SimulationConfig(neighborhood_size=100, warmup_days=1.0),
+    label="base",
+    scale=0.05,
+)
+
+
+def _zipped(**kwargs):
+    defaults = dict(
+        base=BASE,
+        sweep_id="zipdemo",
+        axes={
+            "config.per_peer_storage_gb": [1.0, 2.0, 4.0],
+            "label": ["small", "medium", "large"],
+            "config.neighborhood_size": [50, 100],
+        },
+        zip_groups=(("config.per_peer_storage_gb", "label"),),
+    )
+    defaults.update(kwargs)
+    return Sweep(**defaults)
+
+
+class TestZipExpansion:
+    def test_zipped_axes_collapse_to_one_dimension(self):
+        sweep = _zipped()
+        # 3 lockstep pairs x 2 neighborhood sizes, not 3 x 3 x 2.
+        assert len(sweep) == 6
+        assert len(sweep.expand()) == 6
+
+    def test_lockstep_pairing_and_order(self):
+        grid = _zipped().expand()
+        seen = [(s.config.per_peer_storage_gb, s.label,
+                 s.config.neighborhood_size) for s, _ in grid]
+        # Zip block sits at its first member's position (slowest here);
+        # the ungrouped axis spins fastest.
+        assert seen == [
+            (1.0, "small", 50), (1.0, "small", 100),
+            (2.0, "medium", 50), (2.0, "medium", 100),
+            (4.0, "large", 50), (4.0, "large", 100),
+        ]
+
+    def test_expansion_identity_vs_manual_product(self):
+        sweep = _zipped()
+        pairs = [(1.0, "small"), (2.0, "medium"), (4.0, "large")]
+        manual = []
+        for storage, label in pairs:
+            for size in (50, 100):
+                scenario = BASE
+                from repro.scenario import apply_path
+                scenario = apply_path(scenario, "config.per_peer_storage_gb",
+                                      storage)
+                scenario = apply_path(scenario, "label", label)
+                scenario = apply_path(scenario, "config.neighborhood_size",
+                                      size)
+                manual.append(scenario)
+        assert sweep.scenarios() == manual
+
+    def test_point_cols_survive_zipping(self):
+        sweep = Sweep(
+            base=BASE,
+            axes={
+                "config.per_peer_storage_gb": [
+                    {"value": 1.0, "cols": {"tier": "s"}},
+                    {"value": 4.0, "cols": {"tier": "l"}},
+                ],
+                "label": ["small", "large"],
+            },
+            zip_groups=(("config.per_peer_storage_gb", "label"),),
+        )
+        assert [cols["tier"] for _, cols in sweep.expand()] == ["s", "l"]
+
+
+class TestZipRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        sweep = _zipped()
+        assert Sweep.from_dict(sweep.to_dict()) == sweep
+
+    def test_json_round_trip_preserves_grid(self):
+        sweep = _zipped()
+        rebuilt = Sweep.from_json(sweep.to_json())
+        assert rebuilt == sweep
+        assert rebuilt.zip_groups == sweep.zip_groups
+        assert rebuilt.expand() == sweep.expand()
+
+    def test_json_zip_key_shape(self):
+        payload = _zipped().to_dict()
+        assert payload["zip"] == [["config.per_peer_storage_gb", "label"]]
+        # An unzipped sweep emits no "zip" key at all.
+        assert "zip" not in Sweep(base=BASE, axes={"label": ["a"]}).to_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.scenario import load_sweep
+
+        path = tmp_path / "zipped.json"
+        sweep = _zipped()
+        sweep.save(path)
+        assert load_sweep(path) == sweep
+
+    def test_flattened_drops_zip_and_expands_identically(self):
+        sweep = _zipped()
+        flat = sweep.flattened()
+        assert flat.zip_groups == ()
+        assert len(flat.axes) == 1
+        flat_grid = flat.expand()
+        grid = sweep.expand()
+        assert [s for s, _ in flat_grid] == [s for s, _ in grid]
+        assert [c for _, c in flat_grid] == [c for _, c in grid]
+
+
+class TestZipValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown axis"):
+            _zipped(zip_groups=(("config.per_peer_storage_gb", "nope"),))
+
+    def test_single_member_group_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least two"):
+            _zipped(zip_groups=(("label",),))
+
+    def test_unequal_point_counts_rejected(self):
+        with pytest.raises(ConfigurationError, match="equal point counts"):
+            _zipped(zip_groups=(("label", "config.neighborhood_size"),))
+
+    def test_duplicate_membership_rejected(self):
+        with pytest.raises(ConfigurationError, match="more than one zip group"):
+            _zipped(zip_groups=(
+                ("config.per_peer_storage_gb", "label"),
+                ("label", "config.neighborhood_size"),
+            ))
