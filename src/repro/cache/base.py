@@ -90,6 +90,8 @@ class CacheStrategy(ABC):
     #: does not pay realistic fill costs.
     instant_fill: bool = False
 
+    __slots__ = ("_context", "_members", "_used_bytes")
+
     def __init__(self) -> None:
         self._context: StrategyContext | None = None
         self._members: Set[int] = set()
@@ -199,6 +201,8 @@ class NullStrategy(CacheStrategy):
     """
 
     name = "none"
+
+    __slots__ = ()
 
     def on_access(self, now: float, program_id: int) -> MembershipChange:
         return MembershipChange()

@@ -84,6 +84,8 @@ class BuiltStrategies:
 class StrategySpec(ABC):
     """Immutable description of a caching policy."""
 
+    __slots__ = ()
+
     #: Set by specs whose strategies need the full future access schedule.
     requires_future_knowledge: bool = False
 

@@ -51,6 +51,9 @@ class GlobalPopularityFeed:
         visible immediately.
     """
 
+    __slots__ = ("_window", "_lag", "_pending", "_released",
+                 "_global_counts", "_own_counts", "_listeners")
+
     def __init__(self, window_seconds: Optional[float], lag_seconds: float = 0.0) -> None:
         if lag_seconds < 0:
             raise ConfigurationError(f"lag must be non-negative, got {lag_seconds}")
@@ -140,6 +143,8 @@ class GlobalLFUStrategy(LFUStrategy):
     """
 
     name = "global-lfu"
+
+    __slots__ = ("_feed", "_neighborhood_id")
 
     def __init__(
         self,

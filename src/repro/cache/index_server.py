@@ -149,6 +149,10 @@ class IndexServer:
         Program metadata (lengths drive segment counts).
     """
 
+    __slots__ = ("neighborhood", "_boxes", "_strategy", "_placement",
+                 "_catalog", "_stored", "_segment_counts", "_lengths",
+                 "stats")
+
     def __init__(
         self,
         neighborhood: Neighborhood,

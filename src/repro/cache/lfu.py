@@ -49,6 +49,8 @@ class WindowedCounts:
     infinite window (counts never expire).
     """
 
+    __slots__ = ("_window", "_events", "_counts", "_listeners")
+
     def __init__(self, window_seconds: Optional[float]) -> None:
         if window_seconds is not None and window_seconds < 0:
             raise ConfigurationError(
@@ -130,6 +132,8 @@ class LFUStrategy(CacheStrategy):
     #: and tapering beyond a week; three days is the sweet spot the other
     #: experiments' LFU curves are consistent with.
     DEFAULT_HISTORY_HOURS = 72.0
+
+    __slots__ = ("_counts", "_last_access", "_heap")
 
     def __init__(self, history_hours: Optional[float] = DEFAULT_HISTORY_HOURS) -> None:
         super().__init__()

@@ -23,6 +23,8 @@ class LRUStrategy(CacheStrategy):
 
     name = "lru"
 
+    __slots__ = ("_queue",)
+
     def __init__(self) -> None:
         super().__init__()
         self._queue: "OrderedDict[int, None]" = OrderedDict()

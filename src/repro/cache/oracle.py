@@ -50,6 +50,10 @@ class OracleStrategy(CacheStrategy):
     name = "oracle"
     instant_fill = True
 
+    __slots__ = ("_futures", "_window_seconds", "_recompute_seconds",
+                 "_next_recompute", "_event_times", "_event_pids",
+                 "_counts", "_counts_now")
+
     def __init__(
         self,
         future_accesses: Dict[int, Sequence[float]],

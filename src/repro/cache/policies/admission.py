@@ -27,6 +27,8 @@ class AlwaysAdmit(AdmissionPolicy, _AlwaysAdmitMarker):
 
     name = "always"
 
+    __slots__ = ()
+
     def should_admit(self, now: float, program_id: int) -> bool:
         return True
 
@@ -44,6 +46,8 @@ class ThresholdAdmission(AdmissionPolicy):
     """
 
     name = "threshold"
+
+    __slots__ = ("_min_accesses", "_counts")
 
     def __init__(self, min_accesses: int = 2,
                  window_hours: Optional[float] = 24.0) -> None:
@@ -96,6 +100,10 @@ class FrequencySketchAdmission(AdmissionPolicy):
     """
 
     name = "sketch"
+
+    __slots__ = ("_min_estimate", "_width", "_rows", "_mix",
+                 "_decay_accesses", "_since_decay", "_last_program",
+                 "_last_buckets")
 
     def __init__(self, min_estimate: int = 2, width: int = 1024,
                  depth: int = 4, decay_accesses: int = 8192) -> None:

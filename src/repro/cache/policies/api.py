@@ -49,6 +49,8 @@ class AdmissionPolicy(ABC):
     #: Short identifier used in composed strategy names.
     name: str = "admission"
 
+    __slots__ = ("_host",)
+
     def bind(self, host: "PolicyStrategy") -> None:
         """Attach to the engine; called once, before any access."""
         self._host = host
@@ -66,6 +68,8 @@ class EvictionPolicy(ABC):
 
     #: Short identifier used in composed strategy names.
     name: str = "eviction"
+
+    __slots__ = ("_host",)
 
     def bind(self, host: "PolicyStrategy") -> None:
         """Attach to the engine; called once, before any access."""
@@ -101,6 +105,9 @@ class PolicyStrategy(CacheStrategy):
     excepted -- its schedule-driven recompute fits neither interface and
     stays a bespoke :class:`~repro.cache.base.CacheStrategy`).
     """
+
+    __slots__ = ("_admission", "_eviction", "name", "_admission_observe",
+                 "_eviction_observe", "_admission_vetoes")
 
     def __init__(self, admission: AdmissionPolicy,
                  eviction: EvictionPolicy) -> None:
@@ -187,3 +194,5 @@ class _AlwaysAdmitMarker:
     Lets :class:`PolicyStrategy` name pure-eviction compositions by the
     eviction side alone (``lru`` instead of ``always+lru``).
     """
+
+    __slots__ = ()

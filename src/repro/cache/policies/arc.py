@@ -39,6 +39,9 @@ class ARCEviction(EvictionPolicy):
     sooner -- the knob the ghost-budget sweep explores.
     """
 
+    __slots__ = ("_ghost_budget", "_t1", "_t2", "_b1", "_b2",
+                 "_t1_bytes", "_b1_bytes", "_b2_bytes", "_p", "_ghost_hit")
+
     def __init__(self, ghost_budget: float = 1.0) -> None:
         if ghost_budget < 0:
             raise ConfigurationError(

@@ -68,6 +68,8 @@ class _RankedEviction(EvictionPolicy):
       exactly as it was found.
     """
 
+    __slots__ = ("_heap", "_dirty")
+
     def __init__(self) -> None:
         self._heap: List[Tuple] = []
         self._dirty: Set[int] = set()
@@ -153,6 +155,8 @@ class _RankedEviction(EvictionPolicy):
 class LRUEviction(EvictionPolicy):
     """Evict the least-recently-accessed member first."""
 
+    __slots__ = ("_queue",)
+
     def __init__(self) -> None:
         self._queue: "OrderedDict[int, None]" = OrderedDict()
 
@@ -187,6 +191,8 @@ class LFUEviction(_RankedEviction):
     ``history_hours=0`` degenerates to LRU exactly (every count has
     expired by decision time), matching the paper's Fig 11 claim.
     """
+
+    __slots__ = ("_counts", "_last_access")
 
     def __init__(self,
                  history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS,
@@ -269,6 +275,8 @@ class GlobalLFUEviction(LFUEviction):
 
     name = "global-lfu"
 
+    __slots__ = ("_feed", "_neighborhood_id")
+
     def __init__(self, feed: GlobalPopularityFeed, neighborhood_id: int,
                  history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS,
                  ) -> None:
@@ -301,6 +309,8 @@ class GDSFEviction(_RankedEviction):
     Admission mirrors the LFU plan discipline: the newcomer enters only
     if victims with priority at or below its own free enough bytes.
     """
+
+    __slots__ = ("_counts", "_clock", "_pri")
 
     def __init__(self,
                  history_hours: Optional[float] = LFUStrategy.DEFAULT_HISTORY_HOURS,

@@ -83,6 +83,8 @@ class PlacementMap:
     by the index server; this map is purely *where they belong*.
     """
 
+    __slots__ = ("_boxes", "_counter", "_heap", "_assignments")
+
     def __init__(self, boxes: Sequence[SetTopBox]) -> None:
         if not boxes:
             raise PlacementError("placement requires at least one peer")

@@ -40,7 +40,7 @@ from repro.errors import ReproError
 from repro.experiments import all_experiments, get_experiment, get_profile
 
 #: Scenario-file subcommands (everything else is an experiment id).
-_SUBCOMMANDS = ("run", "sweep", "describe")
+_SUBCOMMANDS = ("run", "sweep", "describe", "lint")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -420,6 +420,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if argv and argv[0] in _SUBCOMMANDS:
             if argv[0] == "describe":
                 return _cmd_describe(argv[1:])
+            if argv[0] == "lint":
+                from repro.devtools.lint import main as lint_main
+
+                return lint_main(argv[1:])
             return _cmd_run_or_sweep(argv[0], argv[1:])
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -1,0 +1,10 @@
+"""Developer tooling that guards the reproduction's correctness contracts.
+
+Nothing in this package runs inside a simulation.  It exists because the
+project's headline promise -- bit-identical results across engines,
+backends, shard counts, and drain paths -- rests on a handful of coding
+contracts (seeded-stream-only randomness, lazy numpy gating, slotted
+hot-path classes, sorted iteration feeding reported rows, registries
+that round-trip and stay covered by the equivalence suites) that nothing
+used to enforce mechanically.  :mod:`repro.devtools.lint` does.
+"""

@@ -1,0 +1,88 @@
+"""W-DET: no wall-clock reads or unseeded randomness in simulation code.
+
+Two execution of the same scenario must be bit-identical; that dies the
+moment any code path consults the host clock or the process-global
+random state.  The sanctioned sources are:
+
+* :func:`repro.sim.random_streams.derive_seed` and the
+  :class:`~repro.sim.random_streams.RandomStreams` factory built on it
+  -- ``random.Random(derive_seed(...))`` construction is allowed
+  anywhere;
+* explicitly-constructed numpy generators
+  (``np.random.Generator(np.random.PCG64(derive_seed(...)))``) -- the
+  capitalized bit-generator classes are constructors taking a seed, so
+  they pass; the module-level draw functions and ``default_rng`` share
+  global or OS-entropy state and do not.
+
+The allowlist below names the only places wall-clock timing is a
+feature, not a hazard: CLI progress timing and the ``wall_seconds``
+diagnostic on :class:`~repro.core.results.SimulationResult`.  Anything
+else needs a ``# repro-lint: disable=W-DET reason=...`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import Finding, ModuleUnit, checker
+
+#: Wall-clock reads: nondeterministic across runs by definition.
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: numpy.random names that are *not* module-global draws: explicit
+#: generator / bit-generator / seed-machinery constructors, all of which
+#: take the seed they run on.  Everything else under numpy.random is
+#: either the legacy global-state API (``np.random.rand``, ``seed``) or
+#: OS-entropy seeding (``default_rng()``), both banned.
+_NUMPY_CONSTRUCTORS = frozenset({
+    "Generator", "RandomState", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+})
+
+#: rel-path -> dotted call names whose use is a feature there.
+_ALLOWLIST = {
+    # CLI progress timing: printed to the terminal, never in a result.
+    "cli.py": frozenset({"time.perf_counter"}),
+    # SimulationResult.wall_seconds: a diagnostic the equivalence suites
+    # explicitly exclude from bit-identity comparisons.
+    "core/system.py": frozenset({"time.perf_counter"}),
+}
+
+
+@checker("W-DET")
+def check_determinism(unit: ModuleUnit) -> Iterator[Finding]:
+    allowed = _ALLOWLIST.get(unit.rel, frozenset())
+    for node in ast.walk(unit.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = unit.dotted_name(node.func)
+        if name is None:
+            continue
+        if name in _CLOCK_CALLS and name not in allowed:
+            yield Finding(
+                unit.rel, node.lineno, node.col_offset, "W-DET",
+                f"wall-clock read {name}() in simulation code; results "
+                f"must not depend on the host clock",
+            )
+        elif name.startswith("random.") and name != "random.Random":
+            yield Finding(
+                unit.rel, node.lineno, node.col_offset, "W-DET",
+                f"{name}() draws from the process-global random state; "
+                f"derive a stream via sim.random_streams.derive_seed "
+                f"and random.Random instead",
+            )
+        elif (name.startswith("numpy.random.")
+                and name.rsplit(".", 1)[1] not in _NUMPY_CONSTRUCTORS):
+            yield Finding(
+                unit.rel, node.lineno, node.col_offset, "W-DET",
+                f"{name}() is unseeded or global-state numpy randomness; "
+                f"construct numpy.random.Generator(PCG64(derive_seed(...)))",
+            )

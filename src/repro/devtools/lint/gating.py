@@ -1,0 +1,114 @@
+"""W-GATE: numpy must stay behind the lazy / guarded import gates.
+
+The CI matrix runs a pure-python leg where numpy does not exist, and
+``REPRO_TRACE_BACKEND`` / ``REPRO_ENGINE`` auto-detection promises every
+module still imports there.  One honest way to break that silently is a
+bare top-level ``import numpy`` in a module the python leg reaches.
+
+Allowed forms:
+
+* imports inside a function or method body (the lazy-gate idiom every
+  accelerated path uses: the caller checked the gate first);
+* module-level imports wrapped in ``try: ... except ImportError`` (the
+  probe idiom -- the module imports either way);
+* ``if TYPE_CHECKING:`` blocks (never executed);
+* the explicitly gated backend modules listed below, which are only
+  ever imported *after* a gate check and may therefore import numpy
+  unconditionally at top level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.devtools.lint.core import Finding, ModuleUnit, checker
+
+#: Modules reachable only behind an explicit numpy gate; a bare
+#: top-level import is their prerogative (and keeps their own bodies
+#: clean of per-function import noise).
+_GATED_MODULES = frozenset({
+    "trace/vectorized.py",
+})
+
+_GUARD_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception"}
+
+
+def _numpy_imports(node: ast.stmt) -> List[Tuple[int, int]]:
+    """Locations of numpy imports directly in this statement."""
+    if isinstance(node, ast.Import):
+        return [(node.lineno, node.col_offset) for alias in node.names
+                if alias.name == "numpy" or alias.name.startswith("numpy.")]
+    if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+        if node.module == "numpy" or node.module.startswith("numpy."):
+            return [(node.lineno, node.col_offset)]
+    return []
+
+
+def _is_type_checking_if(node: ast.If) -> bool:
+    test = node.test
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+
+
+def _guards_import_error(node: ast.Try) -> bool:
+    for handler in node.handlers:
+        if handler.type is None:
+            return True
+        names = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                 else [handler.type])
+        for name in names:
+            if isinstance(name, ast.Name) and name.id in _GUARD_EXCEPTIONS:
+                return True
+            if isinstance(name, ast.Attribute) and name.attr in _GUARD_EXCEPTIONS:
+                return True
+    return False
+
+
+def _walk_module_scope(body: List[ast.stmt], guarded: bool
+                       ) -> Iterator[Tuple[ast.stmt, bool]]:
+    """Statements executed at import time, with their guardedness.
+
+    Descends into module-level ``if``/``try``/``with`` blocks (those run
+    at import time too) but never into function or class-method bodies
+    beyond the class's immediate body -- class bodies also execute at
+    import time.
+    """
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.If):
+            if _is_type_checking_if(node):
+                continue
+            yield from _walk_module_scope(node.body, guarded)
+            yield from _walk_module_scope(node.orelse, guarded)
+        elif isinstance(node, ast.Try):
+            shielded = guarded or _guards_import_error(node)
+            yield from _walk_module_scope(node.body, shielded)
+            for handler in node.handlers:
+                yield from _walk_module_scope(handler.body, guarded)
+            yield from _walk_module_scope(node.orelse, guarded)
+            yield from _walk_module_scope(node.finalbody, guarded)
+        elif isinstance(node, ast.With):
+            yield from _walk_module_scope(node.body, guarded)
+        elif isinstance(node, ast.ClassDef):
+            yield from _walk_module_scope(node.body, guarded)
+        else:
+            yield node, guarded
+
+
+@checker("W-GATE")
+def check_numpy_gating(unit: ModuleUnit) -> Iterator[Finding]:
+    if unit.rel in _GATED_MODULES:
+        return
+    for node, guarded in _walk_module_scope(unit.tree.body, guarded=False):
+        if guarded:
+            continue
+        for lineno, col in _numpy_imports(node):
+            yield Finding(
+                unit.rel, lineno, col, "W-GATE",
+                "bare module-level numpy import; the python-only leg "
+                "must import this module -- move the import into the "
+                "gated function or guard it with try/except ImportError",
+            )

@@ -1,0 +1,81 @@
+"""W-ORDER: iterating an unordered collection is a bit-identity hazard.
+
+Sets hash-order their elements, and string hashing is salted per
+process (``PYTHONHASHSEED``), so ``for x in some_set`` can visit in a
+different order on every run.  Any such order leaking into reported
+rows, CSV/JSON output, or meter folds silently breaks the
+"serial == parallel == resumed" bit-identity contract.  Dict views are
+insertion-ordered -- deterministic if the insertions are -- but
+``.keys()`` iteration that *matters* should still state its order; the
+codebase convention is ``sorted(...)`` at every fold boundary.
+
+The rule flags direct iteration over:
+
+* ``set(...)`` / ``frozenset(...)`` calls, set literals and set
+  comprehensions -- in ``for`` targets, comprehension sources, and
+  order-materializing calls (``list``/``tuple``/``enumerate``/
+  ``str.join``);
+* ``.keys()`` calls in the same positions.
+
+Wrapping the expression in ``sorted(...)`` (or reducing it with an
+order-insensitive ``sum``/``min``/``max``/``len``/``any``/``all``)
+passes.  Where hash order is provably harmless, say so with
+``# repro-lint: disable=W-ORDER reason=...``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.lint.core import Finding, ModuleUnit, checker
+
+#: Call targets whose argument order is irrelevant (reductions) -- a
+#: set/keys expression fed straight into one of these is fine.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset",
+})
+
+#: Call targets that materialize their argument's iteration order.
+_ORDER_MATERIALIZING = frozenset({"list", "tuple", "enumerate"})
+
+
+def _unordered_reason(node: ast.expr) -> Optional[str]:
+    """Why this expression iterates in nondeterministic/unstated order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set displays its elements in hash order"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}() iterates in hash order"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return ".keys() iteration order is unstated at a fold boundary"
+    return None
+
+
+def _flag(unit: ModuleUnit, node: ast.expr) -> Iterator[Finding]:
+    reason = _unordered_reason(node)
+    if reason is not None:
+        yield Finding(
+            unit.rel, node.lineno, node.col_offset, "W-ORDER",
+            f"{reason}; wrap it in sorted(...) so the fold order is "
+            f"deterministic and explicit",
+        )
+
+
+@checker("W-ORDER")
+def check_ordering(unit: ModuleUnit) -> Iterator[Finding]:
+    for node in ast.walk(unit.tree):
+        if isinstance(node, ast.For):
+            yield from _flag(unit, node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for generator in node.generators:
+                yield from _flag(unit, generator.iter)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else "")
+            if name in _ORDER_MATERIALIZING or name == "join":
+                for arg in node.args:
+                    yield from _flag(unit, arg)

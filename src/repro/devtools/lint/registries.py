@@ -1,0 +1,217 @@
+"""W-REG: registries must round-trip and stay covered by the suites.
+
+The project's three registries -- cache strategy specs (``@policy``),
+baselines, and live admission specs (``@live_admission``) -- are the
+single source of truth for what is runnable.  Two contracts keep them
+honest:
+
+1. **Round-trip support.**  Every registered spec serializes through
+   ``spec_to_dict``/``spec_from_dict`` (live:
+   ``live_spec_to_dict``/``live_spec_from_dict``), which the generic
+   implementations only guarantee for frozen-dataclass specs.  The
+   per-file half of this rule therefore requires every
+   ``@policy``/``@live_admission``-decorated class to also carry
+   ``@dataclass(frozen=True)``; the project-level half executes the
+   round-trip for every registered name.
+2. **Equivalence-suite coverage.**  A registered strategy that never
+   runs through the engine-equivalence and live-equivalence suites is
+   an unproven strategy: a coverage gap is a lint error, not a hope.
+   Parametrizing straight off ``policy_names()`` (what both suites do)
+   covers by construction; a literal list must enumerate every name.
+
+The project-level half runs only when the linted tree is the real
+``repro`` package (it needs the registries importable and the ``tests/``
+tree on disk); the per-file half runs on any tree, which is what the
+self-test corpus exercises.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Set
+
+from repro.devtools.lint.core import Finding, ModuleUnit, checker
+
+_REGISTRY_DECORATORS = ("policy", "live_admission")
+
+
+def _decorator_name(node: ast.expr) -> str:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return ""
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if _decorator_name(decorator) != "dataclass":
+            continue
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if (keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True):
+                    return True
+        # bare @dataclass: mutable, spec_to_dict would "work" but the
+        # spec breaks the scenario layer's hashing/equality assumptions.
+    return False
+
+
+@checker("W-REG")
+def check_registered_specs(unit: ModuleUnit) -> Iterator[Finding]:
+    """Per-file half: registered spec classes must be frozen dataclasses."""
+    for node in ast.walk(unit.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        registered_as = None
+        for decorator in node.decorator_list:
+            if _decorator_name(decorator) in _REGISTRY_DECORATORS:
+                registered_as = _decorator_name(decorator)
+                break
+        if registered_as is None:
+            continue
+        if not _is_frozen_dataclass(node):
+            yield Finding(
+                unit.rel, node.lineno, node.col_offset, "W-REG",
+                f"@{registered_as}-registered class {node.name} is not a "
+                f"@dataclass(frozen=True); spec_to_dict/spec_from_dict "
+                f"round-trips are only guaranteed for frozen dataclasses",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Project-level half
+# ---------------------------------------------------------------------------
+
+
+def _parametrize_names(test_file: Path, via_call: str) -> Optional[Set[str]]:
+    """Names a test file's ``parametrize`` marks cover.
+
+    Returns ``None`` for *full registry coverage* -- a parametrize whose
+    values are the live ``{via_call}()`` expression; otherwise the union
+    of string constants in literal parametrize lists.
+    """
+    tree = ast.parse(test_file.read_text(encoding="utf-8"))
+    literal: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "parametrize"):
+            continue
+        if len(node.args) < 2:
+            continue
+        values = node.args[1]
+        if (isinstance(values, ast.Call)
+                and _decorator_name(values) == via_call):
+            return None
+        if isinstance(values, (ast.List, ast.Tuple)):
+            for element in values.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str):
+                    literal.add(element.value)
+    return literal
+
+
+def _find_tests_dir(root: Path) -> Optional[Path]:
+    """The repo's ``tests/`` tree, walking up from the linted package."""
+    for base in (root, *root.parents):
+        candidate = base / "tests"
+        if (candidate / "core" / "test_engine_equivalence.py").exists():
+            return candidate
+    return None
+
+
+def project_registry_findings(root: Path) -> List[Finding]:
+    """Round-trip and suite-coverage checks against the live registries.
+
+    ``root`` must be the real ``repro`` package directory; any other
+    tree (the fixture corpus, a vendored copy) skips silently -- the
+    per-file half still applies there.
+    """
+    if not (root / "cache" / "policies" / "registry.py").exists():
+        return []
+
+    from repro.baselines.registry import BASELINE_NAMES
+    from repro.cache.factory import spec_from_dict, spec_to_dict
+    from repro.cache.policies.registry import (
+        iter_live_admissions, iter_policies, policy_names,
+    )
+    from repro.live.specs import live_spec_from_dict, live_spec_to_dict
+
+    registry_rel = "cache/policies/registry.py"
+    findings: List[Finding] = []
+
+    def report(message: str, rel: str = registry_rel) -> None:
+        findings.append(Finding(rel, 1, 0, "W-REG", message))
+
+    for info in iter_policies():
+        spec = info.spec_class()
+        try:
+            if spec_from_dict(spec_to_dict(spec)) != spec:
+                report(f"strategy {info.name!r}: spec_from_dict(spec_to_dict())"
+                       f" is not the identity")
+        except Exception as error:  # noqa: BLE001 - any failure is the finding
+            report(f"strategy {info.name!r} does not round-trip: {error}")
+
+    for info in iter_live_admissions():
+        spec = info.spec_class()
+        try:
+            if live_spec_from_dict(live_spec_to_dict(spec)) != spec:
+                report(f"live admission {info.name!r}: "
+                       f"live_spec_from_dict(live_spec_to_dict()) is not "
+                       f"the identity")
+        except Exception as error:  # noqa: BLE001
+            report(f"live admission {info.name!r} does not round-trip: "
+                   f"{error}")
+
+    tests_dir = _find_tests_dir(root)
+    if tests_dir is None:
+        report("cannot locate the tests/ tree to verify equivalence-suite "
+               "coverage (expected tests/core/test_engine_equivalence.py "
+               "next to the package)")
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    for suite in ("core/test_engine_equivalence.py",
+                  "live/test_live_equivalence.py"):
+        test_file = tests_dir / suite
+        if not test_file.exists():
+            report(f"equivalence suite tests/{suite} is missing; every "
+                   f"registered strategy must run through it")
+            continue
+        covered = _parametrize_names(test_file, via_call="policy_names")
+        if covered is None:
+            continue  # parametrized off the live registry: full coverage
+        for name in policy_names():
+            if name not in covered:
+                report(f"strategy {name!r} is registered but not "
+                       f"parametrized in tests/{suite}; a policy outside "
+                       f"the bit-identity suite is unproven",
+                       rel=registry_rel)
+
+    live_sources = "\n".join(
+        p.read_text(encoding="utf-8") for p in sorted(tests_dir.glob("live/*.py"))
+    )
+    for info in iter_live_admissions():
+        if info.name not in live_sources:
+            report(f"live admission {info.name!r} is registered but never "
+                   f"referenced in tests/live/")
+
+    baseline_sources = "\n".join(
+        p.read_text(encoding="utf-8")
+        for p in sorted(tests_dir.glob("baselines/*.py"))
+    )
+    for name in BASELINE_NAMES:
+        if name not in baseline_sources:
+            findings.append(Finding(
+                "baselines/registry.py", 1, 0, "W-REG",
+                f"baseline {name!r} is registered but never referenced in "
+                f"tests/baselines/",
+            ))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

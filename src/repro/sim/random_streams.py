@@ -49,6 +49,8 @@ class RandomStreams:
     True
     """
 
+    __slots__ = ("_seed", "_streams")
+
     def __init__(self, seed: int) -> None:
         self._seed = int(seed)
         self._streams: Dict[str, random.Random] = {}

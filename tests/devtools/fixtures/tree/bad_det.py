@@ -1,0 +1,28 @@
+"""Known-bad fixture: every W-DET hazard the linter must catch.
+
+Never imported -- parsed by the self-test corpus only.
+"""
+
+import random
+import time as _time
+from datetime import datetime
+
+import numpy as np  # noqa: F401  (also a W-GATE violation, line 10)
+
+
+def timestamp_rows(rows):
+    stamp = _time.time()  # W-DET: wall clock, line 14
+    return [(stamp, row) for row in rows]
+
+
+def jitter(values):
+    return [v + random.random() for v in values]  # W-DET: global RNG, line 19
+
+
+def draw(n):
+    rng = np.random.default_rng()  # W-DET: OS-entropy seeding, line 23
+    return rng.random(n)
+
+
+def log_line(message):
+    return f"{datetime.now().isoformat()} {message}"  # W-DET, line 28

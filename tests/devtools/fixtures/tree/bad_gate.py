@@ -1,0 +1,10 @@
+"""Known-bad fixture: a bare top-level numpy import (W-GATE).
+
+The python-only CI leg could never import this module.
+"""
+
+import numpy  # W-GATE, line 6
+
+
+def double(values):
+    return numpy.asarray(values) * 2

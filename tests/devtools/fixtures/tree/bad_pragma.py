@@ -1,0 +1,19 @@
+"""Known-bad fixture: suppression pragmas, valid and malformed."""
+
+import time
+
+
+def suppressed_probe():
+    # A correctly justified suppression: the W-DET finding on this line
+    # must be swallowed.
+    return time.time()  # repro-lint: disable=W-DET reason=fixture proves suppression works
+
+
+def unjustified_probe():
+    # Missing reason=: the suppression itself is the finding (W-PRAGMA)
+    # and the W-DET it tried to hide survives.
+    return time.time()  # repro-lint: disable=W-DET
+
+
+def misspelled_rule():
+    return 1  # repro-lint: disable=W-TYPO reason=unknown rule ids are W-PRAGMA errors

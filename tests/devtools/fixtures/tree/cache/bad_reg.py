@@ -1,0 +1,13 @@
+"""Known-bad fixture: a registered spec that cannot round-trip (W-REG)."""
+
+from repro.cache.policies.registry import policy
+
+
+@policy("phantom", summary="registered but not a frozen dataclass")
+class PhantomSpec:  # W-REG, line 7
+    """Mutable spec: spec_to_dict/spec_from_dict support is not guaranteed."""
+
+    __slots__ = ("depth",)
+
+    def __init__(self, depth=1):
+        self.depth = depth

@@ -1,0 +1,17 @@
+"""Known-bad fixture: hash-ordered iteration feeding output (W-ORDER)."""
+
+
+def rows_from(meters):
+    rows = []
+    for key in set(meters):  # W-ORDER, line 6
+        rows.append(meters[key])
+    return rows
+
+
+def csv_columns(buckets):
+    return list(buckets.keys())  # W-ORDER, line 12
+
+
+def sorted_rows(meters):
+    # Correct form: must NOT be flagged.
+    return [meters[key] for key in sorted(set(meters))]

@@ -1,0 +1,16 @@
+"""Known-bad fixture: a hot-path class without ``__slots__`` (W-SLOTS)."""
+
+
+class PerEventRecord:  # W-SLOTS, line 4
+    def __init__(self, time, seq):
+        self.time = time
+        self.seq = seq
+
+
+class SlottedNeighbor:
+    """Declares slots: must NOT be flagged."""
+
+    __slots__ = ("time",)
+
+    def __init__(self, time):
+        self.time = time

@@ -1,0 +1,20 @@
+"""The real ``repro`` package must lint clean -- the tree is the contract.
+
+Any new finding here means either a genuine regression (fix the code)
+or a deliberate exception (suppress the line with a ``reason=``-bearing
+pragma, or extend the checker's documented allowlist).
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import default_target, main, run_lint
+
+
+def test_package_tree_is_clean():
+    findings = run_lint(default_target())
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_default_target_exits_zero(capsys):
+    assert main([]) == 0
+    assert "clean" in capsys.readouterr().out

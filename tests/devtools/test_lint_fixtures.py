@@ -1,0 +1,146 @@
+"""repro-lint self-tests: every rule must fire on the known-bad corpus.
+
+The fixture tree under ``fixtures/tree`` is a miniature package root
+(never imported, only parsed) seeding at least one violation per rule
+plus one valid and two malformed suppression pragmas.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import main, run_lint
+
+FIXTURE_TREE = Path(__file__).resolve().parent / "fixtures" / "tree"
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return run_lint(FIXTURE_TREE)
+
+
+def _at(findings, rule, path, line):
+    return [f for f in findings
+            if f.rule == rule and f.path == path and f.line == line]
+
+
+def test_every_rule_fires(findings):
+    fired = {f.rule for f in findings}
+    assert fired == {"W-DET", "W-GATE", "W-SLOTS", "W-ORDER",
+                     "W-REG", "W-PRAGMA"}
+
+
+# -- W-DET ----------------------------------------------------------------
+
+@pytest.mark.parametrize("line", [14, 19, 23, 28])
+def test_det_violations_located(findings, line):
+    assert _at(findings, "W-DET", "bad_det.py", line)
+
+
+def test_det_resolves_import_aliases(findings):
+    # time.time() is called through ``import time as _time``.
+    hits = _at(findings, "W-DET", "bad_det.py", 14)
+    assert hits and "time.time" in hits[0].message
+
+
+# -- W-GATE ---------------------------------------------------------------
+
+def test_gate_flags_bare_numpy_import(findings):
+    assert _at(findings, "W-GATE", "bad_gate.py", 6)
+    # bad_det.py's top-level ``import numpy as np`` is a gate violation too.
+    assert _at(findings, "W-GATE", "bad_det.py", 10)
+
+
+# -- W-SLOTS --------------------------------------------------------------
+
+def test_slots_flags_hot_path_class(findings):
+    assert _at(findings, "W-SLOTS", "sim/bad_slots.py", 4)
+
+
+def test_slots_accepts_slotted_class(findings):
+    assert not [f for f in findings
+                if f.rule == "W-SLOTS" and f.path == "sim/bad_slots.py"
+                and f.line > 4]
+
+
+# -- W-ORDER --------------------------------------------------------------
+
+@pytest.mark.parametrize("line", [6, 12])
+def test_order_flags_hash_ordered_iteration(findings, line):
+    assert _at(findings, "W-ORDER", "report/bad_order.py", line)
+
+
+def test_order_accepts_sorted_iteration(findings):
+    assert not [f for f in findings
+                if f.rule == "W-ORDER" and f.path == "report/bad_order.py"
+                and f.line > 12]
+
+
+# -- W-REG (per-file half) ------------------------------------------------
+
+def test_reg_flags_non_frozen_registered_spec(findings):
+    hits = _at(findings, "W-REG", "cache/bad_reg.py", 7)
+    assert hits and "PhantomSpec" in hits[0].message
+
+
+# -- suppression pragmas --------------------------------------------------
+
+def test_pragma_with_reason_suppresses(findings):
+    assert not _at(findings, "W-DET", "bad_pragma.py", 9)
+
+
+def test_pragma_without_reason_is_error_and_does_not_suppress(findings):
+    assert _at(findings, "W-PRAGMA", "bad_pragma.py", 15)
+    assert _at(findings, "W-DET", "bad_pragma.py", 15)
+
+
+def test_pragma_unknown_rule_is_error(findings):
+    hits = _at(findings, "W-PRAGMA", "bad_pragma.py", 19)
+    assert hits and "W-TYPO" in hits[0].message
+
+
+# -- CLI ------------------------------------------------------------------
+
+def test_cli_exits_nonzero_with_located_findings(capsys):
+    assert main([str(FIXTURE_TREE)]) == 1
+    out = capsys.readouterr().out
+    assert "bad_det.py:14:" in out
+    assert "W-DET" in out and "W-REG" in out
+
+
+def test_cli_json_output(capsys):
+    assert main([str(FIXTURE_TREE), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == len(payload["findings"]) > 0
+    sample = payload["findings"][0]
+    assert {"path", "line", "col", "rule", "message"} <= set(sample)
+
+
+def test_cli_rule_filter(capsys):
+    assert main([str(FIXTURE_TREE), "--rules", "W-GATE"]) == 1
+    out = capsys.readouterr().out
+    # Pragma meta-checks always run; every other reported rule is W-GATE.
+    reported = {line.split(": ")[1].split(" ")[0]
+                for line in out.splitlines() if ".py:" in line}
+    assert reported <= {"W-GATE", "W-PRAGMA"}
+    assert "W-GATE" in reported
+
+
+def test_cli_rejects_unknown_rule():
+    with pytest.raises(ValueError):
+        run_lint(FIXTURE_TREE, rules=["W-NOPE"])
+
+
+def test_cli_missing_path(capsys):
+    assert main(["/no/such/tree"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("W-DET", "W-GATE", "W-SLOTS", "W-ORDER", "W-REG",
+                 "W-PRAGMA"):
+        assert rule in out

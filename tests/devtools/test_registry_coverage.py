@@ -1,0 +1,89 @@
+"""W-REG as a live meta-test: registry coverage fails the suite itself.
+
+The linter reports coverage gaps, but a gap should not depend on anyone
+running ``repro-vod lint``: these tests re-assert the same contracts
+directly, so registering a strategy without wiring it into the
+equivalence suites fails tier-1.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.registry import BASELINE_NAMES
+from repro.cache.factory import spec_from_dict, spec_to_dict
+from repro.cache.policies.registry import (
+    iter_live_admissions,
+    iter_policies,
+    live_admission_names,
+    policy_names,
+)
+from repro.devtools.lint import default_target
+from repro.devtools.lint.registries import (
+    _parametrize_names,
+    project_registry_findings,
+)
+from repro.live.specs import live_spec_from_dict, live_spec_to_dict
+
+TESTS_DIR = Path(__file__).resolve().parent.parent
+ENGINE_SUITE = TESTS_DIR / "core" / "test_engine_equivalence.py"
+LIVE_SUITE = TESTS_DIR / "live" / "test_live_equivalence.py"
+
+
+@pytest.mark.parametrize("suite", [ENGINE_SUITE, LIVE_SUITE],
+                         ids=lambda p: p.stem)
+def test_equivalence_suite_covers_every_policy(suite):
+    assert suite.exists(), f"equivalence suite {suite} is missing"
+    covered = _parametrize_names(suite, via_call="policy_names")
+    if covered is None:
+        return  # parametrized off the live registry: covered by construction
+    missing = sorted(set(policy_names()) - covered)
+    assert not missing, (
+        f"strategies registered but not parametrized in {suite.name}: "
+        f"{missing}"
+    )
+
+
+def test_live_suite_references_every_live_admission():
+    sources = "\n".join(
+        p.read_text(encoding="utf-8")
+        for p in sorted((TESTS_DIR / "live").glob("*.py"))
+    )
+    missing = [name for name in live_admission_names() if name not in sources]
+    assert not missing, (
+        f"live admissions registered but never exercised in tests/live/: "
+        f"{missing}"
+    )
+
+
+def test_baseline_suite_references_every_baseline():
+    sources = "\n".join(
+        p.read_text(encoding="utf-8")
+        for p in sorted((TESTS_DIR / "baselines").glob("*.py"))
+    )
+    missing = [name for name in BASELINE_NAMES if name not in sources]
+    assert not missing, (
+        f"baselines registered but never exercised in tests/baselines/: "
+        f"{missing}"
+    )
+
+
+@pytest.mark.parametrize("name", policy_names())
+def test_every_policy_spec_round_trips(name):
+    info = {i.name: i for i in iter_policies()}[name]
+    spec = info.spec_class()
+    assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+@pytest.mark.parametrize("name", live_admission_names())
+def test_every_live_spec_round_trips(name):
+    info = {i.name: i for i in iter_live_admissions()}[name]
+    spec = info.spec_class()
+    assert live_spec_from_dict(live_spec_to_dict(spec)) == spec
+
+
+def test_project_half_of_w_reg_is_clean():
+    findings = project_registry_findings(default_target())
+    assert findings == [], "\n".join(f.render() for f in findings)
