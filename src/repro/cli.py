@@ -4,6 +4,7 @@ Usage::
 
     repro-vod list
     repro-vod list-strategies
+    repro-vod list-families
     repro-vod fig08 [--profile fast|medium|paper]
     repro-vod all --profile medium
     repro-vod policies --workers 0
@@ -60,7 +61,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (e.g. fig08), 'all', 'list', 'list-strategies', "
-            "or a subcommand: run / sweep / describe"
+            "'list-families', or a subcommand: run / sweep / describe"
         ),
     )
     parser.add_argument(
@@ -175,6 +176,27 @@ def _print_live_admissions() -> None:
     param_width = max(len(row[1]) for row in rows)
     for name, params, summary in rows:
         print(f"{name:<{name_width}}  {params:<{param_width}}  {summary}")
+
+
+def _print_families() -> None:
+    """Render the workload-family registry as an aligned table."""
+    from repro.trace.families import iter_families
+
+    rows = []
+    for info in iter_families():
+        names = [name for name, _ in info.parameters()]
+        # powerinfo carries ~23 calibration knobs; keep the table
+        # readable and point at the spec class for the full surface.
+        if len(names) > 8:
+            names = names[:8] + [f"... +{len(names) - 8} more"]
+        params = ", ".join(names) or "-"
+        rows.append((info.name, info.capabilities(), params, info.summary))
+    name_width = max(len(row[0]) for row in rows)
+    caps_width = max(len(row[1]) for row in rows)
+    param_width = max(len(row[2]) for row in rows)
+    for name, caps, params, summary in rows:
+        print(f"{name:<{name_width}}  {caps:<{caps_width}}  "
+              f"{params:<{param_width}}  {summary}")
 
 
 # ---------------------------------------------------------------------------
@@ -438,6 +460,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.experiment == "list-strategies":
         _print_strategies()
+        return 0
+
+    if args.experiment == "list-families":
+        _print_families()
         return 0
 
     try:

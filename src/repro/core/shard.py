@@ -44,9 +44,9 @@ from repro.core.system import CableVoDSystem
 from repro.errors import ConfigurationError
 from repro.topology.placement import place_users
 from repro.topology.sharding import n_neighborhoods_for, partition_neighborhoods
+from repro.trace.families import WorkloadModel
 from repro.trace.records import Trace
 from repro.trace.streaming import TraceChunk, open_trace_stream
-from repro.trace.synthetic import PowerInfoModel
 from repro.trace.workload import Workload, cached_workload_trace
 
 
@@ -56,9 +56,18 @@ def workload_n_users(workload: Workload) -> int:
     Population scaling multiplies the id space (copy ``k`` of user ``u``
     is ``u + k * n_users``); catalog scaling leaves users alone.  This
     is what lets shard planning -- neighborhood counts, group cuts,
-    membership tables -- run before any records exist.
+    membership tables -- run before any records exist.  Families that
+    only discover their user count at build time (an external log with
+    no declared population) cannot be shard-planned.
     """
-    return workload.model.n_users * workload.population_x
+    declared = workload.model.declared_n_users()
+    if declared is None:
+        raise ConfigurationError(
+            f"workload family {workload.model.family_name!r} does not "
+            f"declare its user count up front and cannot be shard-planned; "
+            f"declare n_users on the trace model"
+        )
+    return declared * workload.population_x
 
 
 def shard_neighborhood_groups(workload: Workload, config: SimulationConfig,
@@ -200,6 +209,11 @@ def validate_shard_plan(workload: Workload, config: SimulationConfig,
                 "streaming replay supports identity workloads only; "
                 "population/catalog transforms need the materialized trace"
             )
+        if not workload.model.supports_streaming:
+            raise ConfigurationError(
+                f"workload family {workload.model.family_name!r} cannot "
+                f"generate its trace lazily and cannot run streamed"
+            )
 
 
 def execute_shard_task(task, handle=None) -> SimulationResult:
@@ -236,7 +250,7 @@ def execute_shard_task(task, handle=None) -> SimulationResult:
 
 
 def run_sharded(
-    trace_model: Union[PowerInfoModel, Workload],
+    trace_model: Union[WorkloadModel, Workload],
     config: SimulationConfig,
     *,
     n_shards: int = 1,

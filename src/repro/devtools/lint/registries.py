@@ -1,23 +1,26 @@
 """W-REG: registries must round-trip and stay covered by the suites.
 
-The project's three registries -- cache strategy specs (``@policy``),
-baselines, and live admission specs (``@live_admission``) -- are the
-single source of truth for what is runnable.  Two contracts keep them
-honest:
+The project's registries -- cache strategy specs (``@policy``),
+baselines, live admission specs (``@live_admission``), and workload
+families (``@workload_family``) -- are the single source of truth for
+what is runnable.  Two contracts keep them honest:
 
 1. **Round-trip support.**  Every registered spec serializes through
    ``spec_to_dict``/``spec_from_dict`` (live:
-   ``live_spec_to_dict``/``live_spec_from_dict``), which the generic
-   implementations only guarantee for frozen-dataclass specs.  The
-   per-file half of this rule therefore requires every
-   ``@policy``/``@live_admission``-decorated class to also carry
+   ``live_spec_to_dict``/``live_spec_from_dict``; families:
+   ``repro.trace.families``), which the generic implementations only
+   guarantee for frozen-dataclass specs.  The per-file half of this
+   rule therefore requires every ``@policy``/``@live_admission``/
+   ``@workload_family``-decorated class to also carry
    ``@dataclass(frozen=True)``; the project-level half executes the
    round-trip for every registered name.
-2. **Equivalence-suite coverage.**  A registered strategy that never
-   runs through the engine-equivalence and live-equivalence suites is
-   an unproven strategy: a coverage gap is a lint error, not a hope.
+2. **Test-suite coverage.**  A registered strategy that never runs
+   through the engine-equivalence and live-equivalence suites is an
+   unproven strategy: a coverage gap is a lint error, not a hope.
    Parametrizing straight off ``policy_names()`` (what both suites do)
    covers by construction; a literal list must enumerate every name.
+   Workload families get the same treatment against ``tests/trace/``:
+   a family the trace tests never mention is unproven.
 
 The project-level half runs only when the linted tree is the real
 ``repro`` package (it needs the registries importable and the ``tests/``
@@ -33,7 +36,7 @@ from typing import Iterator, List, Optional, Set
 
 from repro.devtools.lint.core import Finding, ModuleUnit, checker
 
-_REGISTRY_DECORATORS = ("policy", "live_admission")
+_REGISTRY_DECORATORS = ("policy", "live_admission", "workload_family")
 
 
 def _decorator_name(node: ast.expr) -> str:
@@ -168,6 +171,24 @@ def project_registry_findings(root: Path) -> List[Finding]:
             report(f"live admission {info.name!r} does not round-trip: "
                    f"{error}")
 
+    from repro.trace.families import (
+        iter_families,
+        spec_from_dict as family_from_dict,
+        spec_to_dict as family_to_dict,
+    )
+
+    families_rel = "trace/families/__init__.py"
+    for info in iter_families():
+        spec = info.spec_class()
+        try:
+            if family_from_dict(family_to_dict(spec)) != spec:
+                report(f"workload family {info.name!r}: "
+                       f"spec_from_dict(spec_to_dict()) is not the identity",
+                       rel=families_rel)
+        except Exception as error:  # noqa: BLE001
+            report(f"workload family {info.name!r} does not round-trip: "
+                   f"{error}", rel=families_rel)
+
     tests_dir = _find_tests_dir(root)
     if tests_dir is None:
         report("cannot locate the tests/ tree to verify equivalence-suite "
@@ -200,6 +221,15 @@ def project_registry_findings(root: Path) -> List[Finding]:
         if info.name not in live_sources:
             report(f"live admission {info.name!r} is registered but never "
                    f"referenced in tests/live/")
+
+    trace_sources = "\n".join(
+        p.read_text(encoding="utf-8")
+        for p in sorted(tests_dir.glob("trace/*.py"))
+    )
+    for info in iter_families():
+        if info.name not in trace_sources:
+            report(f"workload family {info.name!r} is registered but never "
+                   f"referenced in tests/trace/", rel=families_rel)
 
     baseline_sources = "\n".join(
         p.read_text(encoding="utf-8")

@@ -57,7 +57,7 @@ def live_columns(scenario: "Scenario",
     ``abusive_fraction`` is 0, in which case the share columns are 0
     and the "normal" columns cover everyone.
     """
-    from repro.trace.synthetic import abusive_user_ids
+    from repro.trace.synthetic import PowerInfoModel, abusive_user_ids
 
     report = result.live
     if report is None:
@@ -66,8 +66,12 @@ def live_columns(scenario: "Scenario",
             "a live=true scenario"
         )
     model = scenario.model()
-    abusers = set(abusive_user_ids(model))
-    normals = [uid for uid in range(model.n_users) if uid not in abusers]
+    # Only the powerinfo family models an abusive population; other
+    # families report empty abuser shares and all-user "normal" columns.
+    abusers = (set(abusive_user_ids(model))
+               if isinstance(model, PowerInfoModel) else set())
+    n_users = model.declared_n_users() or 0
+    normals = [uid for uid in range(n_users) if uid not in abusers]
     return {
         "live_admitted": report.admitted,
         "live_denied": report.denied,

@@ -40,15 +40,17 @@ from repro.live.specs import (
     live_spec_to_dict,
 )
 from repro.scenario.metrics import validate_metrics
-from repro.trace.synthetic import PowerInfoModel
+from repro.trace.families import WorkloadModel
+from repro.trace.families import spec_from_dict as family_spec_from_dict
+from repro.trace.families import spec_to_dict as family_spec_to_dict
 from repro.trace.workload import Workload
 
 #: Event-engine paths accepted by :func:`repro.core.runner.run_simulation`.
 ENGINES = ("bucket", "heap", "columnar")
 
-#: Component fields serialized even when they equal their defaults --
-#: the identity of a workload / deployment a reader wants to see.
-_MODEL_ALWAYS = ("n_users", "n_programs", "days", "seed")
+#: Config fields serialized even when they equal their defaults -- the
+#: identity of a deployment a reader wants to see.  (The workload-side
+#: equivalent lives on each family spec as ``serialize_always``.)
 _CONFIG_ALWAYS = ("neighborhood_size", "per_peer_storage_gb", "strategy")
 
 
@@ -115,14 +117,24 @@ def _component_from_dict(cls: type, payload: Dict[str, Any],
     return cls(**kwargs)
 
 
-def model_to_dict(model: PowerInfoModel) -> Dict[str, Any]:
-    """Serialize a workload model (identity + non-default fields)."""
-    return _component_to_dict(model, _MODEL_ALWAYS)
+def model_to_dict(model: WorkloadModel) -> Dict[str, Any]:
+    """Serialize a workload model (family + identity + non-default fields).
+
+    Delegates to the family registry
+    (:func:`repro.trace.families.spec_to_dict`); ``powerinfo`` specs
+    keep the pre-registry wire format (no ``family`` key).
+    """
+    return family_spec_to_dict(model)
 
 
-def model_from_dict(payload: Dict[str, Any]) -> PowerInfoModel:
-    """Rebuild a workload model from its :func:`model_to_dict` form."""
-    return _component_from_dict(PowerInfoModel, payload, "trace model")
+def model_from_dict(payload: Dict[str, Any]) -> WorkloadModel:
+    """Rebuild a workload model from its :func:`model_to_dict` form.
+
+    A missing ``family`` key means ``powerinfo``; unknown family names
+    and unknown fields raise :class:`~repro.errors.ConfigurationError`
+    with close-match suggestions.
+    """
+    return family_spec_from_dict(payload)
 
 
 def config_to_dict(config: SimulationConfig) -> Dict[str, Any]:
@@ -147,7 +159,9 @@ class Scenario:
     Attributes
     ----------
     trace:
-        The seeded synthetic workload model the run replays.
+        The workload model the run replays: any registered family spec
+        (:mod:`repro.trace.families` -- ``powerinfo``, ``trace-driven``,
+        ``cdf``, the stress shapes...).
     config:
         Deployment and policy knobs (neighborhood, storage, strategy).
     engine:
@@ -206,7 +220,7 @@ class Scenario:
         admission policy), coerced the same way.  Requires ``live``.
     """
 
-    trace: PowerInfoModel
+    trace: WorkloadModel
     config: SimulationConfig = field(default_factory=SimulationConfig)
     engine: str = "bucket"
     seed: Optional[int] = None
@@ -223,9 +237,10 @@ class Scenario:
     fairness: Optional[FairnessSpec] = None
 
     def __post_init__(self) -> None:
-        if not isinstance(self.trace, PowerInfoModel):
+        if not isinstance(self.trace, WorkloadModel):
             raise ConfigurationError(
-                f"trace must be a PowerInfoModel, got {type(self.trace).__name__}"
+                f"trace must be a registered workload-family spec "
+                f"(e.g. PowerInfoModel), got {type(self.trace).__name__}"
             )
         if not isinstance(self.config, SimulationConfig):
             raise ConfigurationError(
@@ -237,6 +252,10 @@ class Scenario:
             )
         if self.seed is not None and not isinstance(self.seed, int):
             raise ConfigurationError(f"seed must be an int, got {self.seed!r}")
+        if self.seed is not None:
+            # Families without a seed (trace-driven logs) refuse the
+            # override; surface that at construction, not replay, time.
+            self.trace.with_seed(self.seed)
         if not self.scale > 0:
             raise ConfigurationError(f"scale must be positive, got {self.scale}")
         for name in ("population_x", "catalog_x"):
@@ -245,6 +264,12 @@ class Scenario:
                 raise ConfigurationError(
                     f"{name} must be an integer >= 1, got {value!r}"
                 )
+        if (self.population_x != 1 or self.catalog_x != 1) \
+                and not self.trace.supports_transforms:
+            raise ConfigurationError(
+                f"workload family {self.trace.family_name!r} does not "
+                f"support the section V-A population/catalog transforms"
+            )
         # Normalize JSON lists to tuples so equality and hashing behave.
         object.__setattr__(self, "baselines", tuple(self.baselines))
         object.__setattr__(self, "metrics", tuple(self.metrics))
@@ -268,6 +293,12 @@ class Scenario:
             raise ConfigurationError(
                 "baseline metrics are whole-trace analytics and cannot "
                 "ride on a sharded scenario"
+            )
+        if self.shards > 1 and self.trace.declared_n_users() is None:
+            raise ConfigurationError(
+                f"workload family {self.trace.family_name!r} does not "
+                f"declare its user count up front, so the replay cannot "
+                f"be shard-planned; declare n_users on the trace model"
             )
         if not isinstance(self.live, bool):
             raise ConfigurationError(
@@ -299,6 +330,12 @@ class Scenario:
                 "live=true to use them"
             )
         if self.streaming:
+            if not self.trace.supports_streaming:
+                raise ConfigurationError(
+                    f"workload family {self.trace.family_name!r} cannot "
+                    f"generate its trace lazily; streaming replay needs a "
+                    f"streamable family (e.g. powerinfo)"
+                )
             if self.config.strategy.requires_future_knowledge:
                 raise ConfigurationError(
                     f"strategy {self.config.strategy.label!r} requires "
@@ -320,11 +357,11 @@ class Scenario:
     # Derived values
     # ------------------------------------------------------------------
 
-    def model(self) -> PowerInfoModel:
+    def model(self) -> WorkloadModel:
         """The effective workload model (seed override applied)."""
         if self.seed is None:
             return self.trace
-        return replace(self.trace, seed=self.seed)
+        return self.trace.with_seed(self.seed)
 
     def workload(self) -> Workload:
         """The effective workload: model plus the section V-A transforms."""

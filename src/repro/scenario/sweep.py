@@ -31,6 +31,16 @@ Axes multiply out as a cartesian product by default; a sweep's ``zip``
 groups instead advance named axes in lockstep (pairing their points
 index-by-index), so a throttle axis and its label axis -- or any other
 correlated pair -- contribute one grid dimension instead of two.
+
+Besides declared point lists, a sweep's ``random`` section defines
+*sampled* axes: each entry names a dotted path, a point count, and
+either a numeric range (``low``/``high``, optionally ``integer``) or a
+``choices`` list.  Points are a seeded low-discrepancy (golden-ratio)
+sequence over that domain -- deterministic in ``(seed, axis name)`` via
+:func:`~repro.sim.random_streams.derive_seed`, so the same file always
+expands to the same grid, yet ``count`` can grow without re-clustering
+earlier samples.  Sampled axes expand after the declared ones
+(fastest-varying) and zip like any other axis.
 """
 
 from __future__ import annotations
@@ -38,9 +48,10 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
+import math
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.cache.factory import StrategySpec, spec_to_dict
 from repro.errors import ConfigurationError
@@ -56,6 +67,9 @@ from repro.scenario.model import (
     _tuple_fields,
     coerce_strategy,
 )
+from repro.sim.random_streams import derive_seed
+from repro.trace.families import WorkloadModel, coerce_trace_model
+from repro.trace.families import spec_to_dict as family_spec_to_dict
 
 #: Scenario-level scalar fields addressable as bare paths.  The trace
 #: transforms live here too, so an axis like ``"population_x": [1, 2,
@@ -102,6 +116,10 @@ def apply_path(scenario: Scenario, path: str, value: Any) -> Scenario:
                 f"{head} has no field {rest!r} (have {fields})"
             ) from None
         return replace(scenario, **{head: spec})
+    if head == "trace" and not rest:
+        # The bare path swaps the whole workload model: family names,
+        # spec dicts, or spec objects -- how an axis sweeps *families*.
+        return replace(scenario, trace=coerce_trace_model(value))
     if head in ("config", "trace"):
         if not rest or "." in rest:
             raise ConfigurationError(
@@ -157,6 +175,11 @@ def _diff_scenario(base: Scenario, scenario: Scenario) -> Dict[str, Any]:
         part = getattr(scenario, component)
         if part == base_part:
             continue
+        if type(part) is not type(base_part):
+            # A family swap has no field-wise diff; the point carries
+            # the whole replacement model (the bare "trace" path).
+            sets[component] = part
+            continue
         for f in dataclasses.fields(type(part)):
             if not f.init:
                 continue
@@ -190,6 +213,100 @@ class SweepAxis:
             raise ConfigurationError(f"axis {self.name!r} has no points")
 
 
+#: Golden-ratio conjugate: the Kronecker low-discrepancy increment.
+_GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+_RANDOM_AXIS_KEYS = ("path", "count", "seed", "low", "high", "choices",
+                     "integer")
+
+
+@dataclass(frozen=True)
+class RandomAxis:
+    """A sampled axis: seeded low-discrepancy points over a domain.
+
+    The ``i``-th unit sample is ``(offset + i * phi) mod 1`` where
+    ``phi`` is the golden-ratio conjugate and ``offset`` derives from
+    ``(seed, name)`` via
+    :func:`~repro.sim.random_streams.derive_seed` -- an additive
+    (Kronecker) sequence, so samples spread evenly over the domain at
+    every prefix length and the whole axis is a pure function of the
+    frozen spec.  The domain is either the inclusive numeric range
+    ``[low, high]`` (``integer=True`` for whole values) or a
+    ``choices`` list (any values a declared axis could hold, family
+    names and spec dicts included).
+    """
+
+    name: str
+    path: str
+    count: int
+    seed: int = 0
+    low: Optional[float] = None
+    high: Optional[float] = None
+    choices: Tuple[Any, ...] = ()
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "choices", tuple(_freeze(c) for c in self.choices))
+        if isinstance(self.count, bool) or not isinstance(self.count, int) \
+                or self.count < 1:
+            raise ConfigurationError(
+                f"random axis {self.name!r}: count must be an integer "
+                f">= 1, got {self.count!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError(
+                f"random axis {self.name!r}: seed must be an int, "
+                f"got {self.seed!r}"
+            )
+        if self.choices:
+            if self.low is not None or self.high is not None or self.integer:
+                raise ConfigurationError(
+                    f"random axis {self.name!r}: 'choices' excludes "
+                    f"'low'/'high'/'integer'"
+                )
+        else:
+            if self.low is None or self.high is None:
+                raise ConfigurationError(
+                    f"random axis {self.name!r} needs either a 'choices' "
+                    f"list or a 'low'/'high' range"
+                )
+            if not self.low < self.high:
+                raise ConfigurationError(
+                    f"random axis {self.name!r}: low must be < high, "
+                    f"got [{self.low}, {self.high}]"
+                )
+            if self.integer and (self.low != int(self.low)
+                                 or self.high != int(self.high)):
+                raise ConfigurationError(
+                    f"random axis {self.name!r}: an integer range needs "
+                    f"whole low/high bounds, got [{self.low}, {self.high}]"
+                )
+
+    def values(self) -> List[Any]:
+        """The axis's sampled values, in expansion order."""
+        offset = derive_seed(self.seed, self.name) / 2.0 ** 64
+        out: List[Any] = []
+        for index in range(self.count):
+            u = (offset + index * _GOLDEN) % 1.0
+            if self.choices:
+                out.append(self.choices[
+                    min(int(u * len(self.choices)), len(self.choices) - 1)])
+            elif self.integer:
+                low, high = int(self.low), int(self.high)
+                out.append(low + min(int(u * (high - low + 1)), high - low))
+            else:
+                out.append(self.low + u * (self.high - self.low))
+        return out
+
+    def as_axis(self) -> SweepAxis:
+        """Materialize into an ordinary point axis for expansion."""
+        return SweepAxis(name=self.name, points=tuple(
+            SweepPoint(sets=((self.path, _coerce_value(self.path, value)),))
+            for value in self.values()
+        ))
+
+
 def _normalize_point(axis_name: str, raw: Any) -> SweepPoint:
     """Canonicalize one axis point (bare value / value-dict / set-dict)."""
     if isinstance(raw, SweepPoint):
@@ -219,6 +336,8 @@ def _coerce_value(path: str, value: Any) -> Any:
     """Canonicalize one assignment value for storage inside a point."""
     if path == "config.strategy":
         return coerce_strategy(value)
+    if path == "trace":
+        return coerce_trace_model(value)
     if path in _LIVE_FIELDS:
         return coerce_live_spec(value, _LIVE_FIELDS[path])
     return _freeze(value)
@@ -234,16 +353,19 @@ def _point_to_dict(axis: SweepAxis, point: SweepPoint) -> Any:
             return spec_to_dict(value)
         if isinstance(value, LiveAdmissionSpec):
             return live_spec_to_dict(value)
+        if isinstance(value, WorkloadModel):
+            return family_spec_to_dict(value)
         if isinstance(value, tuple):
-            return list(value)
+            return [emit(v) for v in value]
         return value
 
     if on_axis and not point.cols:
         value = sets[axis.name]
         # A bare dict would be misread as a value/set point on reload,
-        # so strategy and live-spec points always keep the explicit
-        # {"value": ...}.
-        if not isinstance(value, (StrategySpec, LiveAdmissionSpec)):
+        # so strategy, live-spec, and workload-model points always keep
+        # the explicit {"value": ...}.
+        if not isinstance(value,
+                          (StrategySpec, LiveAdmissionSpec, WorkloadModel)):
             return emit(value)
         return {"value": emit(value)}
     payload: Dict[str, Any] = {}
@@ -268,7 +390,10 @@ class Sweep:
     ``zip_groups`` (the JSON file's ``"zip"`` key) names groups of
     axes that advance in lockstep instead of multiplying out: every
     group's axes must exist, have equal point counts, and belong to at
-    most one group.
+    most one group.  ``random_axes`` (the JSON file's ``"random"`` key,
+    ``{name: {path?, count, low/high or choices, seed?, integer?}}``)
+    adds seeded sampled axes that expand after the declared ones; they
+    participate in zip groups like any other axis.
     """
 
     base: Scenario
@@ -277,6 +402,7 @@ class Sweep:
     title: str = ""
     columns: Tuple[str, ...] = ()
     zip_groups: Tuple[Tuple[str, ...], ...] = ()
+    random_axes: Any = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.base, Scenario):
@@ -301,12 +427,55 @@ class Sweep:
                         f"got {type(axis).__name__}"
                     )
         object.__setattr__(self, "axes", normalized)
+        random_axes = self.random_axes
+        if isinstance(random_axes, Mapping):
+            sampled = []
+            for name, spec in random_axes.items():
+                if isinstance(spec, RandomAxis):
+                    sampled.append(spec)
+                    continue
+                if not isinstance(spec, Mapping):
+                    raise ConfigurationError(
+                        f"random axis {name!r} must be a dict, got {spec!r}"
+                    )
+                data = dict(spec)
+                unknown = sorted(set(data) - set(_RANDOM_AXIS_KEYS))
+                if unknown:
+                    raise ConfigurationError(
+                        f"random axis {name!r} has no keys {unknown} "
+                        f"(have {sorted(_RANDOM_AXIS_KEYS)})"
+                    )
+                if "choices" in data:
+                    data["choices"] = tuple(data["choices"])
+                # The axis name doubles as the path, exactly like a
+                # declared axis whose name is a dotted path.
+                data.setdefault("path", str(name))
+                sampled.append(RandomAxis(name=str(name), **data))
+            sampled_axes = tuple(sampled)
+        else:
+            sampled_axes = tuple(random_axes)
+            for axis in sampled_axes:
+                if not isinstance(axis, RandomAxis):
+                    raise ConfigurationError(
+                        f"random_axes must be a mapping or RandomAxis "
+                        f"tuple, got {type(axis).__name__}"
+                    )
+        object.__setattr__(self, "random_axes", sampled_axes)
         object.__setattr__(self, "columns", tuple(self.columns))
         object.__setattr__(
             self, "zip_groups",
             tuple(tuple(str(name) for name in group)
                   for group in self.zip_groups))
-        lengths = {axis.name: len(axis.points) for axis in self.axes}
+        lengths = {axis.name: len(axis.points) for axis in self._all_axes()}
+        if len(lengths) != len(self.axes) + len(self.random_axes):
+            names = sorted(axis.name for axis in self.axes)
+            names += sorted(axis.name for axis in self.random_axes)
+            duplicates = sorted(
+                {name for name in names if names.count(name) > 1})
+            raise ConfigurationError(
+                f"axis names must be unique across declared and random "
+                f"axes, got duplicates {duplicates}"
+            )
         zipped: set = set()
         for group in self.zip_groups:
             if len(group) < 2:
@@ -332,7 +501,7 @@ class Sweep:
                 )
         # Validate every point independently against the base now, so a
         # bad path or value fails at construction, not mid-sweep.
-        for axis in self.axes:
+        for axis in self._all_axes():
             for point in axis.points:
                 for path, value in point.sets:
                     apply_path(self.base, path, value)
@@ -340,6 +509,11 @@ class Sweep:
     # ------------------------------------------------------------------
     # Expansion
     # ------------------------------------------------------------------
+
+    def _all_axes(self) -> Tuple[SweepAxis, ...]:
+        """Declared axes plus materialized sampled axes, in that order."""
+        return tuple(self.axes) + tuple(
+            axis.as_axis() for axis in self.random_axes)
 
     def _blocks(self) -> List[List[Tuple[SweepPoint, ...]]]:
         """Axes grouped for expansion: one block per product dimension.
@@ -356,12 +530,13 @@ class Sweep:
                 group_of[name] = group
         blocks: List[List[Tuple[SweepPoint, ...]]] = []
         emitted: set = set()
-        for axis in self.axes:
+        all_axes = self._all_axes()
+        for axis in all_axes:
             group = group_of.get(axis.name)
             if group is None:
                 blocks.append([(point,) for point in axis.points])
             elif axis.name not in emitted:
-                members = [a for a in self.axes if a.name in group]
+                members = [a for a in all_axes if a.name in group]
                 emitted.update(group)
                 blocks.append(list(zip(*(m.points for m in members))))
         return blocks
@@ -380,7 +555,7 @@ class Sweep:
         sweep replaces.  Zipped axes advance together inside one block
         instead of multiplying out.
         """
-        if not self.axes:
+        if not self.axes and not self.random_axes:
             return [(self.base, {})]
         grid: List[Tuple[Scenario, Dict[str, Any]]] = []
         for combo in itertools.product(*self._blocks()):
@@ -422,9 +597,10 @@ class Sweep:
             points.append(SweepPoint(sets=tuple(sets.items()),
                                      cols=tuple(cols.items())))
         axis = SweepAxis(name="point", points=tuple(points))
-        # The inlined grid already encodes any lockstep pairing, so the
-        # flattened sweep carries no zip groups.
-        return replace(self, axes=(axis,), zip_groups=())
+        # The inlined grid already encodes any lockstep pairing and any
+        # sampled values, so the flattened sweep carries neither zip
+        # groups nor random axes.
+        return replace(self, axes=(axis,), zip_groups=(), random_axes=())
 
     # ------------------------------------------------------------------
     # Serialization
@@ -442,6 +618,25 @@ class Sweep:
                 for axis in self.axes
             },
         }
+        if self.random_axes:
+            random_payload: Dict[str, Any] = {}
+            for axis in self.random_axes:
+                entry: Dict[str, Any] = {"path": axis.path,
+                                         "count": axis.count}
+                if axis.seed != 0:
+                    entry["seed"] = axis.seed
+                if axis.choices:
+                    entry["choices"] = [
+                        list(c) if isinstance(c, tuple) else c
+                        for c in axis.choices
+                    ]
+                else:
+                    entry["low"] = axis.low
+                    entry["high"] = axis.high
+                if axis.integer:
+                    entry["integer"] = axis.integer
+                random_payload[axis.name] = entry
+            payload["random"] = random_payload
         if self.zip_groups:
             payload["zip"] = [list(group) for group in self.zip_groups]
         if self.columns:
@@ -475,13 +670,21 @@ class Sweep:
                     f"'zip' must be a list of axis-name groups, got {groups!r}"
                 )
             kwargs["zip_groups"] = tuple(tuple(group) for group in groups)
+        if "random" in data:
+            sampled = data.pop("random")
+            if not isinstance(sampled, Mapping):
+                raise ConfigurationError(
+                    f"'random' must be a mapping of axis specs, "
+                    f"got {sampled!r}"
+                )
+            kwargs["random_axes"] = sampled
         if "columns" in data:
             kwargs["columns"] = tuple(data.pop("columns"))
         if data:
             raise ConfigurationError(
                 f"sweep has no fields {sorted(data)} "
-                f"(have ['kind', 'id', 'title', 'base', 'axes', 'zip', "
-                f"'columns'])"
+                f"(have ['kind', 'id', 'title', 'base', 'axes', 'random', "
+                f"'zip', 'columns'])"
             )
         return cls(base=base, axes=axes, **kwargs)
 

@@ -12,6 +12,10 @@ package provides:
   post-introduction popularity decay, 17 Gb/s no-cache peak), with a
   numpy-gated vectorized backend (:mod:`repro.trace.vectorized`,
   selected via ``REPRO_TRACE_BACKEND``);
+* :mod:`repro.trace.families` -- the workload-family registry
+  (``@workload_family``): the powerinfo model above plus trace-driven
+  log replay, piecewise-CDF synthetics, and stress shapes, all
+  serializable specs regenerating byte-identical traces;
 * :mod:`repro.trace.share` -- zero-copy trace hand-off to sweep
   workers: flat columns in a mapped file, attached instead of
   regenerated;
@@ -26,6 +30,7 @@ package provides:
   be saved and replayed.
 """
 
+from repro.trace.families import WorkloadModel, family_names, workload_family
 from repro.trace.records import Catalog, Program, SessionRecord, Trace
 from repro.trace.synthetic import (
     PowerInfoModel,
@@ -43,10 +48,13 @@ __all__ = [
     "Trace",
     "PowerInfoModel",
     "Workload",
+    "WorkloadModel",
     "cached_workload_trace",
+    "family_names",
     "generate_trace",
     "resolve_trace_backend",
     "scale_catalog",
     "scale_population",
     "set_trace_backend",
+    "workload_family",
 ]

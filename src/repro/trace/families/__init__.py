@@ -1,0 +1,329 @@
+"""Workload families: a decorator registry of trace-model specs.
+
+Every workload the simulator can replay is described by a small frozen
+dataclass -- a *trace model* -- that regenerates its trace
+deterministically, byte for byte, in this process or any worker.  This
+package generalizes the single hard-pinned
+:class:`~repro.trace.synthetic.PowerInfoModel` into a registry of such
+models, mirroring the cache-policy registry
+(:mod:`repro.cache.policies.registry`)::
+
+    @workload_family("cdf", summary="piecewise-CDF synthetic sessions")
+    @dataclass(frozen=True)
+    class CDFModel(WorkloadModel):
+        ...
+
+Registered families:
+
+``powerinfo``
+    The calibrated synthetic PowerInfo workload -- the paper's trace
+    (:mod:`repro.trace.synthetic`; bit-identical to the pre-registry
+    generator).
+``trace-driven``
+    Replay of an external session log ingested through the trusted
+    :meth:`~repro.trace.records.Trace.from_columns` path, with eager
+    statistical validation (:mod:`repro.trace.families.tracefile`).
+``cdf``
+    Synthetic sessions whose length and popularity follow caller-given
+    piecewise CDFs, so published distributions from other VoD/CDN
+    papers drop in as scenarios (:mod:`repro.trace.families.cdf`).
+``flash-crowd`` / ``catalog-churn`` / ``zipf-beta``
+    Stress shapes wrapping any base family: premiere spikes, mid-replay
+    popularity shifts, heterogeneous per-user request rates
+    (:mod:`repro.trace.families.stress`).
+
+Serialization: :func:`spec_to_dict` / :func:`spec_from_dict` round-trip
+every registered spec through plain dicts.  The ``powerinfo`` family
+omits its ``family`` key so scenario files that predate the registry
+stay byte-stable; every other family carries ``"family": <name>``.
+
+This module is deliberately import-light (the registry is imported *by*
+:mod:`repro.trace.synthetic` during package init); the family modules
+themselves load lazily on first lookup, exactly like the live-admission
+table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+from repro.errors import ConfigurationError, suggest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.trace.records import Trace
+
+SpecClass = TypeVar("SpecClass", bound=type)
+
+
+class WorkloadModel:
+    """Base class of every registered workload-family spec.
+
+    Subclasses are small frozen dataclasses whose fields fully determine
+    the generated trace.  Capability flags are class-level so the
+    scenario layer can validate a configuration eagerly, before any
+    records exist:
+
+    ``supports_streaming``
+        The family can generate its trace lazily, chunk by chunk
+        (:mod:`repro.trace.streaming`); only ``powerinfo`` can today.
+    ``supports_transforms``
+        The section V-A population/catalog transforms
+        (:mod:`repro.trace.scaling`) may be applied on top of the
+        generated trace.
+    ``serialize_always``
+        Fields :func:`spec_to_dict` emits even at their defaults -- the
+        identity of the workload a reader wants to see.
+    ``nested_family_fields``
+        Fields holding another :class:`WorkloadModel` (the stress
+        shapes' ``base``), recursed through serialization.
+    """
+
+    #: Set by :func:`workload_family` on registration.
+    family_name: ClassVar[str]
+
+    supports_streaming: ClassVar[bool] = False
+    supports_transforms: ClassVar[bool] = True
+    serialize_always: ClassVar[Tuple[str, ...]] = ()
+    nested_family_fields: ClassVar[Tuple[str, ...]] = ()
+
+    def build_trace(self, backend: Optional[str] = None) -> "Trace":
+        """Generate this model's trace (deterministic in the spec).
+
+        ``backend`` selects a generator implementation where the family
+        has more than one (``powerinfo``); single-implementation
+        families ignore it and are byte-identical regardless.
+        """
+        raise NotImplementedError
+
+    def declared_n_users(self) -> Optional[int]:
+        """The trace's user count, knowable without building the trace.
+
+        ``None`` means the count is only discovered at build time (an
+        external log with no declared population), which rules out
+        sharded replay -- shard planning needs the id space up front.
+        """
+        n_users = getattr(self, "n_users", None)
+        return n_users if isinstance(n_users, int) else None
+
+    def with_seed(self, seed: int) -> "WorkloadModel":
+        """A copy of this spec rooted at ``seed`` (the scenario override)."""
+        try:
+            return dataclasses.replace(self, seed=seed)
+        except TypeError:
+            raise ConfigurationError(
+                f"workload family {self.family_name!r} has no seed to "
+                f"override"
+            ) from None
+
+
+@dataclass(frozen=True)
+class FamilyInfo:
+    """One registered workload family: name, spec class, description."""
+
+    name: str
+    spec_class: type
+    summary: str
+
+    def parameters(self) -> List[Tuple[str, object]]:
+        """``(field, default)`` pairs of the spec's dataclass surface."""
+        params: List[Tuple[str, object]] = []
+        for field in dataclasses.fields(self.spec_class):
+            if not field.init:
+                continue
+            if field.default is not dataclasses.MISSING:
+                default = field.default
+            elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                default = field.default_factory()  # type: ignore[misc]
+            else:
+                default = "<required>"
+            params.append((field.name, default))
+        return params
+
+    def capabilities(self) -> str:
+        """Short human-readable capability tags for CLI listings."""
+        tags = []
+        if self.spec_class.supports_streaming:
+            tags.append("streaming")
+        if self.spec_class.supports_transforms:
+            tags.append("transforms")
+        return "+".join(tags) or "-"
+
+
+_REGISTRY: Dict[str, FamilyInfo] = {}
+
+
+def workload_family(name: str, summary: str = "") -> Callable[[SpecClass], SpecClass]:
+    """Class decorator registering a workload-model spec under ``name``."""
+
+    def register(spec_class: SpecClass) -> SpecClass:
+        if name in _REGISTRY:
+            raise ConfigurationError(
+                f"workload family {name!r} registered twice "
+                f"({_REGISTRY[name].spec_class.__name__} and "
+                f"{spec_class.__name__})"
+            )
+        doc = (spec_class.__doc__ or "").strip().splitlines()
+        _REGISTRY[name] = FamilyInfo(
+            name=name,
+            spec_class=spec_class,
+            summary=summary or (doc[0] if doc else ""),
+        )
+        spec_class.family_name = name
+        return spec_class
+
+    return register
+
+
+def _table() -> Dict[str, FamilyInfo]:
+    """The registry with every family module guaranteed to have run.
+
+    The spec classes live in their own modules (``powerinfo`` in
+    :mod:`repro.trace.synthetic`); importing them here, lazily, makes
+    lookups work no matter which package the caller entered through --
+    the same idiom as the live-admission table.
+    """
+    import repro.trace.families.cdf  # noqa: F401  (registration side effect)
+    import repro.trace.families.powerinfo  # noqa: F401
+    import repro.trace.families.stress  # noqa: F401
+    import repro.trace.families.tracefile  # noqa: F401
+
+    return _REGISTRY
+
+
+def family_names() -> List[str]:
+    """Registered workload-family names, sorted."""
+    return sorted(_table())
+
+
+def get_family(name: str) -> FamilyInfo:
+    """Look up one registered workload family.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names, with a close-match suggestion and the list
+        of registered ones -- the same contract CLI experiment names
+        follow.
+    """
+    table = _table()
+    try:
+        return table[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload family {name!r}"
+            f"{suggest(str(name), family_names())} "
+            f"(choose from {family_names()})"
+        ) from None
+
+
+def iter_families() -> List[FamilyInfo]:
+    """All registered workload families, in name order."""
+    table = _table()
+    return [table[name] for name in family_names()]
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def spec_to_dict(model: WorkloadModel) -> Dict[str, Any]:
+    """Serialize a workload spec: family + identity + non-default fields.
+
+    ``powerinfo`` omits the ``family`` key (it is the ``from_dict``
+    default), so scenario files written before the registry existed --
+    and files that do not use it -- stay byte-stable.  Nested family
+    fields (the stress shapes' ``base``) recurse.
+    """
+    name = getattr(model, "family_name", None)
+    if not isinstance(model, WorkloadModel) or name is None:
+        raise ConfigurationError(
+            f"{type(model).__name__} is not a registered workload-family "
+            f"spec; register it with @workload_family to make it "
+            f"serializable"
+        )
+    payload: Dict[str, Any] = {}
+    if name != "powerinfo":
+        payload["family"] = name
+    for field in dataclasses.fields(model):
+        if not field.init:
+            continue
+        value = getattr(model, field.name)
+        if field.name not in model.serialize_always:
+            if field.default is not dataclasses.MISSING:
+                if value == field.default:
+                    continue
+            elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                if value == field.default_factory():  # type: ignore[misc]
+                    continue
+        if isinstance(value, WorkloadModel):
+            value = spec_to_dict(value)
+        payload[field.name] = value
+    return payload
+
+
+def spec_from_dict(payload: Dict[str, Any]) -> WorkloadModel:
+    """Rebuild a workload spec from its :func:`spec_to_dict` form.
+
+    A missing ``family`` key means ``powerinfo`` (the pre-registry file
+    format).  Unknown families and unknown fields raise
+    :class:`~repro.errors.ConfigurationError` with close-match hints.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"a trace model must be a dict, got {payload!r}"
+        )
+    data = dict(payload)
+    info = get_family(str(data.pop("family", "powerinfo")))
+    cls = info.spec_class
+    valid = {f.name for f in dataclasses.fields(cls) if f.init}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ConfigurationError(
+            f"workload family {info.name!r} has no fields {unknown} "
+            f"(have {sorted(valid)})"
+        )
+    tuples = {
+        f.name for f in dataclasses.fields(cls)
+        if "Tuple" in str(f.type) or "tuple" in str(f.type)
+    }
+    nested = cls.nested_family_fields
+    kwargs: Dict[str, Any] = {}
+    for key, value in data.items():
+        if key in nested and isinstance(value, (dict, str)):
+            value = coerce_trace_model(value)
+        elif key in tuples and isinstance(value, list):
+            value = tuple(
+                tuple(v) if isinstance(v, list) else v for v in value
+            )
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+def coerce_trace_model(
+    value: Union[str, Dict[str, Any], WorkloadModel],
+) -> WorkloadModel:
+    """Accept a spec, a family name, or a spec dict (scenario ``trace``)."""
+    if isinstance(value, WorkloadModel):
+        return value
+    if isinstance(value, str):
+        return get_family(value).spec_class()
+    if isinstance(value, dict):
+        return spec_from_dict(value)
+    raise ConfigurationError(
+        f"a trace model must be a spec, a registered family name, or a "
+        f"dict, got {value!r}"
+    )

@@ -1,0 +1,237 @@
+"""The ``cdf`` family: synthetic sessions from piecewise-CDF specs.
+
+Published VoD/CDN measurement papers rarely ship raw logs; they publish
+*distributions* -- a session-length CDF, a popularity curve ("20% of
+titles draw 90% of accesses").  This family turns exactly those two
+artifacts into a replayable workload: the caller writes the published
+curves down as piecewise CDFs in the scenario file, and the generator
+inverse-transform samples them (the PrintQueue
+``generate_flows_by_CDF_sample`` technique).
+
+Both curves are small tuples of ``(cdf, value)`` points:
+
+``session_length_cdf``
+    A step function: a uniform draw ``u`` maps to the *value* of the
+    first point whose cumulative probability reaches ``u``.  Sampled
+    session lengths therefore take only the listed values -- the
+    piecewise-constant reading of a published empirical CDF.
+``popularity_cdf``
+    ``(catalog_fraction, access_fraction)`` points, both ascending to
+    1.0: the first ``catalog_fraction`` of programs (most popular
+    first, id 0 on top) jointly receive ``access_fraction`` of all
+    accesses.  Each segment's access mass is split evenly across its
+    programs, yielding a per-program weight table.
+
+Arrivals are hourly Poisson (the same :func:`_sample_poisson` variate
+the powerinfo generator uses) with an optional 24-entry diurnal weight
+profile.  Every draw comes from a named
+:class:`~repro.sim.random_streams.RandomStreams` stream rooted at
+``seed``, and the generator is pure Python with no backend variants, so
+the trace is byte-identical everywhere -- in-process, in any worker,
+under either trace backend setting.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.random_streams import RandomStreams
+from repro.trace.distributions import cumulative
+from repro.trace.families import WorkloadModel, workload_family
+from repro.trace.records import Catalog, Program, SessionRecord, Trace
+
+_SECONDS_PER_HOUR = 3600.0
+
+#: Defaults digestible in tests: mass on short clips with a long tail.
+_DEFAULT_LENGTH_CDF = (
+    (0.25, 240.0), (0.5, 480.0), (0.85, 1500.0), (1.0, 3600.0),
+)
+
+#: A strong head: 2% of titles take 35% of accesses, 20% take 90%.
+_DEFAULT_POPULARITY_CDF = ((0.02, 0.35), (0.2, 0.9), (1.0, 1.0))
+
+
+def _validate_cdf_points(
+    name: str, points: Tuple[Tuple[float, float], ...],
+) -> None:
+    """Shared shape checks: pairs, ascending both columns, final cdf 1."""
+    if not points:
+        raise ConfigurationError(f"{name} must have at least one point")
+    previous_cdf = 0.0
+    previous_value = 0.0
+    for point in points:
+        if not isinstance(point, tuple) or len(point) != 2:
+            raise ConfigurationError(
+                f"{name} points must be (cdf, value) pairs, got {point!r}"
+            )
+        cdf, value = point
+        if not previous_cdf < cdf <= 1.0:
+            raise ConfigurationError(
+                f"{name} cumulative column must ascend strictly through "
+                f"(0, 1], got {cdf} after {previous_cdf}"
+            )
+        if value <= previous_value:
+            raise ConfigurationError(
+                f"{name} value column must ascend strictly and stay "
+                f"positive, got {value} after {previous_value}"
+            )
+        previous_cdf, previous_value = cdf, value
+    if previous_cdf != 1.0:
+        raise ConfigurationError(
+            f"{name} must end at cumulative probability 1.0, "
+            f"got {previous_cdf}"
+        )
+
+
+def _step_sample(points: Tuple[Tuple[float, float], ...], u: float) -> float:
+    """Inverse-transform a step CDF: the value at the first point >= u."""
+    for cdf, value in points:
+        if u <= cdf:
+            return value
+    return points[-1][1]
+
+
+def _popularity_weights(
+    points: Tuple[Tuple[float, float], ...], n_programs: int,
+) -> List[float]:
+    """Per-program access weights from a (catalog%, access%) curve.
+
+    Program ids are popularity ranks (id 0 most popular); each curve
+    segment's access mass is divided evenly among the programs whose
+    rank falls inside that segment.  Rounding can leave a segment
+    empty on tiny catalogs; its mass is dropped and the remainder is
+    renormalized by :func:`cumulative`.
+    """
+    weights = [0.0] * n_programs
+    previous_boundary = 0
+    previous_access = 0.0
+    for catalog_fraction, access_fraction in points:
+        boundary = min(n_programs, round(catalog_fraction * n_programs))
+        if catalog_fraction == points[-1][0]:
+            boundary = n_programs
+        count = boundary - previous_boundary
+        if count > 0:
+            share = (access_fraction - previous_access) / count
+            for program_id in range(previous_boundary, boundary):
+                weights[program_id] = share
+        previous_boundary = boundary
+        previous_access = access_fraction
+    return weights
+
+
+@workload_family("cdf", summary="synthetic sessions sampled from "
+                 "piecewise session-length and popularity CDFs")
+@dataclass(frozen=True)
+class CDFModel(WorkloadModel):
+    """Synthetic workload specified by published piecewise CDFs."""
+
+    n_users: int = 1000
+    n_programs: int = 200
+    days: float = 3.0
+    seed: int = 2007
+    #: Mean viewing sessions per subscriber per day.
+    sessions_per_user_per_day: float = 2.0
+    session_length_cdf: Tuple[Tuple[float, float], ...] = _DEFAULT_LENGTH_CDF
+    popularity_cdf: Tuple[Tuple[float, float], ...] = _DEFAULT_POPULARITY_CDF
+    #: Relative arrival weight per hour of day (flat by default); any
+    #: positive 24-vector works, it is normalized internally.
+    diurnal_weights: Tuple[float, ...] = (1.0,) * 24
+
+    serialize_always: ClassVar[Tuple[str, ...]] = (
+        "n_users", "n_programs", "days", "seed")
+
+    def __post_init__(self) -> None:
+        # Deep-freeze: JSON hands us lists; hashing (LRU memo keys,
+        # sweep point identity) needs tuples all the way down.
+        for field_name in ("session_length_cdf", "popularity_cdf"):
+            value = tuple(
+                tuple(point) if isinstance(point, list) else point
+                for point in getattr(self, field_name)
+            )
+            object.__setattr__(self, field_name, value)
+        object.__setattr__(
+            self, "diurnal_weights", tuple(self.diurnal_weights))
+        if self.n_users < 1:
+            raise ConfigurationError(
+                f"n_users must be >= 1, got {self.n_users}")
+        if self.n_programs < 1:
+            raise ConfigurationError(
+                f"n_programs must be >= 1, got {self.n_programs}")
+        if self.days <= 0:
+            raise ConfigurationError(f"days must be positive, got {self.days}")
+        if self.sessions_per_user_per_day <= 0:
+            raise ConfigurationError(
+                f"sessions_per_user_per_day must be positive, "
+                f"got {self.sessions_per_user_per_day}"
+            )
+        _validate_cdf_points("session_length_cdf", self.session_length_cdf)
+        _validate_cdf_points("popularity_cdf", self.popularity_cdf)
+        if self.popularity_cdf[-1][1] != 1.0:
+            raise ConfigurationError(
+                f"popularity_cdf must allocate all accesses (final access "
+                f"fraction 1.0), got {self.popularity_cdf[-1][1]}"
+            )
+        if len(self.diurnal_weights) != 24:
+            raise ConfigurationError(
+                f"diurnal_weights needs one weight per hour of day (24), "
+                f"got {len(self.diurnal_weights)}"
+            )
+        if any(w < 0 for w in self.diurnal_weights) or \
+                sum(self.diurnal_weights) <= 0:
+            raise ConfigurationError(
+                "diurnal_weights must be non-negative with a positive sum"
+            )
+
+    def build_trace(self, backend: Optional[str] = None) -> Trace:
+        """Sample the spec's CDFs into a trace (``backend`` ignored)."""
+        from repro.trace.synthetic import _sample_poisson
+
+        longest = self.session_length_cdf[-1][1]
+        catalog = Catalog([
+            # Every program is long enough for any sampled session, so
+            # the length CDF alone governs durations -- the published
+            # curve is reproduced exactly, not clipped per title.
+            Program(program_id=i, length_seconds=longest)
+            for i in range(self.n_programs)
+        ])
+        program_cdf = cumulative(
+            _popularity_weights(self.popularity_cdf, self.n_programs))
+        diurnal_total = sum(self.diurnal_weights)
+        streams = RandomStreams(self.seed)
+        counts_rng = streams.get("hourly-counts")
+        times_rng = streams.get("event-times")
+        users_rng = streams.get("event-users")
+        programs_rng = streams.get("event-programs")
+        lengths_rng = streams.get("event-lengths")
+        records: List[SessionRecord] = []
+        n_hours = int(round(self.days * 24.0))
+        for hour in range(n_hours):
+            share = self.diurnal_weights[hour % 24] / diurnal_total
+            lam = (self.n_users * self.sessions_per_user_per_day
+                   * self.days * 24.0 / n_hours * share)
+            for _ in range(_sample_poisson(counts_rng, lam)):
+                start = (hour + times_rng.random()) * _SECONDS_PER_HOUR
+                user_id = min(int(users_rng.random() * self.n_users),
+                              self.n_users - 1)
+                program_id = bisect_left(program_cdf, programs_rng.random())
+                duration = _step_sample(
+                    self.session_length_cdf, lengths_rng.random())
+                records.append(SessionRecord(
+                    start_time=start,
+                    user_id=user_id,
+                    program_id=min(program_id, self.n_programs - 1),
+                    duration_seconds=duration,
+                ))
+        return Trace(records, catalog, n_users=self.n_users)
+
+
+def sampled_fractions(points: Sequence[Tuple[float, float]],
+                      n: int, seed: int) -> List[float]:
+    """``n`` deterministic step-CDF samples -- a test/inspection helper."""
+    frozen = tuple(tuple(p) for p in points)
+    _validate_cdf_points("cdf", frozen)
+    rng = RandomStreams(seed).get("cdf-samples")
+    return [_step_sample(frozen, rng.random()) for _ in range(n)]

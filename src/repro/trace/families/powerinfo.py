@@ -1,0 +1,15 @@
+"""The ``powerinfo`` family: the paper's calibrated synthetic workload.
+
+The spec class itself is :class:`~repro.trace.synthetic.PowerInfoModel`
+-- it predates the family registry and every layer imports it from
+:mod:`repro.trace.synthetic`, so that module keeps owning the class and
+its ``@workload_family("powerinfo")`` registration.  This module exists
+so the lazy registry table has one import per family; it re-exports the
+class for symmetry with the other family modules.
+"""
+
+from __future__ import annotations
+
+from repro.trace.synthetic import PowerInfoModel
+
+__all__ = ["PowerInfoModel"]

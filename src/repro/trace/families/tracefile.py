@@ -1,0 +1,217 @@
+"""The ``trace-driven`` family: replay an external session log.
+
+Downstream users run the simulator against their own measured logs.
+This family makes such a log a first-class scenario ``trace`` value: a
+small frozen spec (path + ingestion knobs) that loads the file, ingests
+it through the trusted
+:meth:`~repro.trace.records.Trace.from_columns` path, and validates it
+eagerly (:mod:`repro.trace.validation`) so a statistically degenerate
+log fails at build time with named findings instead of producing
+meaningless caching results.
+
+Two file formats:
+
+``container`` (default)
+    The :mod:`repro.trace.io` two-section CSV container (``#meta`` /
+    ``#catalog`` / ``#records``) -- what :func:`~repro.trace.io.
+    dump_trace` writes, catalog included.
+``columns``
+    A flat four-column CSV (``start_time,user_id,program_id,
+    duration_seconds`` header row) -- the shape raw request logs
+    usually take.  Rows are sorted and the catalog is inferred: each
+    program's length is its longest observed session (the paper infers
+    lengths from the session-length ECDF jump the same way, §V-A).
+
+Determinism: the spec is a pure function of the file contents, so any
+worker regenerating from the spec builds the byte-identical trace.
+There is no seed -- :meth:`with_seed` refuses the scenario-level seed
+override -- and the §V-A transforms are refused too (scaled copies of a
+measured log are not measurements; synthesize a model instead).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import ClassVar, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, TraceError, TraceFormatError
+from repro.trace.families import WorkloadModel, workload_family
+from repro.trace.records import Catalog, Program, Trace
+
+_COLUMN_HEADER = ["start_time", "user_id", "program_id", "duration_seconds"]
+
+#: Accepted ``format`` values.
+TRACE_FILE_FORMATS = ("container", "columns")
+
+
+@workload_family("trace-driven", summary="replay an external session log "
+                 "(CSV container or flat columns), validated on ingest")
+@dataclass(frozen=True)
+class TraceFileModel(WorkloadModel):
+    """An external session log as a workload spec.
+
+    Attributes
+    ----------
+    path:
+        The log file.  Relative paths resolve against the working
+        directory (scenario files ship fixture logs next to
+        themselves).
+    format:
+        ``"container"`` (the :mod:`repro.trace.io` format) or
+        ``"columns"`` (flat four-column CSV, catalog inferred).
+    n_users:
+        Declared subscriber population.  ``None`` takes the file's own
+        count (container) or the highest referenced user id + 1
+        (columns); sharded replay requires a declared count.
+    min_sessions / min_span_days:
+        Validation thresholds (:func:`repro.trace.validation.validate`)
+        below which ingestion fails; the defaults are what the
+        reproduction's experiments need.
+    """
+
+    path: str = ""
+    format: str = "container"
+    n_users: Optional[int] = None
+    min_sessions: int = 100
+    min_span_days: float = 2.0
+
+    #: A measured log is a fixed artifact: no lazy re-generation and no
+    #: §V-A multiplicative copies of real measurements.
+    supports_streaming: ClassVar[bool] = False
+    supports_transforms: ClassVar[bool] = False
+
+    def __post_init__(self) -> None:
+        if self.format not in TRACE_FILE_FORMATS:
+            raise ConfigurationError(
+                f"unknown trace file format {self.format!r}; choose from "
+                f"{list(TRACE_FILE_FORMATS)}"
+            )
+        if self.n_users is not None and (
+                isinstance(self.n_users, bool)
+                or not isinstance(self.n_users, int) or self.n_users < 1):
+            raise ConfigurationError(
+                f"n_users must be an integer >= 1 or null, got {self.n_users!r}"
+            )
+        if self.min_sessions < 0:
+            raise ConfigurationError(
+                f"min_sessions must be >= 0, got {self.min_sessions}"
+            )
+        if self.min_span_days < 0:
+            raise ConfigurationError(
+                f"min_span_days must be >= 0, got {self.min_span_days}"
+            )
+
+    def with_seed(self, seed: int) -> "WorkloadModel":
+        raise ConfigurationError(
+            "workload family 'trace-driven' replays a fixed log and has "
+            "no seed to override"
+        )
+
+    def build_trace(self, backend: Optional[str] = None) -> Trace:
+        """Load, ingest through ``Trace.from_columns``, and validate."""
+        if not self.path:
+            raise ConfigurationError(
+                "a trace-driven workload needs a 'path' to its log file"
+            )
+        try:
+            if self.format == "columns":
+                trace = self._load_columns()
+            else:
+                trace = self._load_container()
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read trace file: {error}"
+            ) from None
+        except (TraceError, TraceFormatError) as error:
+            raise ConfigurationError(
+                f"{self.path}: not a usable session log ({error})"
+            ) from None
+        self._validate(trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def _load_container(self) -> Trace:
+        from repro.trace.io import load_trace
+
+        loaded = load_trace(self.path)
+        n_users = loaded.n_users if self.n_users is None else self.n_users
+        # Re-enter through the trusted columnar path: the container
+        # loader already sorted the records, so this re-checks the
+        # aggregate invariants (and the declared user count) cheaply.
+        return Trace.from_columns(*loaded.columns(), loaded.catalog, n_users)
+
+    def _load_columns(self) -> Trace:
+        rows: List[Tuple[float, int, int, float]] = []
+        with open(self.path, "r", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header != _COLUMN_HEADER:
+                raise TraceFormatError(
+                    f"bad column header {header!r}, expected "
+                    f"{_COLUMN_HEADER!r}"
+                )
+            for line_number, fields in enumerate(reader, start=2):
+                if not fields:
+                    continue
+                try:
+                    rows.append((float(fields[0]), int(fields[1]),
+                                 int(fields[2]), float(fields[3])))
+                except (ValueError, IndexError) as exc:
+                    raise TraceFormatError(
+                        f"line {line_number}: cannot parse row "
+                        f"{fields!r}: {exc}"
+                    ) from exc
+        if not rows:
+            raise TraceFormatError("the log contains no session rows")
+        rows.sort()
+        n_programs = max(row[2] for row in rows) + 1
+        longest = [0.0] * n_programs
+        for _, _, program_id, duration in rows:
+            if duration > longest[program_id]:
+                longest[program_id] = duration
+        catalog = Catalog([
+            # Never-accessed ids still need a positive length; one
+            # second is inert (no session can reference them).
+            Program(program_id=i, length_seconds=longest[i] or 1.0)
+            for i in range(n_programs)
+        ])
+        n_users = self.n_users
+        if n_users is None:
+            n_users = max(row[1] for row in rows) + 1
+        return Trace.from_columns(
+            [row[0] for row in rows], [row[1] for row in rows],
+            [row[2] for row in rows], [row[3] for row in rows],
+            catalog, n_users,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self, trace: Trace) -> None:
+        from repro.trace.validation import validate
+
+        report = validate(trace, min_sessions=self.min_sessions,
+                          min_span_days=self.min_span_days)
+        if not report.ok:
+            problems = "; ".join(
+                f"{finding.code}: {finding.message}"
+                for finding in report.errors()
+            )
+            raise ConfigurationError(
+                f"{self.path}: the log cannot support meaningful caching "
+                f"experiments ({problems})"
+            )
+
+
+def resolved_path(spec: TraceFileModel, base: Optional[Path] = None) -> Path:
+    """The spec's path, resolved against ``base`` when relative."""
+    path = Path(spec.path)
+    if base is not None and not path.is_absolute():
+        return base / path
+    return path

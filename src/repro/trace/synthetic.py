@@ -38,12 +38,13 @@ import os
 from dataclasses import dataclass, replace
 from bisect import bisect_left
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
 
 from repro import units
 from repro.errors import ConfigurationError
 from repro.sim.random_streams import RandomStreams
 from repro.trace import distributions as dist
+from repro.trace.families import WorkloadModel, workload_family
 from repro.trace.records import Catalog, Program, SessionRecord, Trace
 
 # --------------------------------------------------------------------------
@@ -164,8 +165,10 @@ DEFAULT_LENGTH_MINUTES: Tuple[float, ...] = (30.0, 45.0, 60.0, 90.0, 100.0, 120.
 DEFAULT_LENGTH_WEIGHTS: Tuple[float, ...] = (0.20, 0.15, 0.25, 0.15, 0.15, 0.10)
 
 
+@workload_family("powerinfo", summary="calibrated synthetic PowerInfo "
+                 "workload (the paper's trace)")
 @dataclass(frozen=True)
-class PowerInfoModel:
+class PowerInfoModel(WorkloadModel):
     """Parameters of the synthetic PowerInfo workload.
 
     The defaults reproduce the published trace at full scale over a
@@ -264,6 +267,12 @@ class PowerInfoModel:
     length_minutes: Tuple[float, ...] = DEFAULT_LENGTH_MINUTES
     length_weights: Tuple[float, ...] = DEFAULT_LENGTH_WEIGHTS
 
+    #: The only family with a lazy hour-chunked generator
+    #: (:mod:`repro.trace.streaming`), hence the only streamable one.
+    supports_streaming: ClassVar[bool] = True
+    serialize_always: ClassVar[Tuple[str, ...]] = (
+        "n_users", "n_programs", "days", "seed")
+
     def __post_init__(self) -> None:
         if self.n_users <= 0:
             raise ConfigurationError(f"n_users must be positive, got {self.n_users}")
@@ -317,6 +326,10 @@ class PowerInfoModel:
         relative to ``anchor_users``.
         """
         return replace(self, n_users=n_users, days=self.days if days is None else days)
+
+    def build_trace(self, backend: Optional[str] = None) -> Trace:
+        """The family build hook: exactly :func:`generate_trace`."""
+        return generate_trace(self, backend)
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -1,22 +1,23 @@
-"""Workloads: a seeded trace model plus the paper's scaling transforms.
+"""Workloads: a registered trace model plus the paper's scaling transforms.
 
 The scalability experiments (Figs 15/16, Table 16a) do not re-model the
 workload -- they *transform* the base trace multiplicatively (section
 V-A): population copies with jittered start times, catalog copies with
 randomized redirection (:mod:`repro.trace.scaling`).  A
 :class:`Workload` captures one such transformed trace as a small frozen
-value -- the :class:`~repro.trace.synthetic.PowerInfoModel` plus the two
-scale factors -- so the scenario layer can serialize it, sweep axes can
-vary it, and parallel workers can regenerate the exact trace from a
-few-field dataclass instead of pickling tens of millions of records.
+value -- any registered :class:`~repro.trace.families.WorkloadModel`
+spec plus the two scale factors -- so the scenario layer can serialize
+it, sweep axes can vary it, and parallel workers can regenerate the
+exact trace from a few-field dataclass instead of pickling tens of
+millions of records.
 
-Determinism: the base trace is deterministic in its model, and both
-transforms consume fixed-seed random streams, so the same workload
-always yields the byte-identical trace -- in this process or any
-worker.
+Determinism: the base trace is deterministic in its model (the family
+contract), and both transforms consume fixed-seed random streams, so
+the same workload always yields the byte-identical trace -- in this
+process or any worker.
 
 Memoization mirrors :func:`repro.trace.synthetic.cached_trace`: the
-identity workload shares the base-trace cache directly; transformed
+identity workload shares the model-trace cache directly; transformed
 traces keep a small LRU of their own (population-major sweeps reuse the
 population step across every catalog factor).
 """
@@ -27,12 +28,12 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.errors import ConfigurationError
+from repro.trace.families import WorkloadModel
 from repro.trace.records import Trace
 from repro.trace.scaling import scale_catalog, scale_population
 from repro.trace.synthetic import (
     PowerInfoModel,
     cached_trace,
-    generate_trace,
     resolve_trace_backend,
 )
 
@@ -44,7 +45,7 @@ class Workload:
     Attributes
     ----------
     model:
-        The seeded synthetic trace model the workload starts from.
+        The registered workload-family spec the workload starts from.
     population_x:
         Integer population multiplier (paper section V-A: ``n`` copies
         of every user, extra copies jittered 1-60 s).  ``1`` = identity.
@@ -53,14 +54,15 @@ class Workload:
         event redirected to a uniform-random copy).  ``1`` = identity.
     """
 
-    model: PowerInfoModel
+    model: WorkloadModel
     population_x: int = 1
     catalog_x: int = 1
 
     def __post_init__(self) -> None:
-        if not isinstance(self.model, PowerInfoModel):
+        if not isinstance(self.model, WorkloadModel):
             raise ConfigurationError(
-                f"model must be a PowerInfoModel, got {type(self.model).__name__}"
+                f"model must be a registered workload-family spec "
+                f"(e.g. PowerInfoModel), got {type(self.model).__name__}"
             )
         for name in ("population_x", "catalog_x"):
             value = getattr(self, name)
@@ -68,6 +70,13 @@ class Workload:
                 raise ConfigurationError(
                     f"{name} must be an integer >= 1, got {value!r}"
                 )
+        if not self.is_identity and not self.model.supports_transforms:
+            raise ConfigurationError(
+                f"workload family {self.model.family_name!r} does not "
+                f"support the population/catalog transforms "
+                f"(population_x={self.population_x}, "
+                f"catalog_x={self.catalog_x})"
+            )
 
     @property
     def is_identity(self) -> bool:
@@ -81,9 +90,29 @@ class Workload:
         order the paper's grid construction uses, and the order every
         cached path must reproduce for bit-identical results.
         """
-        trace = generate_trace(self.model)
+        trace = self.model.build_trace()
         trace = scale_population(trace, self.population_x)
         return scale_catalog(trace, self.catalog_x)
+
+
+@lru_cache(maxsize=3)
+def _cached_family_trace(model: WorkloadModel, backend: str) -> Trace:
+    """Per-model memo for non-powerinfo families.
+
+    ``powerinfo`` keeps resolving through the long-standing
+    :func:`~repro.trace.synthetic.cached_trace` (so object identity
+    with every pre-registry caller is preserved); the other families
+    get a small LRU of their own -- big enough for a stress shape, its
+    base, and one more model in a mixed sweep.
+    """
+    return model.build_trace(backend)
+
+
+def cached_model_trace(model: WorkloadModel) -> Trace:
+    """The (memoized) untransformed trace of any registered spec."""
+    if isinstance(model, PowerInfoModel):
+        return cached_trace(model)
+    return _cached_family_trace(model, resolve_trace_backend())
 
 
 # maxsize=1 on both memos deliberately mirrors the residency of the old
@@ -93,10 +122,10 @@ class Workload:
 # interleaving factors merely re-applies a linear-time transform.
 
 @lru_cache(maxsize=1)
-def _cached_population_trace(model: PowerInfoModel, factor: int,
+def _cached_population_trace(model: WorkloadModel, factor: int,
                              backend: str) -> Trace:
     """The population-scaled intermediate, shared across catalog factors."""
-    return scale_population(cached_trace(model), factor)
+    return scale_population(cached_model_trace(model), factor)
 
 
 @lru_cache(maxsize=1)
@@ -106,7 +135,7 @@ def _cached_transformed_trace(workload: Workload, backend: str) -> Trace:
         base = _cached_population_trace(workload.model, workload.population_x,
                                         backend)
     else:
-        base = cached_trace(workload.model)
+        base = cached_model_trace(workload.model)
     return scale_catalog(base, workload.catalog_x)
 
 
@@ -114,15 +143,15 @@ def cached_workload_trace(workload: Workload) -> Trace:
     """The (memoized) trace of ``workload``.
 
     Identity workloads resolve straight through
-    :func:`~repro.trace.synthetic.cached_trace`, so every layer that
-    replays "the trace of this model" keeps sharing one generation per
-    process.  Transformed traces are cached in a deliberately small LRU
-    (scaled traces are up to ``population_x`` times the base trace);
-    evicted entries simply re-apply the linear-time transforms.  Like
+    :func:`cached_model_trace`, so every layer that replays "the trace
+    of this model" keeps sharing one generation per process.
+    Transformed traces are cached in a deliberately small LRU (scaled
+    traces are up to ``population_x`` times the base trace); evicted
+    entries simply re-apply the linear-time transforms.  Like
     ``cached_trace``, entries key on the resolved generator backend so
     a mid-process ``REPRO_TRACE_BACKEND`` flip never serves a stale
     other-backend transform.
     """
     if workload.is_identity:
-        return cached_trace(workload.model)
+        return cached_model_trace(workload.model)
     return _cached_transformed_trace(workload, resolve_trace_backend())

@@ -1,0 +1,13 @@
+"""Known-bad fixture: a registered workload family that cannot round-trip (W-REG)."""
+
+from repro.trace.families import workload_family
+
+
+@workload_family("phantom-load", summary="registered but not a frozen dataclass")
+class PhantomLoadModel:  # W-REG, line 7
+    """Mutable spec: spec_to_dict/spec_from_dict support is not guaranteed."""
+
+    __slots__ = ("days",)
+
+    def __init__(self, days=1.0):
+        self.days = days

@@ -86,6 +86,12 @@ def test_reg_flags_non_frozen_registered_spec(findings):
     assert hits and "PhantomSpec" in hits[0].message
 
 
+def test_reg_flags_non_frozen_workload_family(findings):
+    hits = _at(findings, "W-REG", "trace/bad_family.py", 7)
+    assert hits and "PhantomLoadModel" in hits[0].message
+    assert "workload_family" in hits[0].message
+
+
 # -- suppression pragmas --------------------------------------------------
 
 def test_pragma_with_reason_suppresses(findings):

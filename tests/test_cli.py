@@ -29,6 +29,17 @@ class TestCli:
         assert "history_hours" in out
         assert "min_accesses" in out
 
+    def test_list_families_prints_registry(self, capsys):
+        from repro.trace.families import iter_families
+
+        assert main(["list-families"]) == 0
+        out = capsys.readouterr().out
+        for info in iter_families():
+            assert info.name in out
+        # Capability tags and parameters come from the real spec surface.
+        assert "streaming+transforms" in out
+        assert "session_length_cdf" in out
+
     def test_unknown_experiment_fails_cleanly(self, capsys):
         assert main(["fig99"]) == 2
         assert "error" in capsys.readouterr().err
@@ -60,7 +71,8 @@ class TestScenarioCommands:
         names = {path.name for path in SCENARIOS_DIR.glob("*.json")}
         assert {"quickstart.json", "gdsf_history_sweep.json",
                 "arc_ghost_sweep.json", "threshold_depth_sweep.json",
-                "fig15_2x2.json"} <= names
+                "fig15_2x2.json", "flash_crowd_sweep.json",
+                "trace_driven_demo.json"} <= names
 
     def test_packaged_sweep_files_parse(self):
         # The CI smoke job runs these end-to-end; tier-1 only proves
@@ -72,6 +84,24 @@ class TestScenarioCommands:
             sweep = load(SCENARIOS_DIR / name)
             assert isinstance(sweep, Sweep)
             assert len(sweep) == 4
+
+    def test_packaged_family_files_parse(self):
+        # Same contract for the workload-family examples: tier-1 loads,
+        # the CI smoke job simulates.
+        from repro.scenario import Scenario, Sweep, load
+        from repro.trace.families.stress import FlashCrowdModel
+        from repro.trace.families.tracefile import TraceFileModel
+
+        sweep = load(SCENARIOS_DIR / "flash_crowd_sweep.json")
+        assert isinstance(sweep, Sweep)
+        assert isinstance(sweep.base.trace, FlashCrowdModel)
+        assert len(sweep) == 6  # 3 spike intensities x 2 sampled storages
+        scenario = load(SCENARIOS_DIR / "trace_driven_demo.json")
+        assert isinstance(scenario, Scenario)
+        assert isinstance(scenario.trace, TraceFileModel)
+        # The shipped fixture log sits where the spec points (relative
+        # to the repo root, which is where CI and the CLI smoke run).
+        assert (SCENARIOS_DIR.parent.parent / scenario.trace.path).exists()
 
     def test_run_packaged_scenario(self, capsys):
         assert main(["run", str(SCENARIOS_DIR / "quickstart.json")]) == 0
@@ -175,6 +205,20 @@ class TestScenarioCommands:
         err = capsys.readouterr().err
         assert "did you mean" in err
         assert "lfu" in err
+
+    def test_unknown_family_in_file_suggests_and_exits_2(self, capsys,
+                                                         tmp_path):
+        from repro.scenario import load_scenario
+
+        scenario = load_scenario(SCENARIOS_DIR / "quickstart.json")
+        payload = scenario.to_dict()
+        payload["trace"] = {"family": "cdff"}
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps(payload))
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload family" in err
+        assert "did you mean 'cdf'" in err
 
 
 class TestDescribeFlat:
